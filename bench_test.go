@@ -1,0 +1,345 @@
+package configerator
+
+// The benchmark harness: one benchmark per table and figure in the paper's
+// evaluation (Section 6) plus the design-choice ablations from DESIGN.md.
+// Each benchmark regenerates its experiment through internal/experiments
+// (the same code cmd/benchreport uses for EXPERIMENTS.md), reports the
+// headline number via b.ReportMetric, and prints the full rows/series once
+// so `go test -bench=.` reproduces the paper's output shapes.
+//
+// Micro-benchmarks at the bottom measure the real (wall-clock) cost of the
+// hot paths: CDL compilation, Gatekeeper checks, repository commits, line
+// diffs, and canonical JSON.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"configerator/internal/cdl"
+	"configerator/internal/experiments"
+	"configerator/internal/gatekeeper"
+	"configerator/internal/landingstrip"
+	"configerator/internal/stats"
+	"configerator/internal/vclock"
+	"configerator/internal/vcs"
+)
+
+// benchOpts picks the experiment scale: -short runs the quick variants.
+func benchOpts() experiments.Options {
+	return experiments.Options{Seed: 42, Quick: testing.Short()}
+}
+
+var printed sync.Map
+
+// report prints an experiment's output once per benchmark and republishes
+// its headline metrics on the benchmark line.
+func report(b *testing.B, r experiments.Result, headline ...string) {
+	b.Helper()
+	if _, dup := printed.LoadOrStore(b.Name(), true); !dup {
+		fmt.Printf("\n%s\n%s\n", r.Summary(), r.Text)
+	}
+	for _, h := range headline {
+		if v, ok := r.Metrics[h]; ok {
+			b.ReportMetric(v, h)
+		}
+	}
+}
+
+// ---- Figures and tables ----
+
+func BenchmarkFig07_ConfigGrowth(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig7ConfigGrowth(benchOpts())
+	}
+	report(b, r, "compiled_share_at_end")
+}
+
+func BenchmarkFig08_ConfigSizeCDF(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig8ConfigSizes(benchOpts())
+	}
+	report(b, r, "raw_p50_bytes", "compiled_p50_bytes")
+}
+
+func BenchmarkFig09_Freshness(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig9Freshness(benchOpts())
+	}
+	report(b, r, "touched_within_90d", "untouched_for_300d")
+}
+
+func BenchmarkFig10_AgeAtUpdate(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig10AgeAtUpdate(benchOpts())
+	}
+	report(b, r, "updates_on_configs_younger_60d", "updates_on_configs_older_300d")
+}
+
+func BenchmarkTable1_UpdatesPerConfig(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table1UpdatesPerConfig(benchOpts())
+	}
+	report(b, r, "compiled_written_once", "raw_written_once", "raw_top1pct_update_share")
+}
+
+func BenchmarkTable2_LineChanges(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table2LineChanges(benchOpts())
+	}
+	report(b, r, "compiled_two_line_updates")
+}
+
+func BenchmarkTable3_CoAuthors(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table3CoAuthors(benchOpts())
+	}
+	report(b, r, "compiled_single_author", "raw_single_author")
+}
+
+func BenchmarkFig11_DailyCommits(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig11DailyCommits(benchOpts())
+	}
+	report(b, r, "configerator_weekend_ratio", "www_weekend_ratio", "fbcode_weekend_ratio")
+}
+
+func BenchmarkFig12_HourlyCommits(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig12HourlyCommits(benchOpts())
+	}
+	report(b, r, "peak_to_trough_ratio")
+}
+
+func BenchmarkFig13_CommitThroughput(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig13CommitThroughput(benchOpts())
+	}
+	report(b, r, "throughput_small_repo_per_min", "throughput_1M_files_per_min")
+}
+
+func BenchmarkFig14_PropagationLatency(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig14PropagationLatency(benchOpts())
+	}
+	report(b, r, "baseline_latency_s", "peak_over_baseline")
+}
+
+func BenchmarkFig15_GatekeeperChecks(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig15GatekeeperChecks(benchOpts())
+	}
+	report(b, r, "single_core_checks_per_sec", "sitewide_peak_billion_per_sec")
+}
+
+func BenchmarkSec64_ConfigErrors(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Sec64ConfigErrors(benchOpts())
+	}
+	report(b, r, "escape_share_type1", "escape_share_type2", "escape_share_type3")
+}
+
+func BenchmarkPV_LargeConfigDelivery(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.PackageVesselDelivery(benchOpts())
+	}
+	report(b, r, "slowest_server_seconds", "same_cluster_chunk_fraction")
+}
+
+// ---- Ablations ----
+
+func BenchmarkAblation_PushVsPull(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationPushVsPull(benchOpts())
+	}
+	report(b, r, "pull_over_push_messages")
+}
+
+func BenchmarkAblation_LandingStrip(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationLandingStrip(benchOpts())
+	}
+	report(b, r, "speedup")
+}
+
+func BenchmarkAblation_MultiRepo(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationMultiRepo(benchOpts())
+	}
+	report(b, r, "speedup")
+}
+
+func BenchmarkAblation_P2PvsCentral(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationP2PvsCentral(benchOpts())
+	}
+	report(b, r, "speedup")
+}
+
+func BenchmarkAblation_GatekeeperOptimizer(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationGatekeeperOptimizer(benchOpts())
+	}
+	report(b, r, "saving_factor")
+}
+
+func BenchmarkAblation_MobileDelta(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblationMobileDelta(benchOpts())
+	}
+	report(b, r, "bandwidth_saving")
+}
+
+// ---- Micro-benchmarks of the real hot paths ----
+
+var benchFS = cdl.MapFS{
+	"scheduler/job.cinc": `
+		schema Job {
+			1: string name;
+			2: i32 priority = 1;
+			3: list<string> tags = [];
+			4: map<string, i64> limits = {};
+		}
+		validator Job(c) { assert(c.priority >= 0 && c.priority <= 10, "range"); }
+		def create_job(name, prio) {
+			return Job{name: name, priority: prio, tags: ["managed", name]};
+		}
+	`,
+	"cache/job.cconf": `
+		import "scheduler/job.cinc";
+		export create_job("cache", 3);
+	`,
+}
+
+func BenchmarkCDLCompile(b *testing.B) {
+	c := cdl.NewCompiler(benchFS)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compile("cache/job.cconf"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCDLEvalExpr(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cdl.EvalExpr(`{rate: 0.05 * 2, hosts: ["a", "b"], on: 1 < 2}`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGatekeeperCheck(b *testing.B) {
+	reg := gatekeeper.NewRegistry(nil)
+	rt := gatekeeper.NewRuntime(reg)
+	spec := &gatekeeper.ProjectSpec{Project: "P", Rules: []gatekeeper.RuleSpec{
+		{
+			Restraints: []gatekeeper.RestraintSpec{
+				{Name: "country", Params: gatekeeper.Params{"in": []string{"US", "CA"}}},
+				{Name: "app_version_at_least", Params: gatekeeper.Params{"version": 100.0}},
+			},
+			PassProbability: 0.10,
+		},
+		{
+			Restraints:      []gatekeeper.RestraintSpec{{Name: "always"}},
+			PassProbability: 0.01,
+		},
+	}}
+	if err := rt.Load(spec.Encode()); err != nil {
+		b.Fatal(err)
+	}
+	u := &gatekeeper.User{ID: 1, Country: "US", AppVersion: 120, Now: vclock.Epoch}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u.ID = int64(i)
+		rt.Check("P", u)
+	}
+}
+
+func BenchmarkVCSCommit(b *testing.B) {
+	repo := vcs.NewRepository("bench")
+	content := []byte(`{"a":1,"b":[1,2,3],"c":"value"}`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		repo.CommitChanges("bench", "change", vclock.Epoch,
+			vcs.Change{Path: fmt.Sprintf("f%d.json", i%1000), Content: content})
+	}
+}
+
+func BenchmarkDiffLines(b *testing.B) {
+	oldC := make([]byte, 0, 4096)
+	newC := make([]byte, 0, 4096)
+	for i := 0; i < 100; i++ {
+		oldC = append(oldC, []byte(fmt.Sprintf("line %d\n", i))...)
+		if i == 50 {
+			newC = append(newC, []byte("changed line\n")...)
+		} else {
+			newC = append(newC, []byte(fmt.Sprintf("line %d\n", i))...)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		vcs.DiffLines(oldC, newC)
+	}
+}
+
+func BenchmarkCanonicalJSON(b *testing.B) {
+	v := cdl.Map{
+		"name":    cdl.Str("cache"),
+		"weights": cdl.List{cdl.Float(0.1), cdl.Float(0.2), cdl.Float(0.7)},
+		"limits":  cdl.Map{"mem": cdl.Int(512), "cpu": cdl.Int(4)},
+		"enabled": cdl.Bool(true),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cdl.MarshalJSON(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUserSampling(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		stats.HashFloat("ProjectX:123456789")
+	}
+}
+
+func BenchmarkLandingStripThroughputSmallRepo(b *testing.B) {
+	// Real wall-clock cost of our own store under the Fig 13 replay load
+	// (the virtual cost model is benchmarked by BenchmarkFig13).
+	repo := vcs.NewRepository("bench")
+	strip := landingstrip.New(repo, vcs.DefaultCostModel())
+	now := vclock.Epoch
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wc := repo.Clone("eng")
+		wc.Write(fmt.Sprintf("cfg/f%d.json", i), []byte(`{"v":1}`))
+		res := strip.Submit(wc.Diff("c"), now)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		now = res.Finish
+	}
+}

@@ -1,0 +1,15 @@
+// Package configerator is a from-scratch Go reproduction of "Holistic
+// Configuration Management at Facebook" (Tang et al., SOSP 2015).
+//
+// The implementation lives under internal/: the CDL configuration-as-code
+// compiler, a git-like version-control substrate, the Zeus ensemble with
+// its leader→observer→proxy distribution tree, the landing strip, canary
+// service, Gatekeeper, Sitevars, PackageVessel, and MobileConfig, plus the
+// workload generators and experiment harness that regenerate every table
+// and figure of the paper's evaluation. See README.md for the tour,
+// DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+// paper-vs-measured results. The root-level benchmarks (bench_test.go)
+// regenerate each experiment:
+//
+//	go test -bench=. -benchmem .
+package configerator

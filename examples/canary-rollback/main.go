@@ -1,0 +1,100 @@
+// Canary rollback: the §6.4 war stories, replayed. A config that spikes
+// error logs is stopped by the 20-server phase; a load-amplifying config
+// sails through the small phase and is caught only by the cluster-scale
+// phase (the lesson Facebook learned in production); and an engineer who
+// overrides the canary ("it must be a false positive!") ships an incident.
+//
+//	go run ./examples/canary-rollback
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"configerator/internal/cluster"
+	"configerator/internal/core"
+)
+
+func main() {
+	fleet := cluster.New(cluster.SmallConfig(25, 9)) // 100 servers
+	fleet.Net.RunFor(10 * time.Second)
+	pipeline := core.New(core.Options{Fleet: fleet, CanaryPhase1: 4, CanaryPhase2: 50})
+
+	const path = "search/knobs.json"
+	fleet.SubscribeAll(core.ZeusPath(path))
+
+	// Seed a healthy config.
+	rep := pipeline.Submit(&core.ChangeRequest{
+		Author: "alice", Reviewer: "bob", Title: "seed knobs",
+		Raws:       map[string][]byte{path: []byte(`{"timeout_ms":200}`)},
+		SkipCanary: true,
+	})
+	must(rep)
+	fleet.Net.RunFor(20 * time.Second)
+
+	fmt.Println("== attempt 1: schema-mismatch style bug (log spew) ==")
+	rep = pipeline.Submit(&core.ChangeRequest{
+		Author: "carol", Reviewer: "bob", Title: "enable new parser",
+		Raws: map[string][]byte{path: []byte(
+			`{"timeout_ms":200,"new_parser":true,"_fault":{"type":"log_spew","intensity":1.0}}`)},
+	})
+	describe(rep)
+
+	fmt.Println("\n== attempt 2: load error invisible at small scale ==")
+	rep = pipeline.Submit(&core.ChangeRequest{
+		Author: "dave", Reviewer: "bob", Title: "aggressive prefetch",
+		Raws: map[string][]byte{path: []byte(
+			`{"timeout_ms":200,"prefetch":"aggressive","_fault":{"type":"load","intensity":1.0}}`)},
+	})
+	describe(rep)
+
+	fmt.Println("\n== attempt 3: engineer overrides the canary ==")
+	rep = pipeline.Submit(&core.ChangeRequest{
+		Author: "erin", Reviewer: "bob", Title: "trivial and innocent change",
+		Raws: map[string][]byte{path: []byte(
+			`{"timeout_ms":250,"_fault":{"type":"crash","intensity":0.5}}`)},
+		OverrideCanary: true,
+	})
+	describe(rep)
+	if rep.OK() {
+		fmt.Println("  ...the change landed anyway; production crash rate follows.")
+		fmt.Println("  (mitigation: immediately revert the config change)")
+		revert := pipeline.Submit(&core.ChangeRequest{
+			Author: "erin", Reviewer: "bob", Title: "Revert \"trivial and innocent change\"",
+			Raws:       map[string][]byte{path: []byte(`{"timeout_ms":200}`)},
+			SkipCanary: true, // emergency revert path
+		})
+		must(revert)
+		fmt.Println("  reverted.")
+	}
+
+	// The committed config is still sane.
+	got, err := pipeline.ReadArtifact(path)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nfinal committed config: %s\n", got)
+}
+
+func describe(rep *core.ChangeReport) {
+	if rep.Canary != nil {
+		for _, ph := range rep.Canary.Phases {
+			status := "PASS"
+			if !ph.Passed {
+				status = "FAIL — " + ph.FailedCheck
+			}
+			fmt.Printf("  canary %s (%d servers): %s\n", ph.Name, ph.TestServers, status)
+		}
+	}
+	if rep.OK() {
+		fmt.Println("  -> change LANDED")
+	} else {
+		fmt.Printf("  -> change BLOCKED at %s; every temporary deploy rolled back\n", rep.FailedStage)
+	}
+}
+
+func must(rep *core.ChangeReport) {
+	if !rep.OK() {
+		panic(fmt.Sprintf("unexpected failure at %s: %v", rep.FailedStage, rep.Err))
+	}
+}

@@ -1,0 +1,81 @@
+// Gatekeeper rollout: launch a product feature through the paper's staged
+// sequence — employees 1%→10%→100%, a regional slice, then global
+// 1%→10%→100% — with each stage being nothing but a live config update.
+// The monotonicity guarantee (a user once enabled stays enabled) falls out
+// of deterministic per-user sampling.
+//
+//	go run ./examples/gatekeeper-rollout
+package main
+
+import (
+	"fmt"
+
+	"configerator/internal/gatekeeper"
+	"configerator/internal/stats"
+	"configerator/internal/vclock"
+)
+
+func main() {
+	registry := gatekeeper.NewRegistry(nil)
+	runtime := gatekeeper.NewRuntime(registry)
+
+	// A synthetic user population: 1% employees, a third in us-west.
+	rng := stats.NewRNG(7)
+	var users []*gatekeeper.User
+	for id := int64(0); id < 50_000; id++ {
+		region := "eu"
+		if rng.Bool(0.34) {
+			region = "us-west"
+		}
+		users = append(users, &gatekeeper.User{
+			ID:       id,
+			Employee: rng.Bool(0.01),
+			Region:   region,
+			Platform: "www",
+			Now:      vclock.Epoch,
+		})
+	}
+
+	fmt.Println("stage                         enabled users   share")
+	fmt.Println("----------------------------  -------------  ------")
+	stages := gatekeeper.RolloutStages("NewComposer", "us-west")
+	names := []string{
+		"employees 1%", "employees 10%", "employees 100%",
+		"+ us-west 5%", "+ global 1%", "+ global 10%", "global 100%",
+	}
+	prevEnabled := make(map[int64]bool)
+	for i, spec := range stages {
+		// Each stage is one config update delivered live — the runtime
+		// rebuilds its boolean tree with no code push.
+		if err := runtime.Load(spec.Encode()); err != nil {
+			panic(err)
+		}
+		enabled := 0
+		for _, u := range users {
+			if runtime.Check("NewComposer", u) {
+				enabled++
+				prevEnabled[u.ID] = true
+			} else if prevEnabled[u.ID] {
+				panic(fmt.Sprintf("user %d lost the feature at stage %d — launches must only widen", u.ID, i))
+			}
+		}
+		fmt.Printf("%-28s  %13d  %5.1f%%\n", names[i], enabled, 100*float64(enabled)/float64(len(users)))
+	}
+
+	// Emergency kill: one more config update disables it instantly.
+	kill := &gatekeeper.ProjectSpec{Project: "NewComposer", Rules: []gatekeeper.RuleSpec{{
+		Restraints:      []gatekeeper.RestraintSpec{{Name: "always"}},
+		PassProbability: 0,
+	}}}
+	if err := runtime.Load(kill.Encode()); err != nil {
+		panic(err)
+	}
+	enabled := 0
+	for _, u := range users {
+		if runtime.Check("NewComposer", u) {
+			enabled++
+		}
+	}
+	fmt.Printf("%-28s  %13d  %5.1f%%\n", "emergency kill switch", enabled, 0.0)
+
+}

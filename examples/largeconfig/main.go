@@ -1,0 +1,96 @@
+// Large-config distribution via PackageVessel: a 192 MB News-Feed ranking
+// model is uploaded to storage, its small metadata is published through
+// the (simulated) Configerator subscription path, and a 48-server fleet
+// swarms the bulk content peer-to-peer with locality-aware peer selection.
+// Compare the completion times and storage offload against every server
+// fetching from central storage.
+//
+//	go run ./examples/largeconfig
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"configerator/internal/packagevessel"
+	"configerator/internal/simnet"
+)
+
+const gbit = 1.25e8 // 1 Gbit/s in bytes/sec
+
+func buildFleet(seed uint64) (*simnet.Network, *packagevessel.Storage, *packagevessel.Tracker, []*packagevessel.Agent) {
+	net := simnet.New(simnet.DefaultLatency(), seed)
+	storage := packagevessel.NewStorage(net, "storage", simnet.Placement{Region: "us", Cluster: "store"})
+	net.SetBandwidth("storage", gbit, gbit)
+	tracker := packagevessel.NewTracker(net, "tracker", simnet.Placement{Region: "us", Cluster: "store"})
+	var agents []*packagevessel.Agent
+	for i := 0; i < 48; i++ {
+		cluster := fmt.Sprintf("c%d", i%4)
+		region := "us"
+		if i%4 >= 2 {
+			region = "eu"
+		}
+		id := simnet.NodeID(fmt.Sprintf("srv-%d", i))
+		a := packagevessel.NewAgent(net, id, simnet.Placement{Region: region, Cluster: cluster})
+		net.SetBandwidth(id, gbit, gbit)
+		agents = append(agents, a)
+	}
+	return net, storage, tracker, agents
+}
+
+func run(p2p bool) {
+	net, storage, tracker, agents := buildFleet(3)
+	meta := storage.Upload(tracker, "feed-ranker-model", 1, 192<<20,
+		packagevessel.DefaultChunkSize, "tracker")
+
+	var first, last time.Duration
+	done := 0
+	for _, a := range agents {
+		a.OnComplete(func(_ packagevessel.Metadata, took time.Duration) {
+			done++
+			if first == 0 || took < first {
+				first = took
+			}
+			if took > last {
+				last = took
+			}
+		})
+		// In production the metadata arrives via the server's Configerator
+		// proxy subscription; here we hand it over directly.
+		if p2p {
+			a.OnMetadata(meta.Encode())
+		} else {
+			a.FetchCentralOnly(meta.Encode())
+		}
+	}
+	net.RunFor(time.Hour)
+
+	mode := "P2P swarm"
+	if !p2p {
+		mode = "central-only"
+	}
+	fmt.Printf("%-12s: %d/%d servers complete; fastest %v, slowest %v; storage served %d chunks\n",
+		mode, done, len(agents), first.Round(time.Millisecond), last.Round(time.Millisecond),
+		storage.ChunksServed)
+	if p2p {
+		var same, region, cross uint64
+		for _, a := range agents {
+			same += a.ChunksSameCluster
+			region += a.ChunksSameRegion
+			cross += a.ChunksCrossRegion
+		}
+		total := same + region + cross
+		fmt.Printf("              chunk locality: %.0f%% same-cluster, %.0f%% same-region, %.0f%% cross-region\n",
+			100*float64(same)/float64(total), 100*float64(region)/float64(total),
+			100*float64(cross)/float64(total))
+		if last < 4*time.Minute {
+			fmt.Println("              ✓ under the paper's four-minute delivery bound (§3.5)")
+		}
+	}
+}
+
+func main() {
+	fmt.Println("distributing a 192 MB model to 48 servers over 1 Gbit/s links:")
+	run(true)
+	run(false)
+}

@@ -1,0 +1,94 @@
+// Quickstart: author a config as code, push it through the full pipeline
+// (compile → validate → review+CI → land → tail → Zeus → proxy), and read
+// it back through the client library on a production server.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"configerator/internal/cluster"
+	"configerator/internal/core"
+)
+
+func main() {
+	// A small fleet: 2 regions x 2 clusters x 5 servers, with a Zeus
+	// ensemble, per-cluster observers, and a proxy on every server.
+	fleet := cluster.New(cluster.SmallConfig(5, 42))
+	fleet.Net.RunFor(10 * time.Second) // elect the Zeus leader
+	pipeline := core.New(core.Options{Fleet: fleet})
+
+	// Applications on every server declare the config they need.
+	const artifact = "memcache/frontend.json"
+	zeusPath := core.ZeusPath(artifact)
+	fleet.SubscribeAll(zeusPath)
+
+	// An engineer writes config-as-code: a schema with an invariant and a
+	// config built from it.
+	report := pipeline.Submit(&core.ChangeRequest{
+		Author:   "alice",
+		Reviewer: "bob",
+		Title:    "tune memcache frontend",
+		Sources: map[string][]byte{
+			"memcache/schema.cinc": []byte(`
+				schema CacheConfig {
+					1: i64 memory_mb = 1024;
+					2: i32 batch_writes = 16;
+					3: bool prefetch = true;
+					4: list<string> pools = [];
+				}
+				validator CacheConfig(c) {
+					assert(c.memory_mb >= 64, "too little memory");
+					assert(c.batch_writes > 0, "batch must be positive");
+				}
+			`),
+			"memcache/frontend.cconf": []byte(`
+				import "memcache/schema.cinc";
+				let pools = ["feed", "profile", "ads"];
+				export CacheConfig{memory_mb: 4096, batch_writes: 32, pools: pools};
+			`),
+		},
+		SkipCanary: true, // quickstart: skip the 10-minute canary soak
+	})
+	if !report.OK() {
+		log.Fatalf("change blocked at %s: %v", report.FailedStage, report.Err)
+	}
+	fmt.Printf("landed diff %d; compiled artifact:\n  %s\n",
+		report.DiffID, report.Compiled[artifact])
+
+	// Give the tailer + Zeus tree a few seconds of virtual time.
+	fleet.Net.RunFor(15 * time.Second)
+
+	// Every server now reads the config through its local proxy.
+	for _, server := range fleet.AllServers()[:3] {
+		cfg, err := server.Client.Current(zeusPath)
+		if err != nil {
+			log.Fatalf("%s: %v", server.ID, err)
+		}
+		fmt.Printf("%s: memory_mb=%d batch=%d prefetch=%v pools=%v\n",
+			server.ID, cfg.Int("memory_mb", 0), cfg.Int("batch_writes", 0),
+			cfg.Bool("prefetch", false), cfg.Strings("pools"))
+	}
+
+	// Live update: subscriptions fire on every server within seconds.
+	report = pipeline.Submit(&core.ChangeRequest{
+		Author: "alice", Reviewer: "bob", Title: "more memory",
+		Sources: map[string][]byte{
+			"memcache/frontend.cconf": []byte(`
+				import "memcache/schema.cinc";
+				export CacheConfig{memory_mb: 8192, batch_writes: 32};
+			`),
+		},
+		SkipCanary: true,
+	})
+	if !report.OK() {
+		log.Fatalf("update blocked: %v", report.Err)
+	}
+	fleet.Net.RunFor(15 * time.Second)
+	cfg, _ := fleet.AllServers()[0].Client.Current(zeusPath)
+	fmt.Printf("after live update: memory_mb=%d (config version %d)\n",
+		cfg.Int("memory_mb", 0), cfg.Version)
+}

@@ -1,0 +1,3 @@
+module configerator
+
+go 1.22

@@ -1,0 +1,282 @@
+package cdl
+
+// ---- Types (thrift-like schema type expressions) ----
+
+// TypeExpr is a schema type: a scalar, list<T>, map<string,T>, or a named
+// struct type.
+type TypeExpr struct {
+	Kind TypeKind
+	Elem *TypeExpr // list element / map value
+	Name string    // struct type name for KindStruct
+	Pos  Pos
+}
+
+// TypeKind enumerates schema types.
+type TypeKind int
+
+// Schema type kinds.
+const (
+	KindBool TypeKind = iota
+	KindI32
+	KindI64
+	KindDouble
+	KindString
+	KindList
+	KindMap
+	KindStruct
+)
+
+// String renders the type in thrift-like syntax.
+func (t *TypeExpr) String() string {
+	switch t.Kind {
+	case KindBool:
+		return "bool"
+	case KindI32:
+		return "i32"
+	case KindI64:
+		return "i64"
+	case KindDouble:
+		return "double"
+	case KindString:
+		return "string"
+	case KindList:
+		return "list<" + t.Elem.String() + ">"
+	case KindMap:
+		return "map<string, " + t.Elem.String() + ">"
+	case KindStruct:
+		return t.Name
+	}
+	return "?"
+}
+
+// FieldDef is one schema field: `2: i32 priority = 0;`.
+type FieldDef struct {
+	ID      int
+	Type    *TypeExpr
+	Name    string
+	Default Expr // nil if none
+	Pos     Pos
+}
+
+// SchemaDef is a thrift-like struct schema. Extends names an optional base
+// schema whose fields (and validators) are inherited — the config
+// inheritance the paper lists as future work (§8).
+type SchemaDef struct {
+	Name    string
+	Extends string
+	Fields  []*FieldDef
+	Pos     Pos
+}
+
+// Field returns the field with the given name, or nil.
+func (s *SchemaDef) Field(name string) *FieldDef {
+	for _, f := range s.Fields {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// ---- Expressions ----
+
+// Expr is any expression node.
+type Expr interface{ exprPos() Pos }
+
+// LitExpr is a literal: int, float, string, bool, or null.
+type LitExpr struct {
+	Pos Pos
+	Val Value // pre-built runtime value
+}
+
+// IdentExpr references a binding.
+type IdentExpr struct {
+	Pos  Pos
+	Name string
+}
+
+// ListExpr is a list literal.
+type ListExpr struct {
+	Pos   Pos
+	Elems []Expr
+}
+
+// MapExpr is a map literal {key: value, ...}; keys are expressions that
+// must evaluate to strings.
+type MapExpr struct {
+	Pos    Pos
+	Keys   []Expr
+	Values []Expr
+}
+
+// StructExpr constructs a struct: Job{name: "x"}.
+type StructExpr struct {
+	Pos    Pos
+	Type   string
+	Names  []string
+	Values []Expr
+}
+
+// UpdateExpr is a struct-update: base{field: v} producing a modified copy.
+type UpdateExpr struct {
+	Pos    Pos
+	Base   Expr
+	Names  []string
+	Values []Expr
+}
+
+// FieldExpr accesses a struct field or map key: e.name.
+type FieldExpr struct {
+	Pos  Pos
+	Base Expr
+	Name string
+}
+
+// IndexExpr indexes a list or map: e[i].
+type IndexExpr struct {
+	Pos   Pos
+	Base  Expr
+	Index Expr
+}
+
+// CallExpr invokes a function: f(a, b).
+type CallExpr struct {
+	Pos  Pos
+	Fn   Expr
+	Args []Expr
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	Pos Pos
+	Op  string
+	X   Expr
+}
+
+// BinaryExpr is x op y.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   string
+	X, Y Expr
+}
+
+// CondExpr is cond ? a : b.
+type CondExpr struct {
+	Pos        Pos
+	Cond, A, B Expr
+}
+
+func (e *LitExpr) exprPos() Pos    { return e.Pos }
+func (e *IdentExpr) exprPos() Pos  { return e.Pos }
+func (e *ListExpr) exprPos() Pos   { return e.Pos }
+func (e *MapExpr) exprPos() Pos    { return e.Pos }
+func (e *StructExpr) exprPos() Pos { return e.Pos }
+func (e *UpdateExpr) exprPos() Pos { return e.Pos }
+func (e *FieldExpr) exprPos() Pos  { return e.Pos }
+func (e *IndexExpr) exprPos() Pos  { return e.Pos }
+func (e *CallExpr) exprPos() Pos   { return e.Pos }
+func (e *UnaryExpr) exprPos() Pos  { return e.Pos }
+func (e *BinaryExpr) exprPos() Pos { return e.Pos }
+func (e *CondExpr) exprPos() Pos   { return e.Pos }
+
+// ---- Statements ----
+
+// Stmt is any statement node.
+type Stmt interface{ stmtPos() Pos }
+
+// ImportStmt pulls every top-level binding of another module into scope.
+type ImportStmt struct {
+	Pos  Pos
+	Path string
+}
+
+// LetStmt binds (or rebinds) a name.
+type LetStmt struct {
+	Pos   Pos
+	Name  string
+	Value Expr
+}
+
+// AssignStmt rebinds an existing name (x = expr).
+type AssignStmt struct {
+	Pos   Pos
+	Name  string
+	Value Expr
+}
+
+// DefStmt defines a function.
+type DefStmt struct {
+	Pos    Pos
+	Name   string
+	Params []string
+	Body   []Stmt
+}
+
+// ValidatorStmt registers an invariant checker for a schema type.
+type ValidatorStmt struct {
+	Pos    Pos
+	Schema string
+	Param  string
+	Body   []Stmt
+}
+
+// ExportStmt marks the module's exported config value.
+type ExportStmt struct {
+	Pos   Pos
+	Value Expr
+}
+
+// AssertStmt checks an invariant.
+type AssertStmt struct {
+	Pos     Pos
+	Cond    Expr
+	Message Expr // optional
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// ForStmt iterates a list: for x in expr { ... }.
+type ForStmt struct {
+	Pos  Pos
+	Var  string
+	Seq  Expr
+	Body []Stmt
+}
+
+// ReturnStmt returns from a def.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr // nil means return null
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+func (s *ImportStmt) stmtPos() Pos    { return s.Pos }
+func (s *LetStmt) stmtPos() Pos       { return s.Pos }
+func (s *AssignStmt) stmtPos() Pos    { return s.Pos }
+func (s *DefStmt) stmtPos() Pos       { return s.Pos }
+func (s *ValidatorStmt) stmtPos() Pos { return s.Pos }
+func (s *ExportStmt) stmtPos() Pos    { return s.Pos }
+func (s *AssertStmt) stmtPos() Pos    { return s.Pos }
+func (s *IfStmt) stmtPos() Pos        { return s.Pos }
+func (s *ForStmt) stmtPos() Pos       { return s.Pos }
+func (s *ReturnStmt) stmtPos() Pos    { return s.Pos }
+func (s *ExprStmt) stmtPos() Pos      { return s.Pos }
+
+// Module is a parsed source file.
+type Module struct {
+	Path    string
+	Imports []*ImportStmt
+	Schemas []*SchemaDef
+	Stmts   []Stmt // everything in source order, including imports/schemas markers
+}

@@ -1,0 +1,347 @@
+package cdl
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func wantArgs(pos Pos, name string, args []Value, n int) error {
+	if len(args) != n {
+		return errf(pos, "%s expects %d args, got %d", name, n, len(args))
+	}
+	return nil
+}
+
+// baseEnv returns the root environment with all builtins bound.
+func baseEnv() *Env {
+	env := NewEnv(nil)
+	reg := func(name string, fn func(pos Pos, args []Value) (Value, error)) {
+		env.Define(name, &Builtin{Name: name, Fn: fn})
+	}
+
+	reg("len", func(pos Pos, args []Value) (Value, error) {
+		if err := wantArgs(pos, "len", args, 1); err != nil {
+			return nil, err
+		}
+		switch v := args[0].(type) {
+		case Str:
+			return Int(len(v)), nil
+		case List:
+			return Int(len(v)), nil
+		case Map:
+			return Int(len(v)), nil
+		}
+		return nil, errf(pos, "len: unsupported type %s", args[0].TypeName())
+	})
+	reg("str", func(pos Pos, args []Value) (Value, error) {
+		if err := wantArgs(pos, "str", args, 1); err != nil {
+			return nil, err
+		}
+		return Str(ToString(args[0])), nil
+	})
+	reg("int", func(pos Pos, args []Value) (Value, error) {
+		if err := wantArgs(pos, "int", args, 1); err != nil {
+			return nil, err
+		}
+		switch v := args[0].(type) {
+		case Int:
+			return v, nil
+		case Float:
+			return Int(int64(v)), nil
+		case Bool:
+			if v {
+				return Int(1), nil
+			}
+			return Int(0), nil
+		case Str:
+			n, err := strconv.ParseInt(strings.TrimSpace(string(v)), 10, 64)
+			if err != nil {
+				return nil, errf(pos, "int: cannot parse %q", string(v))
+			}
+			return Int(n), nil
+		}
+		return nil, errf(pos, "int: unsupported type %s", args[0].TypeName())
+	})
+	reg("float", func(pos Pos, args []Value) (Value, error) {
+		if err := wantArgs(pos, "float", args, 1); err != nil {
+			return nil, err
+		}
+		switch v := args[0].(type) {
+		case Int:
+			return Float(v), nil
+		case Float:
+			return v, nil
+		case Str:
+			f, err := strconv.ParseFloat(strings.TrimSpace(string(v)), 64)
+			if err != nil {
+				return nil, errf(pos, "float: cannot parse %q", string(v))
+			}
+			return Float(f), nil
+		}
+		return nil, errf(pos, "float: unsupported type %s", args[0].TypeName())
+	})
+	reg("keys", func(pos Pos, args []Value) (Value, error) {
+		if err := wantArgs(pos, "keys", args, 1); err != nil {
+			return nil, err
+		}
+		switch v := args[0].(type) {
+		case Map:
+			ks := make([]string, 0, len(v))
+			for k := range v {
+				ks = append(ks, k)
+			}
+			sort.Strings(ks)
+			out := make(List, len(ks))
+			for i, k := range ks {
+				out[i] = Str(k)
+			}
+			return out, nil
+		case *Struct:
+			ks := make([]string, 0, len(v.Fields))
+			for k := range v.Fields {
+				ks = append(ks, k)
+			}
+			sort.Strings(ks)
+			out := make(List, len(ks))
+			for i, k := range ks {
+				out[i] = Str(k)
+			}
+			return out, nil
+		}
+		return nil, errf(pos, "keys: unsupported type %s", args[0].TypeName())
+	})
+	reg("has", func(pos Pos, args []Value) (Value, error) {
+		if err := wantArgs(pos, "has", args, 2); err != nil {
+			return nil, err
+		}
+		key, ok := args[1].(Str)
+		if !ok {
+			return nil, errf(pos, "has: key must be string")
+		}
+		switch v := args[0].(type) {
+		case Map:
+			_, ok := v[string(key)]
+			return Bool(ok), nil
+		case *Struct:
+			_, ok := v.Fields[string(key)]
+			return Bool(ok), nil
+		}
+		return nil, errf(pos, "has: unsupported type %s", args[0].TypeName())
+	})
+	reg("range", func(pos Pos, args []Value) (Value, error) {
+		lo, hi := int64(0), int64(0)
+		switch len(args) {
+		case 1:
+			n, ok := args[0].(Int)
+			if !ok {
+				return nil, errf(pos, "range: want int")
+			}
+			hi = int64(n)
+		case 2:
+			a, aok := args[0].(Int)
+			b, bok := args[1].(Int)
+			if !aok || !bok {
+				return nil, errf(pos, "range: want ints")
+			}
+			lo, hi = int64(a), int64(b)
+		default:
+			return nil, errf(pos, "range expects 1 or 2 args")
+		}
+		if hi-lo > 1_000_000 {
+			return nil, errf(pos, "range too large: %d", hi-lo)
+		}
+		out := make(List, 0, max64(hi-lo, 0))
+		for i := lo; i < hi; i++ {
+			out = append(out, Int(i))
+		}
+		return out, nil
+	})
+	reg("min", varArgsNumeric("min", func(a, b float64) float64 { return math.Min(a, b) }))
+	reg("max", varArgsNumeric("max", func(a, b float64) float64 { return math.Max(a, b) }))
+	reg("abs", func(pos Pos, args []Value) (Value, error) {
+		if err := wantArgs(pos, "abs", args, 1); err != nil {
+			return nil, err
+		}
+		switch v := args[0].(type) {
+		case Int:
+			if v < 0 {
+				return -v, nil
+			}
+			return v, nil
+		case Float:
+			return Float(math.Abs(float64(v))), nil
+		}
+		return nil, errf(pos, "abs: unsupported type %s", args[0].TypeName())
+	})
+	reg("contains", func(pos Pos, args []Value) (Value, error) {
+		if err := wantArgs(pos, "contains", args, 2); err != nil {
+			return nil, err
+		}
+		switch v := args[0].(type) {
+		case Str:
+			sub, ok := args[1].(Str)
+			if !ok {
+				return nil, errf(pos, "contains: want string needle")
+			}
+			return Bool(strings.Contains(string(v), string(sub))), nil
+		case List:
+			for _, e := range v {
+				if Equal(e, args[1]) {
+					return Bool(true), nil
+				}
+			}
+			return Bool(false), nil
+		}
+		return nil, errf(pos, "contains: unsupported type %s", args[0].TypeName())
+	})
+	reg("startswith", func(pos Pos, args []Value) (Value, error) {
+		if err := wantArgs(pos, "startswith", args, 2); err != nil {
+			return nil, err
+		}
+		s, ok1 := args[0].(Str)
+		p, ok2 := args[1].(Str)
+		if !ok1 || !ok2 {
+			return nil, errf(pos, "startswith: want strings")
+		}
+		return Bool(strings.HasPrefix(string(s), string(p))), nil
+	})
+	reg("split", func(pos Pos, args []Value) (Value, error) {
+		if err := wantArgs(pos, "split", args, 2); err != nil {
+			return nil, err
+		}
+		s, ok1 := args[0].(Str)
+		sep, ok2 := args[1].(Str)
+		if !ok1 || !ok2 {
+			return nil, errf(pos, "split: want strings")
+		}
+		parts := strings.Split(string(s), string(sep))
+		out := make(List, len(parts))
+		for i, p := range parts {
+			out[i] = Str(p)
+		}
+		return out, nil
+	})
+	reg("join", func(pos Pos, args []Value) (Value, error) {
+		if err := wantArgs(pos, "join", args, 2); err != nil {
+			return nil, err
+		}
+		l, ok1 := args[0].(List)
+		sep, ok2 := args[1].(Str)
+		if !ok1 || !ok2 {
+			return nil, errf(pos, "join: want list and string")
+		}
+		parts := make([]string, len(l))
+		for i, e := range l {
+			parts[i] = ToString(e)
+		}
+		return Str(strings.Join(parts, string(sep))), nil
+	})
+	reg("format", func(pos Pos, args []Value) (Value, error) {
+		if len(args) < 1 {
+			return nil, errf(pos, "format expects at least 1 arg")
+		}
+		tmpl, ok := args[0].(Str)
+		if !ok {
+			return nil, errf(pos, "format: first arg must be a string")
+		}
+		var b strings.Builder
+		rest := args[1:]
+		i := 0
+		s := string(tmpl)
+		for len(s) > 0 {
+			idx := strings.Index(s, "{}")
+			if idx < 0 {
+				b.WriteString(s)
+				break
+			}
+			b.WriteString(s[:idx])
+			if i >= len(rest) {
+				return nil, errf(pos, "format: not enough args for placeholders")
+			}
+			b.WriteString(ToString(rest[i]))
+			i++
+			s = s[idx+2:]
+		}
+		return Str(b.String()), nil
+	})
+	reg("json", func(pos Pos, args []Value) (Value, error) {
+		if err := wantArgs(pos, "json", args, 1); err != nil {
+			return nil, err
+		}
+		s, err := MarshalJSON(args[0])
+		if err != nil {
+			return nil, errf(pos, "json: %v", err)
+		}
+		return Str(s), nil
+	})
+	reg("sorted", func(pos Pos, args []Value) (Value, error) {
+		if err := wantArgs(pos, "sorted", args, 1); err != nil {
+			return nil, err
+		}
+		l, ok := args[0].(List)
+		if !ok {
+			return nil, errf(pos, "sorted: want list")
+		}
+		out := make(List, len(l))
+		copy(out, l)
+		var sortErr error
+		sort.SliceStable(out, func(i, j int) bool {
+			a, aok := toFloat(out[i])
+			b, bok := toFloat(out[j])
+			if aok && bok {
+				return a < b
+			}
+			as, aok2 := out[i].(Str)
+			bs, bok2 := out[j].(Str)
+			if aok2 && bok2 {
+				return as < bs
+			}
+			sortErr = errf(pos, "sorted: mixed or unsupported element types")
+			return false
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+		return out, nil
+	})
+	return env
+}
+
+func varArgsNumeric(name string, combine func(a, b float64) float64) func(Pos, []Value) (Value, error) {
+	return func(pos Pos, args []Value) (Value, error) {
+		if len(args) < 2 {
+			return nil, errf(pos, "%s expects at least 2 args", name)
+		}
+		allInt := true
+		acc, ok := toFloat(args[0])
+		if !ok {
+			return nil, errf(pos, "%s: want numbers", name)
+		}
+		if _, isInt := args[0].(Int); !isInt {
+			allInt = false
+		}
+		for _, a := range args[1:] {
+			f, ok := toFloat(a)
+			if !ok {
+				return nil, errf(pos, "%s: want numbers", name)
+			}
+			if _, isInt := a.(Int); !isInt {
+				allInt = false
+			}
+			acc = combine(acc, f)
+		}
+		if allInt {
+			return Int(int64(acc)), nil
+		}
+		return Float(acc), nil
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,159 @@
+package cdl
+
+import (
+	"strings"
+	"testing"
+)
+
+// Error-path coverage for the builtin library: every builtin reports a
+// positioned, descriptive error on misuse instead of panicking.
+func TestBuiltinErrorPaths(t *testing.T) {
+	cases := []struct {
+		expr string
+		want string
+	}{
+		{`len(3)`, "len: unsupported"},
+		{`len()`, "expects 1 args"},
+		{`int("abc")`, "cannot parse"},
+		{`int([])`, "int: unsupported"},
+		{`float("xyz")`, "cannot parse"},
+		{`float(true)`, "float: unsupported"},
+		{`keys(3)`, "keys: unsupported"},
+		{`has(3, "k")`, "has: unsupported"},
+		{`has({}, 3)`, "key must be string"},
+		{`range("x")`, "range: want int"},
+		{`range(1, 2, 3)`, "range expects"},
+		{`range(0, 9999999)`, "range too large"},
+		{`min(1)`, "at least 2"},
+		{`min(1, "x")`, "want numbers"},
+		{`abs("x")`, "abs: unsupported"},
+		{`contains(3, 1)`, "contains: unsupported"},
+		{`contains("abc", 3)`, "want string needle"},
+		{`startswith(1, "a")`, "want strings"},
+		{`split(1, ",")`, "split: want strings"},
+		{`join("ab", ",")`, "join: want list"},
+		{`format(3)`, "first arg must be a string"},
+		{`format("{} {}", 1)`, "not enough args"},
+		{`sorted(3)`, "sorted: want list"},
+		{`sorted([1, "a"])`, "mixed or unsupported"},
+	}
+	for _, c := range cases {
+		_, err := EvalExpr(c.expr)
+		if err == nil {
+			t.Errorf("EvalExpr(%q) succeeded, want error containing %q", c.expr, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("EvalExpr(%q) err = %v, want substring %q", c.expr, err, c.want)
+		}
+	}
+}
+
+func TestBuiltinHappyPathsExtra(t *testing.T) {
+	cases := []struct {
+		expr string
+		want string
+	}{
+		{`int(2.9)`, "2"},
+		{`int(true)`, "1"},
+		{`int(false)`, "0"},
+		{`int(" 42 ")`, "42"},
+		{`float(3)`, "3"},
+		{`float("2.5")`, "2.5"},
+		{`str(3.5)`, `"3.5"`},
+		{`str(null)`, `"null"`},
+		{`str([1, 2])`, `"[1,2]"`},
+		{`abs(-4)`, "4"},
+		{`abs(-2.5)`, "2.5"},
+		{`min(2.5, 3)`, "2.5"},
+		{`max(1, 2, 3)`, "3"},
+		{`range(3)`, "[0,1,2]"},
+		{`keys({z: 1, a: 2})`, `["a","z"]`},
+		{`has({a: 1}, "b")`, "false"},
+		{`contains("hello", "ell")`, "true"},
+		{`startswith("hello", "he")`, "true"},
+		{`split("a,b,c", ",")`, `["a","b","c"]`},
+		{`join([1, 2], "-")`, `"1-2"`},
+		{`sorted(["b", "a"])`, `["a","b"]`},
+		{`sorted([2.5, 1])`, "[1,2.5]"},
+		{`json({a: 1})`, `"{\"a\":1}"`},
+		{`format("no placeholders")`, `"no placeholders"`},
+	}
+	for _, c := range cases {
+		v, err := EvalExpr(c.expr)
+		if err != nil {
+			t.Errorf("EvalExpr(%q): %v", c.expr, err)
+			continue
+		}
+		js, err := MarshalJSON(v)
+		if err != nil {
+			t.Errorf("MarshalJSON(%q): %v", c.expr, err)
+			continue
+		}
+		if js != c.want {
+			t.Errorf("EvalExpr(%q) = %s, want %s", c.expr, js, c.want)
+		}
+	}
+}
+
+func TestTypeNames(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null{}, "null"},
+		{Bool(true), "bool"},
+		{Int(1), "int"},
+		{Float(1), "float"},
+		{Str("s"), "string"},
+		{List{}, "list"},
+		{(*Func)(nil), "function"},
+	}
+	for _, c := range cases {
+		if got := c.v.TypeName(); got != c.want {
+			t.Errorf("TypeName(%T) = %q, want %q", c.v, got, c.want)
+		}
+	}
+	if (Map{}).TypeName() != "map" {
+		t.Error("map TypeName")
+	}
+	if (&Struct{Schema: "Job"}).TypeName() != "Job" {
+		t.Error("struct TypeName")
+	}
+	if (&Builtin{}).TypeName() != "builtin" {
+		t.Error("builtin TypeName")
+	}
+}
+
+func TestMapUpdateSyntax(t *testing.T) {
+	res := compileOne(t, MapFS{"a.cconf": `
+		let base = {a: 1, b: 2};
+		let extended = base{b: 20, c: 30};
+		export {orig: base, ext: extended};
+	`}, "a.cconf")
+	want := `{"ext":{"a":1,"b":20,"c":30},"orig":{"a":1,"b":2}}`
+	if string(res.JSON) != want {
+		t.Errorf("JSON = %s\nwant  %s", res.JSON, want)
+	}
+}
+
+func TestUpdateOnScalarErrors(t *testing.T) {
+	err := compileErr(t, MapFS{"a.cconf": `
+		let x = 5;
+		export {v: (x){f: 1}};
+	`}, "a.cconf")
+	if !strings.Contains(err.Error(), "cannot update fields") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTypeExprString(t *testing.T) {
+	fs := MapFS{"a.cconf": `
+		schema S { 1: map<string, list<i64>> m = {}; 2: double d = 0.0; 3: bool b = false; }
+		export S{};
+	`}
+	res := compileOne(t, fs, "a.cconf")
+	if string(res.JSON) != `{"b":false,"d":0,"m":{}}` {
+		t.Errorf("JSON = %s", res.JSON)
+	}
+}

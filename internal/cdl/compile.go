@@ -1,0 +1,286 @@
+package cdl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FileSystem is the source tree the compiler reads modules from. In
+// production flows it is backed by a vcs working copy; tests use MapFS.
+type FileSystem interface {
+	ReadFile(path string) ([]byte, error)
+}
+
+// MapFS is an in-memory FileSystem.
+type MapFS map[string]string
+
+// ReadFile implements FileSystem.
+func (m MapFS) ReadFile(path string) ([]byte, error) {
+	s, ok := m[path]
+	if !ok {
+		return nil, fmt.Errorf("cdl: no such file %q", path)
+	}
+	return []byte(s), nil
+}
+
+// Result is a compiled config artifact.
+type Result struct {
+	// Path is the source path that was compiled.
+	Path string
+	// JSON is the canonical JSON artifact checked into the repository
+	// alongside the source (§3.1: "the source code of config programs and
+	// generated JSON configs are stored in a version control tool").
+	JSON []byte
+	// Value is the normalized exported value (defaults filled).
+	Value Value
+	// SchemaName is the exported struct's schema ("" for schemaless
+	// exports such as plain maps).
+	SchemaName string
+	// Imports are the direct dependency edges of the root module.
+	Imports []string
+	// Deps are all transitively loaded module paths (excluding the root),
+	// sorted — the input to the Dependency Service.
+	Deps []string
+}
+
+// Compiler compiles CDL modules to canonical JSON configs.
+type Compiler struct {
+	FS FileSystem
+}
+
+// NewCompiler returns a compiler over the given source tree.
+func NewCompiler(fs FileSystem) *Compiler { return &Compiler{FS: fs} }
+
+type registeredValidator struct {
+	stmt *ValidatorStmt
+	env  *Env
+}
+
+// loadState tracks one compilation's module graph.
+type loadState struct {
+	comp       *Compiler
+	eval       *evaluator
+	global     *Env
+	modules    map[string]*Env // path -> module env (top-level bindings)
+	inProgress map[string]bool
+	order      []string
+	validators map[string][]registeredValidator
+}
+
+// Compile loads the module at path, resolves its imports transitively,
+// evaluates it, checks the exported value against its schema, runs all
+// validators, and emits canonical JSON.
+func (c *Compiler) Compile(path string) (*Result, error) {
+	st := &loadState{
+		comp:       c,
+		eval:       &evaluator{schemas: map[string]*SchemaDef{}, validators: map[string][]*ValidatorStmt{}},
+		global:     baseEnv(),
+		modules:    map[string]*Env{},
+		inProgress: map[string]bool{},
+		validators: map[string][]registeredValidator{},
+	}
+	mod, env, err := st.load(path)
+	if err != nil {
+		return nil, err
+	}
+	if !st.eval.hasExport {
+		return nil, errf(Pos{File: path, Line: 1, Col: 1}, "module exports nothing (missing `export`)")
+	}
+	exported := st.eval.exported
+	res := &Result{Path: path}
+	for _, im := range mod.Imports {
+		res.Imports = append(res.Imports, im.Path)
+	}
+	for _, p := range st.order {
+		if p != path {
+			res.Deps = append(res.Deps, p)
+		}
+	}
+	sort.Strings(res.Deps)
+
+	// Schema normalization for struct exports.
+	if s, ok := exported.(*Struct); ok {
+		sd, ok := st.eval.schemas[s.Schema]
+		if !ok {
+			return nil, errf(Pos{File: path, Line: 1, Col: 1}, "exported struct has unknown schema %q", s.Schema)
+		}
+		norm, err := st.eval.checkSchema(Pos{File: path, Line: 1, Col: 1}, s, sd, env)
+		if err != nil {
+			return nil, err
+		}
+		exported = norm
+		res.SchemaName = s.Schema
+	}
+
+	// Run validators over every struct instance in the exported tree. The
+	// Configerator compiler "automatically runs validators to verify
+	// invariants defined for configs" (§1) for every config of the type.
+	if err := st.runValidators(exported); err != nil {
+		return nil, err
+	}
+
+	js, err := MarshalJSON(exported)
+	if err != nil {
+		return nil, errf(Pos{File: path, Line: 1, Col: 1}, "%v", err)
+	}
+	res.JSON = []byte(js)
+	res.Value = exported
+	return res, nil
+}
+
+// load parses and evaluates one module (and, first, its imports).
+func (st *loadState) load(path string) (*Module, *Env, error) {
+	if env, ok := st.modules[path]; ok {
+		return nil, env, nil // already loaded; Module not needed again
+	}
+	if st.inProgress[path] {
+		return nil, nil, fmt.Errorf("cdl: import cycle through %q", path)
+	}
+	st.inProgress[path] = true
+	defer delete(st.inProgress, path)
+
+	src, err := st.comp.FS.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	mod, err := Parse(path, string(src))
+	if err != nil {
+		return nil, nil, err
+	}
+	env := NewEnv(st.global)
+
+	// Register schemas before evaluating statements so struct literals in
+	// the same file resolve.
+	for _, sd := range mod.Schemas {
+		if prev, ok := st.eval.schemas[sd.Name]; ok && prev != sd {
+			return nil, nil, errf(sd.Pos, "schema %q already defined at %s", sd.Name, prev.Pos)
+		}
+		st.eval.schemas[sd.Name] = sd
+	}
+
+	for _, stm := range mod.Stmts {
+		switch s := stm.(type) {
+		case *ImportStmt:
+			_, depEnv, err := st.load(s.Path)
+			if err != nil {
+				return nil, nil, err
+			}
+			// import binds every top-level name of the dependency, like
+			// the paper's import_python(path, "*").
+			for _, name := range depEnv.Names() {
+				v, _ := depEnv.Lookup(name)
+				env.Define(name, v)
+			}
+		case *ValidatorStmt:
+			st.eval.validators[s.Schema] = append(st.eval.validators[s.Schema], s)
+			st.validators[s.Schema] = append(st.validators[s.Schema], registeredValidator{stmt: s, env: env})
+		default:
+			if _, err := st.eval.exec(stm, env); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	st.modules[path] = env
+	st.order = append(st.order, path)
+	return mod, env, nil
+}
+
+// runValidators walks the value tree and applies every validator registered
+// for each struct's schema.
+func (st *loadState) runValidators(v Value) error {
+	switch x := v.(type) {
+	case *Struct:
+		// A derived schema inherits its ancestors' validators: a config
+		// of type Derived must satisfy Base's invariants too.
+		for _, schemaName := range st.schemaChain(x.Schema) {
+			for _, rv := range st.validators[schemaName] {
+				scope := NewEnv(rv.env)
+				scope.Define(rv.stmt.Param, x)
+				if _, err := st.eval.execBlock(rv.stmt.Body, scope); err != nil {
+					return fmt.Errorf("cdl: validator for %s: %w", schemaName, err)
+				}
+			}
+		}
+		// Deterministic field order for nested validation.
+		keys := make([]string, 0, len(x.Fields))
+		for k := range x.Fields {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := st.runValidators(x.Fields[k]); err != nil {
+				return err
+			}
+		}
+	case List:
+		for _, e := range x {
+			if err := st.runValidators(e); err != nil {
+				return err
+			}
+		}
+	case Map:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := st.runValidators(x[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// schemaChain lists a schema and its ancestors (self first). Cycles are
+// cut short here; resolveFields reports them as errors during checking.
+func (st *loadState) schemaChain(name string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for cur := name; cur != "" && !seen[cur]; {
+		seen[cur] = true
+		out = append(out, cur)
+		sd := st.eval.schemas[cur]
+		if sd == nil {
+			break
+		}
+		cur = sd.Extends
+	}
+	return out
+}
+
+// ListImports parses (without evaluating) and returns the module's direct
+// import paths — the cheap dependency-extraction entry point used by the
+// Dependency Service.
+func ListImports(file string, src []byte) ([]string, error) {
+	mod, err := Parse(file, string(src))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(mod.Imports))
+	for _, im := range mod.Imports {
+		out = append(out, im.Path)
+	}
+	return out, nil
+}
+
+// EvalExpr evaluates a standalone CDL expression with builtins available —
+// the engine behind Sitevars values, which are "a PHP expression" in the
+// paper and a CDL expression here.
+func EvalExpr(src string) (Value, error) {
+	toks, err := lexAll("<expr>", src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, file: "<expr>"}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, errf(p.cur().pos, "unexpected trailing input %q", p.cur().text)
+	}
+	ev := &evaluator{schemas: map[string]*SchemaDef{}, validators: map[string][]*ValidatorStmt{}}
+	return ev.eval(x, NewEnv(baseEnv()))
+}

@@ -1,0 +1,162 @@
+package cdl
+
+import (
+	"strings"
+	"testing"
+)
+
+// Config inheritance — the abstraction improvement the paper lists as
+// future work (§8), implemented here: `schema Derived extends Base`.
+
+var inheritFS = MapFS{
+	"base.cinc": `
+		schema Service {
+			1: string name;
+			2: i32 port = 8080;
+			3: bool tls = true;
+		}
+		validator Service(s) {
+			assert(len(s.name) > 0, "name required");
+			assert(s.port > 0 && s.port < 65536, "port range");
+		}
+	`,
+	"derived.cinc": `
+		import "base.cinc";
+		schema WebService extends Service {
+			4: i32 worker_threads = 8;
+			5: list<string> vhosts = [];
+		}
+		validator WebService(w) {
+			assert(w.worker_threads >= 1, "need workers");
+		}
+	`,
+}
+
+func withInherit(extra MapFS) MapFS {
+	fs := MapFS{}
+	for k, v := range inheritFS {
+		fs[k] = v
+	}
+	for k, v := range extra {
+		fs[k] = v
+	}
+	return fs
+}
+
+func TestInheritedFieldsAndDefaults(t *testing.T) {
+	fs := withInherit(MapFS{"web.cconf": `
+		import "derived.cinc";
+		export WebService{name: "frontend", vhosts: ["a.example"]};
+	`})
+	res := compileOne(t, fs, "web.cconf")
+	want := `{"name":"frontend","port":8080,"tls":true,"vhosts":["a.example"],"worker_threads":8}`
+	if string(res.JSON) != want {
+		t.Errorf("JSON = %s\nwant  %s", res.JSON, want)
+	}
+}
+
+func TestBaseFieldSettableOnDerived(t *testing.T) {
+	fs := withInherit(MapFS{"web.cconf": `
+		import "derived.cinc";
+		let w = WebService{name: "x", port: 9090};
+		let w2 = w{port: 9191, worker_threads: 16};
+		export {p: w2.port, t: w2.worker_threads};
+	`})
+	res := compileOne(t, fs, "web.cconf")
+	if string(res.JSON) != `{"p":9191,"t":16}` {
+		t.Errorf("JSON = %s", res.JSON)
+	}
+}
+
+func TestBaseValidatorRunsOnDerived(t *testing.T) {
+	fs := withInherit(MapFS{"web.cconf": `
+		import "derived.cinc";
+		export WebService{name: "x", port: 99999};
+	`})
+	err := compileErr(t, fs, "web.cconf")
+	if !strings.Contains(err.Error(), "port range") {
+		t.Errorf("base validator did not run: %v", err)
+	}
+}
+
+func TestDerivedValidatorRuns(t *testing.T) {
+	fs := withInherit(MapFS{"web.cconf": `
+		import "derived.cinc";
+		export WebService{name: "x", worker_threads: 0};
+	`})
+	err := compileErr(t, fs, "web.cconf")
+	if !strings.Contains(err.Error(), "need workers") {
+		t.Errorf("derived validator did not run: %v", err)
+	}
+}
+
+func TestUnknownFieldStillRejected(t *testing.T) {
+	fs := withInherit(MapFS{"web.cconf": `
+		import "derived.cinc";
+		export WebService{name: "x", prot: 1};
+	`})
+	err := compileErr(t, fs, "web.cconf")
+	if !strings.Contains(err.Error(), "no field") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExtendsUnknownBase(t *testing.T) {
+	fs := MapFS{"bad.cconf": `
+		schema D extends Missing { 1: i32 x = 0; }
+		export D{};
+	`}
+	err := compileErr(t, fs, "bad.cconf")
+	if !strings.Contains(err.Error(), "unknown schema") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestInheritanceCycleRejected(t *testing.T) {
+	fs := MapFS{"cyc.cconf": `
+		schema A extends B { 1: i32 x = 0; }
+		schema B extends A { 1: i32 y = 0; }
+		export A{};
+	`}
+	err := compileErr(t, fs, "cyc.cconf")
+	if !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFieldRedefinitionAcrossChainRejected(t *testing.T) {
+	fs := MapFS{"dup.cconf": `
+		schema Base { 1: i32 x = 0; }
+		schema D extends Base { 2: i32 x = 1; }
+		export D{};
+	`}
+	err := compileErr(t, fs, "dup.cconf")
+	if !strings.Contains(err.Error(), "redefined") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestThreeLevelChain(t *testing.T) {
+	fs := MapFS{"deep.cconf": `
+		schema A { 1: i32 a = 1; }
+		schema B extends A { 2: i32 b = 2; }
+		schema C extends B { 3: i32 c = 3; }
+		validator A(v) { assert(v.a > 0, "a positive"); }
+		export C{c: 30};
+	`}
+	res := compileOne(t, fs, "deep.cconf")
+	if string(res.JSON) != `{"a":1,"b":2,"c":30}` {
+		t.Errorf("JSON = %s", res.JSON)
+	}
+	bad := MapFS{"deep.cconf": `
+		schema A { 1: i32 a = 1; }
+		schema B extends A { 2: i32 b = 2; }
+		schema C extends B { 3: i32 c = 3; }
+		validator A(v) { assert(v.a > 0, "a positive"); }
+		export C{a: -1};
+	`}
+	err := compileErr(t, bad, "deep.cconf")
+	if !strings.Contains(err.Error(), "a positive") {
+		t.Errorf("grandparent validator did not run: %v", err)
+	}
+}

@@ -1,0 +1,119 @@
+package cdl
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genValue builds a random JSON-representable Value of bounded depth.
+func genValue(r *rand.Rand, depth int) Value {
+	max := 7
+	if depth <= 0 {
+		max = 5 // scalars only
+	}
+	switch r.Intn(max) {
+	case 0:
+		return Null{}
+	case 1:
+		return Bool(r.Intn(2) == 0)
+	case 2:
+		return Int(r.Int63n(1 << 40))
+	case 3:
+		return Float(r.NormFloat64() * 1000)
+	case 4:
+		b := make([]byte, r.Intn(12))
+		for i := range b {
+			b[i] = byte('a' + r.Intn(26))
+		}
+		return Str(b)
+	case 5:
+		n := r.Intn(4)
+		l := make(List, n)
+		for i := range l {
+			l[i] = genValue(r, depth-1)
+		}
+		return l
+	default:
+		n := r.Intn(4)
+		m := make(Map, n)
+		for i := 0; i < n; i++ {
+			key := string(rune('a'+r.Intn(26))) + string(rune('a'+r.Intn(26)))
+			m[key] = genValue(r, depth-1)
+		}
+		return m
+	}
+}
+
+// valueBox lets testing/quick drive our custom generator.
+type valueBox struct{ v Value }
+
+// Generate implements quick.Generator.
+func (valueBox) Generate(r *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(valueBox{v: genValue(r, 3)})
+}
+
+func TestQuickMarshalDeterministic(t *testing.T) {
+	err := quick.Check(func(b valueBox) bool {
+		s1, err1 := MarshalJSON(b.v)
+		s2, err2 := MarshalJSON(b.v)
+		return err1 == nil && err2 == nil && s1 == s2
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEqualReflexive(t *testing.T) {
+	err := quick.Check(func(b valueBox) bool {
+		return Equal(b.v, b.v)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEqualSymmetric(t *testing.T) {
+	err := quick.Check(func(a, b valueBox) bool {
+		return Equal(a.v, b.v) == Equal(b.v, a.v)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMarshalProducesValidJSON(t *testing.T) {
+	err := quick.Check(func(b valueBox) bool {
+		s, err := MarshalJSON(b.v)
+		return err == nil && json.Valid([]byte(s))
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTruthyTotal(t *testing.T) {
+	// Truthy never panics on any generated value.
+	err := quick.Check(func(b valueBox) bool {
+		_ = Truthy(b.v)
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCopyStructIndependent(t *testing.T) {
+	err := quick.Check(func(b valueBox) bool {
+		s := &Struct{Schema: "S", Fields: map[string]Value{"x": b.v}}
+		cp := CopyStruct(s)
+		cp.Fields["x"] = Int(-1)
+		got, ok := s.Fields["x"]
+		return ok && Equal(got, b.v)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,158 @@
+package cdl
+
+// Schema checking: every exported config is type-checked against its schema
+// (the thrift-defined data shape of §3.1), defaults are filled in for
+// omitted fields, and i32 range is enforced. This is the first of the
+// paper's layered defenses against configuration errors (§3.3) — an export
+// that does not conform never becomes a JSON artifact.
+
+import "math"
+
+// checkSchema verifies v against the schema set and returns a normalized
+// copy with defaults filled. schemas maps name -> def; the evaluator is
+// needed to evaluate default expressions.
+func (e *evaluator) checkSchema(pos Pos, v Value, sd *SchemaDef, env *Env) (Value, error) {
+	s, ok := v.(*Struct)
+	if !ok {
+		return nil, errf(pos, "expected struct %s, got %s", sd.Name, v.TypeName())
+	}
+	if s.Schema != sd.Name {
+		return nil, errf(pos, "expected struct %s, got %s", sd.Name, s.Schema)
+	}
+	fields, err := e.resolveFields(pos, sd)
+	if err != nil {
+		return nil, err
+	}
+	out := &Struct{Schema: sd.Name, Fields: make(map[string]Value, len(fields))}
+	for _, f := range fields {
+		fv, present := s.Fields[f.Name]
+		if !present || isNull(fv) {
+			if f.Default != nil {
+				dv, err := e.eval(f.Default, env)
+				if err != nil {
+					return nil, err
+				}
+				fv = dv
+			} else {
+				fv = zeroValue(f.Type)
+			}
+		}
+		cv, err := e.checkType(pos, fv, f.Type, env)
+		if err != nil {
+			return nil, errf(pos, "field %s.%s: %s", sd.Name, f.Name, err.(*Error).Msg)
+		}
+		out.Fields[f.Name] = cv
+	}
+	// Reject fields not in the schema (typo defense, §3.3 Type I errors).
+	known := make(map[string]bool, len(fields))
+	for _, f := range fields {
+		known[f.Name] = true
+	}
+	for name := range s.Fields {
+		if !known[name] {
+			return nil, errf(pos, "schema %s has no field %q", sd.Name, name)
+		}
+	}
+	return out, nil
+}
+
+func (e *evaluator) checkType(pos Pos, v Value, t *TypeExpr, env *Env) (Value, error) {
+	switch t.Kind {
+	case KindBool:
+		if b, ok := v.(Bool); ok {
+			return b, nil
+		}
+		return nil, errf(pos, "want bool, got %s", v.TypeName())
+	case KindI32:
+		i, ok := v.(Int)
+		if !ok {
+			return nil, errf(pos, "want i32, got %s", v.TypeName())
+		}
+		if int64(i) > math.MaxInt32 || int64(i) < math.MinInt32 {
+			return nil, errf(pos, "value %d out of i32 range", int64(i))
+		}
+		return i, nil
+	case KindI64:
+		if i, ok := v.(Int); ok {
+			return i, nil
+		}
+		return nil, errf(pos, "want i64, got %s", v.TypeName())
+	case KindDouble:
+		switch n := v.(type) {
+		case Float:
+			return n, nil
+		case Int:
+			return Float(n), nil // int literals are fine for double fields
+		}
+		return nil, errf(pos, "want double, got %s", v.TypeName())
+	case KindString:
+		if s, ok := v.(Str); ok {
+			return s, nil
+		}
+		return nil, errf(pos, "want string, got %s", v.TypeName())
+	case KindList:
+		l, ok := v.(List)
+		if !ok {
+			return nil, errf(pos, "want %s, got %s", t, v.TypeName())
+		}
+		out := make(List, len(l))
+		for i, el := range l {
+			cv, err := e.checkType(pos, el, t.Elem, env)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = cv
+		}
+		return out, nil
+	case KindMap:
+		m, ok := v.(Map)
+		if !ok {
+			return nil, errf(pos, "want %s, got %s", t, v.TypeName())
+		}
+		out := make(Map, len(m))
+		for k, el := range m {
+			cv, err := e.checkType(pos, el, t.Elem, env)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = cv
+		}
+		return out, nil
+	case KindStruct:
+		sd, ok := e.schemas[t.Name]
+		if !ok {
+			return nil, errf(pos, "unknown schema %q", t.Name)
+		}
+		return e.checkSchema(pos, v, sd, env)
+	}
+	return nil, errf(pos, "unknown type kind")
+}
+
+func isNull(v Value) bool {
+	_, ok := v.(Null)
+	return ok
+}
+
+// zeroValue is the thrift-like implicit default for a field without an
+// explicit one.
+func zeroValue(t *TypeExpr) Value {
+	switch t.Kind {
+	case KindBool:
+		return Bool(false)
+	case KindI32, KindI64:
+		return Int(0)
+	case KindDouble:
+		return Float(0)
+	case KindString:
+		return Str("")
+	case KindList:
+		return List{}
+	case KindMap:
+		return Map{}
+	case KindStruct:
+		// A nested struct with no default must be provided explicitly; the
+		// empty instance lets checkSchema fill its own field defaults.
+		return &Struct{Schema: t.Name, Fields: map[string]Value{}}
+	}
+	return Null{}
+}

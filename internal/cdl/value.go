@@ -1,0 +1,283 @@
+package cdl
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is a CDL runtime value. The set mirrors what JSON can express plus
+// functions (which exist only during evaluation and cannot be exported).
+type Value interface {
+	// TypeName is the human-readable type used in error messages.
+	TypeName() string
+}
+
+// Null is the null value.
+type Null struct{}
+
+// Bool is a boolean value.
+type Bool bool
+
+// Int is a 64-bit integer value.
+type Int int64
+
+// Float is a 64-bit floating point value.
+type Float float64
+
+// Str is a string value.
+type Str string
+
+// List is an ordered sequence.
+type List []Value
+
+// Map is a string-keyed map.
+type Map map[string]Value
+
+// Struct is an instance of a named schema.
+type Struct struct {
+	Schema string
+	Fields map[string]Value
+}
+
+// Func is a user-defined function closure.
+type Func struct {
+	Name    string
+	Params  []string
+	Body    []Stmt
+	Closure *Env
+}
+
+// Builtin is a native function.
+type Builtin struct {
+	Name string
+	Fn   func(pos Pos, args []Value) (Value, error)
+}
+
+// TypeName implementations.
+func (Null) TypeName() string      { return "null" }
+func (Bool) TypeName() string      { return "bool" }
+func (Int) TypeName() string       { return "int" }
+func (Float) TypeName() string     { return "float" }
+func (Str) TypeName() string       { return "string" }
+func (List) TypeName() string      { return "list" }
+func (Map) TypeName() string       { return "map" }
+func (s *Struct) TypeName() string { return s.Schema }
+func (*Func) TypeName() string     { return "function" }
+func (*Builtin) TypeName() string  { return "builtin" }
+
+// Truthy reports the boolean interpretation used by if/&&/||.
+func Truthy(v Value) bool {
+	switch x := v.(type) {
+	case Null:
+		return false
+	case Bool:
+		return bool(x)
+	case Int:
+		return x != 0
+	case Float:
+		return x != 0
+	case Str:
+		return x != ""
+	case List:
+		return len(x) > 0
+	case Map:
+		return len(x) > 0
+	default:
+		return true
+	}
+}
+
+// Equal reports deep value equality (numeric cross-type compare included).
+func Equal(a, b Value) bool {
+	switch x := a.(type) {
+	case Null:
+		_, ok := b.(Null)
+		return ok
+	case Bool:
+		y, ok := b.(Bool)
+		return ok && x == y
+	case Int:
+		switch y := b.(type) {
+		case Int:
+			return x == y
+		case Float:
+			return Float(x) == y
+		}
+		return false
+	case Float:
+		switch y := b.(type) {
+		case Float:
+			return x == y
+		case Int:
+			return x == Float(y)
+		}
+		return false
+	case Str:
+		y, ok := b.(Str)
+		return ok && x == y
+	case List:
+		y, ok := b.(List)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !Equal(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	case Map:
+		y, ok := b.(Map)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for k, v := range x {
+			yv, ok := y[k]
+			if !ok || !Equal(v, yv) {
+				return false
+			}
+		}
+		return true
+	case *Struct:
+		y, ok := b.(*Struct)
+		if !ok || x.Schema != y.Schema || len(x.Fields) != len(y.Fields) {
+			return false
+		}
+		for k, v := range x.Fields {
+			yv, ok := y.Fields[k]
+			if !ok || !Equal(v, yv) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// CopyStruct returns a shallow copy (field map cloned) for update exprs.
+func CopyStruct(s *Struct) *Struct {
+	f := make(map[string]Value, len(s.Fields))
+	for k, v := range s.Fields {
+		f[k] = v
+	}
+	return &Struct{Schema: s.Schema, Fields: f}
+}
+
+// ToString renders a value for str() and error messages.
+func ToString(v Value) string {
+	var b strings.Builder
+	writeString(&b, v)
+	return b.String()
+}
+
+func writeString(b *strings.Builder, v Value) {
+	switch x := v.(type) {
+	case Null:
+		b.WriteString("null")
+	case Bool:
+		fmt.Fprintf(b, "%v", bool(x))
+	case Int:
+		fmt.Fprintf(b, "%d", int64(x))
+	case Float:
+		b.WriteString(strconv.FormatFloat(float64(x), 'g', -1, 64))
+	case Str:
+		b.WriteString(string(x))
+	default:
+		b.WriteString(mustJSON(v))
+	}
+}
+
+// ---- Canonical JSON ----
+
+// MarshalJSON renders the value as canonical JSON: object keys sorted,
+// minimal float formatting, stable across runs. Every compiled config is
+// emitted this way so that recompiling unchanged source yields a
+// byte-identical JSON artifact (no spurious diffs in the repository).
+func MarshalJSON(v Value) (string, error) {
+	var b strings.Builder
+	if err := writeJSON(&b, v); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func mustJSON(v Value) string {
+	s, err := MarshalJSON(v)
+	if err != nil {
+		return "<" + err.Error() + ">"
+	}
+	return s
+}
+
+func writeJSON(b *strings.Builder, v Value) error {
+	switch x := v.(type) {
+	case Null:
+		b.WriteString("null")
+	case Bool:
+		if x {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	case Int:
+		b.WriteString(strconv.FormatInt(int64(x), 10))
+	case Float:
+		b.WriteString(strconv.FormatFloat(float64(x), 'g', -1, 64))
+	case Str:
+		b.WriteString(strconv.Quote(string(x)))
+	case List:
+		b.WriteByte('[')
+		for i, e := range x {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if err := writeJSON(b, e); err != nil {
+				return err
+			}
+		}
+		b.WriteByte(']')
+	case Map:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Quote(k))
+			b.WriteByte(':')
+			if err := writeJSON(b, x[k]); err != nil {
+				return err
+			}
+		}
+		b.WriteByte('}')
+	case *Struct:
+		keys := make([]string, 0, len(x.Fields))
+		for k := range x.Fields {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Quote(k))
+			b.WriteByte(':')
+			if err := writeJSON(b, x.Fields[k]); err != nil {
+				return err
+			}
+		}
+		b.WriteByte('}')
+	case *Func, *Builtin:
+		return fmt.Errorf("cdl: cannot serialize %s to JSON", v.TypeName())
+	default:
+		return fmt.Errorf("cdl: unknown value type %T", v)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+// Package ci models Sandcastle (§3.3): for a config change that affects
+// frontend products, "in a sandbox environment, the Sandcastle tool
+// automatically performs a comprehensive set of synthetic, continuous
+// integration tests of the site under the new config".
+//
+// The sandbox runs registered tests against the proposed change set. The
+// paper notes its blind spot — "continuous integration tests in a sandbox
+// can have broad coverage, but may miss config errors due to the
+// small-scale setup or other environment differences" — which the fault-
+// injection experiment (§6.4) reproduces: load-dependent Type II errors
+// pass the sandbox and are only caught (if at all) by large canary phases.
+package ci
+
+import (
+	"fmt"
+	"time"
+)
+
+// ChangeSet is the proposed config artifacts, path → JSON content.
+type ChangeSet map[string][]byte
+
+// Test is one synthetic integration test.
+type Test struct {
+	Name string
+	// Run inspects the proposed change set and returns an error on
+	// failure. Tests run in a sandbox: they see the change, not the fleet.
+	Run func(cs ChangeSet) error
+	// Cost is the test's contribution to wall-clock duration.
+	Cost time.Duration
+}
+
+// Result is the outcome of a sandbox run, posted to the review diff.
+type Result struct {
+	Passed   bool
+	Failures []string
+	Logs     []string
+	Duration time.Duration
+}
+
+// Sandbox is a Sandcastle instance with its registered test suite.
+type Sandbox struct {
+	tests []Test
+	// SetupCost models sandbox provisioning.
+	SetupCost time.Duration
+
+	// Runs counts sandbox executions.
+	Runs int
+}
+
+// NewSandbox returns a sandbox with the given provisioning cost.
+func NewSandbox(setupCost time.Duration) *Sandbox {
+	return &Sandbox{SetupCost: setupCost}
+}
+
+// Register adds a test to the suite.
+func (s *Sandbox) Register(t Test) { s.tests = append(s.tests, t) }
+
+// TestCount reports the number of registered tests.
+func (s *Sandbox) TestCount() int { return len(s.tests) }
+
+// Run executes the full suite against a change set.
+func (s *Sandbox) Run(cs ChangeSet) Result {
+	s.Runs++
+	res := Result{Passed: true, Duration: s.SetupCost}
+	for _, t := range s.tests {
+		res.Duration += t.Cost
+		if err := t.Run(cs); err != nil {
+			res.Passed = false
+			res.Failures = append(res.Failures, fmt.Sprintf("%s: %v", t.Name, err))
+			res.Logs = append(res.Logs, fmt.Sprintf("FAIL %s: %v", t.Name, err))
+		} else {
+			res.Logs = append(res.Logs, "PASS "+t.Name)
+		}
+	}
+	return res
+}

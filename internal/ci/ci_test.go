@@ -1,0 +1,77 @@
+package ci
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAllPass(t *testing.T) {
+	s := NewSandbox(time.Minute)
+	s.Register(Test{Name: "t1", Run: func(ChangeSet) error { return nil }, Cost: 30 * time.Second})
+	s.Register(Test{Name: "t2", Run: func(ChangeSet) error { return nil }, Cost: 30 * time.Second})
+	res := s.Run(ChangeSet{"a.json": []byte("{}")})
+	if !res.Passed || len(res.Failures) != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Duration != 2*time.Minute {
+		t.Errorf("Duration = %v", res.Duration)
+	}
+	if s.Runs != 1 || s.TestCount() != 2 {
+		t.Errorf("Runs=%d TestCount=%d", s.Runs, s.TestCount())
+	}
+}
+
+func TestFailureRecorded(t *testing.T) {
+	s := NewSandbox(0)
+	s.Register(Test{Name: "good", Run: func(ChangeSet) error { return nil }})
+	s.Register(Test{Name: "bad", Run: func(cs ChangeSet) error {
+		if _, ok := cs["required.json"]; !ok {
+			return errors.New("missing required config")
+		}
+		return nil
+	}})
+	res := s.Run(ChangeSet{"other.json": []byte("{}")})
+	if res.Passed {
+		t.Fatal("expected failure")
+	}
+	if len(res.Failures) != 1 || !strings.Contains(res.Failures[0], "bad:") {
+		t.Errorf("Failures = %v", res.Failures)
+	}
+	foundPass, foundFail := false, false
+	for _, l := range res.Logs {
+		if strings.HasPrefix(l, "PASS good") {
+			foundPass = true
+		}
+		if strings.HasPrefix(l, "FAIL bad") {
+			foundFail = true
+		}
+	}
+	if !foundPass || !foundFail {
+		t.Errorf("Logs = %v", res.Logs)
+	}
+}
+
+func TestChangeSetVisibleToTests(t *testing.T) {
+	s := NewSandbox(0)
+	var seen []string
+	s.Register(Test{Name: "inspect", Run: func(cs ChangeSet) error {
+		for p := range cs {
+			seen = append(seen, p)
+		}
+		return nil
+	}})
+	s.Run(ChangeSet{"x.json": []byte("1")})
+	if len(seen) != 1 || seen[0] != "x.json" {
+		t.Errorf("seen = %v", seen)
+	}
+}
+
+func TestEmptySuitePasses(t *testing.T) {
+	s := NewSandbox(time.Second)
+	res := s.Run(nil)
+	if !res.Passed || res.Duration != time.Second {
+		t.Errorf("res = %+v", res)
+	}
+}

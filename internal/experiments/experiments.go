@@ -1,0 +1,100 @@
+// Package experiments regenerates every table and figure from the paper's
+// evaluation (Section 6) plus the design-choice ablations listed in
+// DESIGN.md. Each experiment returns a Result holding the rendered
+// rows/series (the same shape the paper reports) and the key scalar
+// metrics that the benchmark assertions and EXPERIMENTS.md compare against
+// the published values.
+//
+// The root bench harness (bench_test.go) and cmd/benchreport both call
+// into this package, so the benchmarks and the written report can never
+// drift apart.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	// ID is the paper reference, e.g. "fig7", "table2", "sec6.4".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Text is the rendered rows/series.
+	Text string
+	// Metrics are the headline numbers (paper value vs measured).
+	Metrics map[string]float64
+	// PaperValues are the corresponding published numbers, keyed like
+	// Metrics, where the paper states one.
+	PaperValues map[string]float64
+}
+
+// metric registers a measured value with its paper counterpart (NaN-free;
+// use ok=false when the paper gives no number).
+func (r *Result) metric(name string, measured float64, paper float64, hasPaper bool) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = measured
+	if hasPaper {
+		if r.PaperValues == nil {
+			r.PaperValues = make(map[string]float64)
+		}
+		r.PaperValues[name] = paper
+	}
+}
+
+// Summary renders the paper-vs-measured comparison block.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	keys := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if paper, ok := r.PaperValues[k]; ok {
+			fmt.Fprintf(&b, "  %-44s paper=%-12.4g measured=%.4g\n", k, paper, r.Metrics[k])
+		} else {
+			fmt.Fprintf(&b, "  %-44s measured=%.4g\n", k, r.Metrics[k])
+		}
+	}
+	return b.String()
+}
+
+// Options scales the experiments; defaults are laptop-friendly.
+type Options struct {
+	Seed uint64
+	// Quick shrinks the slow simulations (used by `go test`).
+	Quick bool
+}
+
+// All runs every experiment in paper order.
+func All(opts Options) []Result {
+	return []Result{
+		Fig7ConfigGrowth(opts),
+		Fig8ConfigSizes(opts),
+		Fig9Freshness(opts),
+		Fig10AgeAtUpdate(opts),
+		Table1UpdatesPerConfig(opts),
+		Table2LineChanges(opts),
+		Table3CoAuthors(opts),
+		Fig11DailyCommits(opts),
+		Fig12HourlyCommits(opts),
+		Fig13CommitThroughput(opts),
+		Fig14PropagationLatency(opts),
+		Fig15GatekeeperChecks(opts),
+		Sec64ConfigErrors(opts),
+		PackageVesselDelivery(opts),
+		AblationPushVsPull(opts),
+		AblationLandingStrip(opts),
+		AblationMultiRepo(opts),
+		AblationP2PvsCentral(opts),
+		AblationGatekeeperOptimizer(opts),
+		AblationMobileDelta(opts),
+		ExtensionRiskAdvisor(opts),
+	}
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+var opts = Options{Seed: 42, Quick: true}
+
+func relClose(t *testing.T, r Result, key string, relTol float64) {
+	t.Helper()
+	paper, ok := r.PaperValues[key]
+	if !ok {
+		t.Fatalf("%s: no paper value for %s", r.ID, key)
+	}
+	got := r.Metrics[key]
+	if paper == 0 {
+		t.Fatalf("%s: paper value for %s is zero", r.ID, key)
+	}
+	if math.Abs(got-paper)/math.Abs(paper) > relTol {
+		t.Errorf("%s: %s = %.4g, paper %.4g (tol %.0f%%)", r.ID, key, got, paper, 100*relTol)
+	}
+}
+
+func TestFig7(t *testing.T) {
+	r := Fig7ConfigGrowth(opts)
+	relClose(t, r, "compiled_share_at_end", 0.10)
+	if r.Metrics["growth_second_half_vs_first"] <= 1.0 {
+		t.Errorf("growth not convex: %v", r.Metrics["growth_second_half_vs_first"])
+	}
+	if !strings.Contains(r.Text, "compiled") {
+		t.Error("missing series")
+	}
+}
+
+func TestFig8(t *testing.T) {
+	r := Fig8ConfigSizes(opts)
+	relClose(t, r, "raw_p50_bytes", 0.30)
+	relClose(t, r, "compiled_p50_bytes", 0.30)
+	relClose(t, r, "raw_p95_bytes", 0.35)
+	relClose(t, r, "compiled_p95_bytes", 0.35)
+}
+
+func TestFig9Fig10(t *testing.T) {
+	f9 := Fig9Freshness(opts)
+	if f9.Metrics["touched_within_90d"] < 0.1 || f9.Metrics["untouched_for_300d"] < 0.1 {
+		t.Errorf("freshness extremes lack mass: %+v", f9.Metrics)
+	}
+	f10 := Fig10AgeAtUpdate(opts)
+	if f10.Metrics["updates_on_configs_younger_60d"] < 0.1 ||
+		f10.Metrics["updates_on_configs_older_300d"] < 0.05 {
+		t.Errorf("age-at-update extremes lack mass: %+v", f10.Metrics)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	r := Table1UpdatesPerConfig(opts)
+	relClose(t, r, "compiled_written_once", 0.20)
+	relClose(t, r, "raw_written_once", 0.12)
+	relClose(t, r, "raw_automated_update_fraction", 0.05)
+	if r.Metrics["raw_top1pct_update_share"] <= r.Metrics["compiled_top1pct_update_share"] {
+		t.Error("raw updates must be more skewed than compiled")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	r := Table2LineChanges(opts)
+	relClose(t, r, "compiled_two_line_updates", 0.10)
+	relClose(t, r, "raw_two_line_updates", 0.10)
+}
+
+func TestTable3(t *testing.T) {
+	r := Table3CoAuthors(opts)
+	relClose(t, r, "compiled_single_author", 0.15)
+	relClose(t, r, "raw_single_author", 0.15)
+}
+
+func TestFig11(t *testing.T) {
+	r := Fig11DailyCommits(opts)
+	relClose(t, r, "configerator_weekend_ratio", 0.35)
+	if r.Metrics["configerator_weekend_ratio"] <= r.Metrics["www_weekend_ratio"] {
+		t.Error("configerator weekends must outpace www")
+	}
+}
+
+func TestFig12(t *testing.T) {
+	r := Fig12HourlyCommits(opts)
+	if r.Metrics["peak_to_trough_ratio"] < 3 {
+		t.Errorf("no diurnal pattern: %v", r.Metrics["peak_to_trough_ratio"])
+	}
+	if r.Metrics["night_floor_commits_per_hour"] <= 0 {
+		t.Error("automation floor missing")
+	}
+}
+
+func TestFig13(t *testing.T) {
+	r := Fig13CommitThroughput(opts)
+	relClose(t, r, "throughput_small_repo_per_min", 0.20)
+	relClose(t, r, "throughput_1M_files_per_min", 0.30)
+	if r.Metrics["slowdown_factor"] < 10 {
+		t.Errorf("slowdown = %v, want >> 1", r.Metrics["slowdown_factor"])
+	}
+}
+
+func TestFig14(t *testing.T) {
+	r := Fig14PropagationLatency(opts)
+	base := r.Metrics["baseline_latency_s"]
+	// Paper baseline 14.5 s; ours lacks the planetary-fanout 4.5 s term.
+	if base < 7 || base > 18 {
+		t.Errorf("baseline = %vs, want ~10-14.5", base)
+	}
+	if r.Metrics["peak_over_baseline"] < 1.5 {
+		t.Errorf("load pattern missing: peak/base = %v", r.Metrics["peak_over_baseline"])
+	}
+}
+
+func TestFig15(t *testing.T) {
+	r := Fig15GatekeeperChecks(opts)
+	if r.Metrics["single_core_checks_per_sec"] < 100_000 {
+		t.Errorf("check rate implausibly low: %v", r.Metrics["single_core_checks_per_sec"])
+	}
+	peak := r.Metrics["sitewide_peak_billion_per_sec"]
+	if peak < 0.5 || peak > 10 {
+		t.Errorf("site-wide peak = %v billion/s, want 'billions'", peak)
+	}
+}
+
+func TestSec64(t *testing.T) {
+	r := Sec64ConfigErrors(opts)
+	for _, k := range []string{"escape_share_type1", "escape_share_type2", "escape_share_type3"} {
+		paper := r.PaperValues[k]
+		got := r.Metrics[k]
+		if math.Abs(got-paper) > 0.22 {
+			t.Errorf("%s = %.2f, paper %.2f", k, got, paper)
+		}
+	}
+	if r.Metrics["validator_catches"] == 0 || r.Metrics["canary_phase2_catches"] == 0 {
+		t.Errorf("defense layers idle: %+v", r.Metrics)
+	}
+}
+
+func TestPackageVessel(t *testing.T) {
+	r := PackageVesselDelivery(opts)
+	if r.Metrics["slowest_server_seconds"] >= 240 {
+		t.Errorf("delivery took %vs, paper claims < 4 min", r.Metrics["slowest_server_seconds"])
+	}
+	if r.Metrics["same_cluster_chunk_fraction"] < 0.5 {
+		t.Errorf("locality fraction = %v", r.Metrics["same_cluster_chunk_fraction"])
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if s := AblationPushVsPull(opts).Metrics["pull_over_push_messages"]; s < 2 {
+		t.Errorf("push should need fewer messages: ratio %v", s)
+	}
+	if s := AblationLandingStrip(opts).Metrics["speedup"]; s < 2 {
+		t.Errorf("landing strip speedup = %v", s)
+	}
+	if s := AblationMultiRepo(opts).Metrics["speedup"]; s < 2 {
+		t.Errorf("multi-repo speedup = %v", s)
+	}
+	if s := AblationP2PvsCentral(opts).Metrics["speedup"]; s < 1.3 {
+		t.Errorf("p2p speedup = %v", s)
+	}
+	if s := AblationGatekeeperOptimizer(opts).Metrics["saving_factor"]; s < 3 {
+		t.Errorf("optimizer saving = %v", s)
+	}
+	if s := AblationMobileDelta(opts).Metrics["bandwidth_saving"]; s < 5 {
+		t.Errorf("mobile delta saving = %v", s)
+	}
+}
+
+func TestExtensionRiskAdvisor(t *testing.T) {
+	r := ExtensionRiskAdvisor(opts)
+	frac := r.Metrics["flagged_update_fraction"]
+	if frac <= 0.005 || frac >= 1.0 {
+		t.Errorf("flagged fraction = %.3f", frac)
+	}
+	if r.Metrics["dormant_flags_per_1000"] <= 0 {
+		t.Error("dormant-change signal never fired on a history where 35%% of configs go 300d untouched")
+	}
+	// The advisor's dormancy signal must agree with the independent
+	// analytic count over the same history.
+	if ratio := r.Metrics["dormant_vs_analytic_ratio"]; ratio < 0.99 || ratio > 1.01 {
+		t.Errorf("dormant_vs_analytic_ratio = %.3f, want 1.0", ratio)
+	}
+}
+
+func TestAllRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	results := All(opts)
+	if len(results) != 21 {
+		t.Fatalf("All returned %d results", len(results))
+	}
+	seen := make(map[string]bool)
+	for _, r := range results {
+		if r.ID == "" || r.Text == "" || len(r.Metrics) == 0 {
+			t.Errorf("incomplete result: %+v", r.ID)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate id %s", r.ID)
+		}
+		seen[r.ID] = true
+		if !strings.Contains(r.Summary(), r.ID) {
+			t.Errorf("summary missing id")
+		}
+	}
+}

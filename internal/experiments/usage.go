@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"configerator/internal/stats"
+	"configerator/internal/workload"
+)
+
+// sharedHistory caches the generated history per (seed, quick) so the
+// seven usage-statistics experiments analyze one population, exactly as
+// the paper's §6.1-6.2 statistics all describe one repository.
+var histCache = map[[2]uint64]*workload.History{}
+
+func history(opts Options) *workload.History {
+	key := [2]uint64{opts.Seed, 0}
+	if opts.Quick {
+		key[1] = 1
+	}
+	if h, ok := histCache[key]; ok {
+		return h
+	}
+	p := workload.Params{Seed: opts.Seed, Days: 1400, ScalePerDay: 2.0,
+		MigrationDay: 900, MigrationConfigs: 1500}
+	if opts.Quick {
+		p.ScalePerDay = 0.8
+		p.MigrationConfigs = 500
+	}
+	h := workload.Generate(p)
+	histCache[key] = h
+	return h
+}
+
+// Fig7ConfigGrowth reproduces Figure 7: the number of configs in the
+// repository over ~1400 days, compiled vs raw, with the Gatekeeper
+// migration step.
+func Fig7ConfigGrowth(opts Options) Result {
+	h := history(opts)
+	points := h.Fig7ConfigGrowth()
+	r := Result{ID: "fig7", Title: "Number of configs in the repository over time"}
+	var total, compiled stats.Series
+	total.Name = "total configs"
+	compiled.Name = "compiled configs"
+	var raw stats.Series
+	raw.Name = "raw configs"
+	for _, pt := range points {
+		total.Add(float64(pt.Day), float64(pt.Total))
+		compiled.Add(float64(pt.Day), float64(pt.Compiled))
+		raw.Add(float64(pt.Day), float64(pt.Raw))
+	}
+	last := points[len(points)-1]
+	mid := points[len(points)/2]
+	var b strings.Builder
+	b.WriteString(total.Sparkline(60) + "\n")
+	b.WriteString(compiled.Sparkline(60) + "\n")
+	b.WriteString(raw.Sparkline(60) + "\n")
+	fmt.Fprintf(&b, "day %4d: total=%d compiled=%d raw=%d\n", mid.Day, mid.Total, mid.Compiled, mid.Raw)
+	fmt.Fprintf(&b, "day %4d: total=%d compiled=%d raw=%d\n", last.Day, last.Total, last.Compiled, last.Raw)
+	r.Text = b.String()
+	r.metric("compiled_share_at_end", float64(last.Compiled)/float64(last.Total), 0.75, true)
+	r.metric("growth_second_half_vs_first", float64(last.Total-mid.Total)/float64(mid.Total), 0, false)
+	r.metric("migration_step_configs", float64(points[901].Total-points[899].Total), 0, false)
+	return r
+}
+
+// Fig8ConfigSizes reproduces Figure 8: the CDF of config size for raw and
+// compiled configs.
+func Fig8ConfigSizes(opts Options) Result {
+	h := history(opts)
+	raw, compiled := h.Fig8SizeCDFs()
+	r := Result{ID: "fig8", Title: "CDF of config size (bytes)"}
+	points := []float64{100, 200, 400, 800, 1000, 2000, 5000, 10000, 25000, 45000, 100000, 1000000}
+	var b strings.Builder
+	b.WriteString("size(B)\traw CDF\tcompiled CDF\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%7.0f\t%5.1f%%\t%5.1f%%\n", p,
+			100*raw.FractionAtMost(p), 100*compiled.FractionAtMost(p))
+	}
+	r.Text = b.String()
+	r.metric("raw_p50_bytes", raw.Quantile(0.5), 400, true)
+	r.metric("compiled_p50_bytes", compiled.Quantile(0.5), 1000, true)
+	r.metric("raw_p95_bytes", raw.Quantile(0.95), 25000, true)
+	r.metric("compiled_p95_bytes", compiled.Quantile(0.95), 45000, true)
+	return r
+}
+
+// Fig9Freshness reproduces Figure 9: days since each config was last
+// modified.
+func Fig9Freshness(opts Options) Result {
+	h := history(opts)
+	cdf := h.Fig9Freshness()
+	r := Result{ID: "fig9", Title: "Freshness of configs (days since last modified)"}
+	var b strings.Builder
+	b.WriteString("days\tCDF\n")
+	for _, d := range []float64{1, 5, 10, 20, 30, 60, 90, 120, 150, 200, 300, 400, 500, 600, 700} {
+		fmt.Fprintf(&b, "%4.0f\t%5.1f%%\n", d, 100*cdf.FractionAtMost(d))
+	}
+	r.Text = b.String()
+	r.metric("touched_within_90d", cdf.FractionAtMost(90), 0.28, true)
+	r.metric("untouched_for_300d", 1-cdf.FractionAtMost(300), 0.35, true)
+	return r
+}
+
+// Fig10AgeAtUpdate reproduces Figure 10: a config's age at update time.
+func Fig10AgeAtUpdate(opts Options) Result {
+	h := history(opts)
+	cdf := h.Fig10AgeAtUpdate()
+	r := Result{ID: "fig10", Title: "Age of a config at the time of an update (days)"}
+	var b strings.Builder
+	b.WriteString("age(days)\tCDF of updates\n")
+	for _, d := range []float64{1, 5, 10, 20, 30, 60, 90, 120, 150, 200, 300, 400, 500, 600, 700} {
+		fmt.Fprintf(&b, "%8.0f\t%5.1f%%\n", d, 100*cdf.FractionAtMost(d))
+	}
+	r.Text = b.String()
+	r.metric("updates_on_configs_younger_60d", cdf.FractionAtMost(60), 0.29, true)
+	r.metric("updates_on_configs_older_300d", 1-cdf.FractionAtMost(300), 0.29, true)
+	return r
+}
+
+// Table1UpdatesPerConfig reproduces Table 1.
+func Table1UpdatesPerConfig(opts Options) Result {
+	h := history(opts)
+	compiled, raw := h.Table1UpdatesPerConfig()
+	r := Result{ID: "table1", Title: "Number of times a config gets updated (writes in lifetime)"}
+	tab := stats.NewTable("", "writes", "compiled", "raw")
+	type row struct {
+		label  string
+		lo, hi int
+	}
+	rows := []row{{"1", 1, 1}, {"2", 2, 2}, {"3", 3, 3}, {"4", 4, 4},
+		{"[5,10]", 5, 10}, {"[11,100]", 11, 100}, {"[101,1000]", 101, 1000},
+		{"[1001,inf)", 1001, 1 << 30}}
+	for _, rw := range rows {
+		tab.AddRow(rw.label, compiled.FractionInRange(rw.lo, rw.hi), raw.FractionInRange(rw.lo, rw.hi))
+	}
+	r.Text = tab.String()
+	r.metric("compiled_written_once", compiled.FractionExactly(1), 0.250, true)
+	r.metric("raw_written_once", raw.FractionExactly(1), 0.569, true)
+	r.metric("raw_top1pct_update_share", h.TopUpdateShare(workload.KindRaw, 0.01), 0.928, true)
+	r.metric("compiled_top1pct_update_share", h.TopUpdateShare(workload.KindCompiled, 0.01), 0.645, true)
+	r.metric("raw_automated_update_fraction", h.AutomatedUpdateFraction(workload.KindRaw), 0.89, true)
+	return r
+}
+
+// Table2LineChanges reproduces Table 2.
+func Table2LineChanges(opts Options) Result {
+	h := history(opts)
+	compiled := h.Table2LineChanges(workload.KindCompiled)
+	raw := h.Table2LineChanges(workload.KindRaw)
+	r := Result{ID: "table2", Title: "Number of line changes in a config update"}
+	tab := stats.NewTable("", "lines", "compiled", "raw")
+	type row struct {
+		label  string
+		lo, hi int
+	}
+	rows := []row{{"1", 1, 1}, {"2", 2, 2}, {"[3,4]", 3, 4}, {"[5,6]", 5, 6},
+		{"[7,10]", 7, 10}, {"[11,50]", 11, 50}, {"[51,100]", 51, 100}, {"[101,inf)", 101, 1 << 30}}
+	for _, rw := range rows {
+		tab.AddRow(rw.label, compiled.FractionInRange(rw.lo, rw.hi), raw.FractionInRange(rw.lo, rw.hi))
+	}
+	r.Text = tab.String()
+	r.metric("compiled_two_line_updates", compiled.FractionExactly(2), 0.495, true)
+	r.metric("compiled_over_100_lines", compiled.FractionInRange(101, 1<<30), 0.087, true)
+	r.metric("raw_two_line_updates", raw.FractionExactly(2), 0.486, true)
+	return r
+}
+
+// Table3CoAuthors reproduces Table 3.
+func Table3CoAuthors(opts Options) Result {
+	h := history(opts)
+	compiled := h.Table3CoAuthors(workload.KindCompiled)
+	raw := h.Table3CoAuthors(workload.KindRaw)
+	r := Result{ID: "table3", Title: "Number of co-authors of configs"}
+	tab := stats.NewTable("", "authors", "compiled", "raw")
+	type row struct {
+		label  string
+		lo, hi int
+	}
+	rows := []row{{"1", 1, 1}, {"2", 2, 2}, {"3", 3, 3}, {"4", 4, 4},
+		{"[5,10]", 5, 10}, {"[11,50]", 11, 50}, {"[51,100]", 51, 100}, {"[101,inf)", 101, 1 << 30}}
+	for _, rw := range rows {
+		tab.AddRow(rw.label, compiled.FractionInRange(rw.lo, rw.hi), raw.FractionInRange(rw.lo, rw.hi))
+	}
+	r.Text = tab.String()
+	r.metric("compiled_single_author", compiled.FractionExactly(1), 0.495, true)
+	r.metric("raw_single_author", raw.FractionExactly(1), 0.700, true)
+	r.metric("compiled_1_2_authors", compiled.FractionInRange(1, 2), 0.796, true)
+	r.metric("raw_1_2_authors", raw.FractionInRange(1, 2), 0.915, true)
+	return r
+}

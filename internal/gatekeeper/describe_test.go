@@ -1,0 +1,70 @@
+package gatekeeper
+
+import (
+	"strings"
+	"testing"
+)
+
+func emp(p float64) RuleSpec {
+	return RuleSpec{Restraints: []RestraintSpec{{Name: "employee"}}, PassProbability: p}
+}
+
+func TestDescribeSamplingChange(t *testing.T) {
+	oldSpec := &ProjectSpec{Project: "X", Rules: []RuleSpec{emp(0.01)}}
+	newSpec := &ProjectSpec{Project: "X", Rules: []RuleSpec{emp(0.10)}}
+	lines := DescribeChange(oldSpec, newSpec)
+	// The paper's canonical example.
+	want := "Updated employee sampling from 1% to 10%"
+	if len(lines) != 1 || lines[0] != want {
+		t.Errorf("lines = %v, want [%q]", lines, want)
+	}
+}
+
+func TestDescribeCreateAndDelete(t *testing.T) {
+	spec := &ProjectSpec{Project: "X", Rules: []RuleSpec{emp(0.01)}}
+	created := DescribeChange(nil, spec)
+	if len(created) != 2 || !strings.Contains(created[0], "Created project") {
+		t.Errorf("created = %v", created)
+	}
+	deleted := DescribeChange(spec, nil)
+	if len(deleted) != 1 || !strings.Contains(deleted[0], "Deleted project") {
+		t.Errorf("deleted = %v", deleted)
+	}
+}
+
+func TestDescribeAddRemoveRules(t *testing.T) {
+	regional := RuleSpec{
+		Restraints:      []RestraintSpec{{Name: "region", Params: Params{"in": []string{"us-west"}}}},
+		PassProbability: 0.05,
+	}
+	oldSpec := &ProjectSpec{Project: "X", Rules: []RuleSpec{emp(1.0)}}
+	newSpec := &ProjectSpec{Project: "X", Rules: []RuleSpec{emp(1.0), regional}}
+	lines := DescribeChange(oldSpec, newSpec)
+	if len(lines) != 1 || !strings.Contains(lines[0], "Added rule") ||
+		!strings.Contains(lines[0], "region(in=[us-west])") {
+		t.Errorf("lines = %v", lines)
+	}
+	back := DescribeChange(newSpec, oldSpec)
+	if len(back) != 1 || !strings.Contains(back[0], "Removed 1 rule") {
+		t.Errorf("back = %v", back)
+	}
+}
+
+func TestDescribeNegatedConjunction(t *testing.T) {
+	r := RuleSpec{Restraints: []RestraintSpec{
+		{Name: "employee", Negate: true},
+		{Name: "country", Params: Params{"in": []string{"US"}}},
+	}, PassProbability: 0.5}
+	lines := DescribeChange(nil, &ProjectSpec{Project: "X", Rules: []RuleSpec{r}})
+	if !strings.Contains(lines[1], "NOT employee AND country(in=[US])") {
+		t.Errorf("lines = %v", lines)
+	}
+}
+
+func TestDescribeNoChange(t *testing.T) {
+	spec := &ProjectSpec{Project: "X", Rules: []RuleSpec{emp(0.5)}}
+	lines := DescribeChange(spec, spec)
+	if len(lines) != 1 || lines[0] != "No semantic change" {
+		t.Errorf("lines = %v", lines)
+	}
+}

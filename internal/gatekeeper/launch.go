@@ -1,0 +1,75 @@
+package gatekeeper
+
+import (
+	"fmt"
+
+	"configerator/internal/core"
+)
+
+// LaunchTool is the Gatekeeper Web UI's backend: product engineers adjust
+// a project's rules graphically, the tool converts the operations into
+// human-readable text for code review (footnote 1), and every change rides
+// the ordinary Configerator pipeline — version control, CI, canary —
+// before the new gating logic reaches the fleet as a JSON config update.
+type LaunchTool struct {
+	p *core.Pipeline
+	// PathPrefix locates project configs in the repository namespace.
+	PathPrefix string
+	current    map[string]*ProjectSpec
+}
+
+// NewLaunchTool builds the UI backend over a pipeline.
+func NewLaunchTool(p *core.Pipeline) *LaunchTool {
+	return &LaunchTool{p: p, PathPrefix: "gatekeeper/", current: make(map[string]*ProjectSpec)}
+}
+
+// ArtifactPath maps a project to its repository path.
+func (lt *LaunchTool) ArtifactPath(project string) string {
+	return lt.PathPrefix + project + ".json"
+}
+
+// ZeusPath maps a project to its distribution path; Gatekeeper runtimes
+// Bind to it.
+func (lt *LaunchTool) ZeusPath(project string) string {
+	return core.ZeusPath(lt.ArtifactPath(project))
+}
+
+// Current returns the last landed spec for a project (nil if none).
+func (lt *LaunchTool) Current(project string) *ProjectSpec { return lt.current[project] }
+
+// Update submits a project change. The returned report carries the
+// pipeline outcome; the human-readable change description is posted to the
+// review diff.
+func (lt *LaunchTool) Update(spec *ProjectSpec, author, reviewer string, opts ...core.Option) *core.ChangeReport {
+	notes := DescribeChange(lt.current[spec.Project], spec)
+	req := &core.ChangeRequest{
+		Author:      author,
+		Reviewer:    reviewer,
+		Title:       fmt.Sprintf("gatekeeper %s: %s", spec.Project, notes[0]),
+		Raws:        map[string][]byte{lt.ArtifactPath(spec.Project): spec.Encode()},
+		ReviewNotes: notes,
+	}
+	for _, o := range opts {
+		o(req)
+	}
+	report := lt.p.Submit(req)
+	if report.OK() {
+		lt.current[spec.Project] = spec
+	}
+	return report
+}
+
+// Launch walks a full staged rollout: each stage is one pipeline change;
+// the sequence stops at the first blocked stage. It returns the per-stage
+// reports.
+func (lt *LaunchTool) Launch(project, region, author, reviewer string, opts ...core.Option) []*core.ChangeReport {
+	var reports []*core.ChangeReport
+	for _, spec := range RolloutStages(project, region) {
+		rep := lt.Update(spec, author, reviewer, opts...)
+		reports = append(reports, rep)
+		if !rep.OK() {
+			break
+		}
+	}
+	return reports
+}

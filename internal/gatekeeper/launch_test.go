@@ -1,0 +1,94 @@
+package gatekeeper
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"configerator/internal/cluster"
+	"configerator/internal/core"
+)
+
+func launchRig(t *testing.T) (*LaunchTool, *cluster.Fleet) {
+	t.Helper()
+	fleet := cluster.New(cluster.SmallConfig(3, 33))
+	fleet.Net.RunFor(10 * time.Second)
+	p := core.New(core.Options{Fleet: fleet})
+	return NewLaunchTool(p), fleet
+}
+
+func TestLaunchToolEndToEnd(t *testing.T) {
+	lt, fleet := launchRig(t)
+	fleet.SubscribeAll(lt.ZeusPath("NewFeed"))
+
+	// Wire a runtime on one server, bound to the config path.
+	rt := NewRuntime(NewRegistry(nil))
+	srv := fleet.AllServers()[0]
+	rt.Bind(srv.Client, lt.ZeusPath("NewFeed"))
+
+	spec := &ProjectSpec{Project: "NewFeed", Rules: []RuleSpec{{
+		Restraints: []RestraintSpec{{Name: "employee"}}, PassProbability: 1,
+	}}}
+	rep := lt.Update(spec, "alice", "bob", core.SkipCanary())
+	if !rep.OK() {
+		t.Fatalf("update blocked at %s: %v", rep.FailedStage, rep.Err)
+	}
+	fleet.Net.RunFor(20 * time.Second)
+	u := &User{ID: 1, Employee: true, Now: fleet.Net.Now()}
+	if !rt.Check("NewFeed", u) {
+		t.Error("runtime did not pick up the launched project")
+	}
+	if lt.Current("NewFeed") != spec {
+		t.Error("Current not updated")
+	}
+}
+
+func TestLaunchToolReviewNotes(t *testing.T) {
+	lt, _ := launchRig(t)
+	spec1 := &ProjectSpec{Project: "X", Rules: []RuleSpec{{
+		Restraints: []RestraintSpec{{Name: "employee"}}, PassProbability: 0.01,
+	}}}
+	rep := lt.Update(spec1, "alice", "bob", core.SkipCanary())
+	if !rep.OK() {
+		t.Fatal(rep.Err)
+	}
+	spec2 := &ProjectSpec{Project: "X", Rules: []RuleSpec{{
+		Restraints: []RestraintSpec{{Name: "employee"}}, PassProbability: 0.10,
+	}}}
+	rep = lt.Update(spec2, "alice", "bob", core.SkipCanary())
+	if !rep.OK() {
+		t.Fatal(rep.Err)
+	}
+	d, err := lt.p.Review.Get(rep.DiffID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range d.Comments {
+		if strings.Contains(c, "Updated employee sampling from 1% to 10%") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("review comments = %v", d.Comments)
+	}
+}
+
+func TestLaunchSequence(t *testing.T) {
+	lt, fleet := launchRig(t)
+	fleet.SubscribeAll(lt.ZeusPath("Seq"))
+	reports := lt.Launch("Seq", "us-west", "alice", "bob", core.SkipCanary())
+	if len(reports) != 7 {
+		t.Fatalf("reports = %d, want 7 stages", len(reports))
+	}
+	for i, rep := range reports {
+		if !rep.OK() {
+			t.Fatalf("stage %d blocked: %v", i, rep.Err)
+		}
+	}
+	// The final committed spec is the global-100% one.
+	cur := lt.Current("Seq")
+	if cur == nil || len(cur.Rules) != 1 || cur.Rules[0].PassProbability != 1.0 {
+		t.Errorf("final spec = %+v", cur)
+	}
+}

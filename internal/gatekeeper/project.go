@@ -1,0 +1,233 @@
+package gatekeeper
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"configerator/internal/stats"
+)
+
+// RestraintSpec is one configured restraint instance within a rule. The
+// negation operator is built inside each restraint (§4): Negate flips the
+// result, giving the gating logic the full expressive power of DNF.
+type RestraintSpec struct {
+	Name   string `json:"name"`
+	Params Params `json:"params,omitempty"`
+	Negate bool   `json:"negate,omitempty"`
+}
+
+// RuleSpec is one if-statement: a conjunction of restraints plus the
+// probabilistic user sampling applied when the conjunction holds.
+type RuleSpec struct {
+	Restraints []RestraintSpec `json:"restraints"`
+	// PassProbability in [0,1]: rand(user_id) < p, deterministic per
+	// (project, user) so a user's experience is stable and raising p from
+	// 1% to 10% strictly grows the enabled set.
+	PassProbability float64 `json:"pass_probability"`
+}
+
+// ProjectSpec is the JSON shape of a Gatekeeper project config as stored
+// in Configerator.
+type ProjectSpec struct {
+	Project string     `json:"project"`
+	Rules   []RuleSpec `json:"rules"`
+}
+
+// ParseProjectSpec decodes a project config artifact.
+func ParseProjectSpec(data []byte) (*ProjectSpec, error) {
+	var spec ProjectSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, fmt.Errorf("gatekeeper: parsing project config: %w", err)
+	}
+	if spec.Project == "" {
+		return nil, fmt.Errorf("gatekeeper: project config missing \"project\"")
+	}
+	for i, rule := range spec.Rules {
+		if rule.PassProbability < 0 || rule.PassProbability > 1 {
+			return nil, fmt.Errorf("gatekeeper: rule %d pass_probability %v out of [0,1]",
+				i, rule.PassProbability)
+		}
+	}
+	return &spec, nil
+}
+
+// Encode renders the spec as its canonical JSON artifact.
+func (s *ProjectSpec) Encode() []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic("gatekeeper: encoding project spec: " + err.Error())
+	}
+	return b
+}
+
+// boundRestraint is a compiled restraint instance with runtime statistics.
+type boundRestraint struct {
+	spec RestraintSpec
+	impl *Restraint
+	// Execution statistics for cost-based optimization.
+	evals     uint64
+	trues     uint64
+	totalCost float64
+}
+
+func (b *boundRestraint) check(u *User) bool {
+	b.evals++
+	b.totalCost += b.impl.BaseCost
+	res := b.impl.Check(u, b.spec.Params)
+	if b.spec.Negate {
+		res = !res
+	}
+	if res {
+		b.trues++
+	}
+	return res
+}
+
+// probTrue estimates P(restraint passes) from observed stats (seeded at
+// 0.5 before data accumulates).
+func (b *boundRestraint) probTrue() float64 {
+	if b.evals < 32 {
+		return 0.5
+	}
+	return float64(b.trues) / float64(b.evals)
+}
+
+// rank orders restraints for evaluation within a conjunction: evaluate the
+// cheapest, most-likely-to-fail restraint first. A conjunction
+// short-circuits on the first false, so the expected cost of a restraint
+// scheduled first is cost/(1-P(true)) per pruned evaluation.
+func (b *boundRestraint) rank() float64 {
+	pFalse := 1 - b.probTrue()
+	const eps = 1e-3
+	return b.impl.BaseCost / (pFalse + eps)
+}
+
+// boundRule is a compiled if-statement.
+type boundRule struct {
+	restraints []*boundRestraint
+	passProb   float64
+	order      []int // evaluation order (indices into restraints)
+}
+
+// Project is a compiled Gatekeeper project: the boolean tree the runtime
+// evaluates on every gk_check.
+type Project struct {
+	Name  string
+	rules []*boundRule
+
+	// Checks and PassCount are exposure statistics.
+	Checks    uint64
+	PassCount uint64
+
+	optimizeEvery uint64
+}
+
+// Compile binds a spec's restraint names against the registry.
+func Compile(spec *ProjectSpec, reg *Registry) (*Project, error) {
+	p := &Project{Name: spec.Project, optimizeEvery: 1024}
+	for _, rs := range spec.Rules {
+		rule := &boundRule{passProb: rs.PassProbability}
+		for _, inst := range rs.Restraints {
+			impl, err := reg.Lookup(inst.Name)
+			if err != nil {
+				return nil, err
+			}
+			rule.restraints = append(rule.restraints, &boundRestraint{spec: inst, impl: impl})
+		}
+		rule.order = make([]int, len(rule.restraints))
+		for i := range rule.order {
+			rule.order[i] = i
+		}
+		p.rules = append(p.rules, rule)
+	}
+	return p, nil
+}
+
+// Check is gk_check(project, user): walk the if-statements in order; the
+// first rule whose conjunction holds casts the deterministic die.
+func (p *Project) Check(u *User) bool {
+	p.Checks++
+	if p.optimizeEvery > 0 && p.Checks%p.optimizeEvery == 0 {
+		p.Optimize()
+	}
+	for _, rule := range p.rules {
+		matched := true
+		for _, idx := range rule.order {
+			if !rule.restraints[idx].check(u) {
+				matched = false
+				break
+			}
+		}
+		if matched {
+			if sampleUser(p.Name, u.ID, rule.passProb) {
+				p.PassCount++
+				return true
+			}
+			return false
+		}
+	}
+	return false
+}
+
+// sampleUser is the paper's rand($user_id) < $pass_prob with a determinism
+// guarantee: the same (project, user) always lands on the same side for a
+// given probability, and increasing the probability only adds users.
+func sampleUser(project string, userID int64, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return stats.HashFloat(fmt.Sprintf("%s:%d", project, userID)) < p
+}
+
+// Optimize reorders each conjunction by the cost-based rank, like an SQL
+// engine reordering predicates (§4).
+func (p *Project) Optimize() {
+	for _, rule := range p.rules {
+		order := rule.order
+		// Insertion sort by rank: tiny lists, called often.
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0 && rule.restraints[order[j]].rank() < rule.restraints[order[j-1]].rank(); j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+	}
+}
+
+// SetOptimizeInterval tunes (or, with 0, disables) periodic reordering.
+func (p *Project) SetOptimizeInterval(every uint64) { p.optimizeEvery = every }
+
+// EvalOrder exposes the current evaluation order of rule i (tests).
+func (p *Project) EvalOrder(rule int) []string {
+	r := p.rules[rule]
+	out := make([]string, len(r.order))
+	for i, idx := range r.order {
+		out[i] = r.restraints[idx].spec.Name
+	}
+	return out
+}
+
+// RestraintEvals reports total restraint evaluations across rules — the
+// work metric the optimizer minimizes.
+func (p *Project) RestraintEvals() uint64 {
+	var n uint64
+	for _, r := range p.rules {
+		for _, b := range r.restraints {
+			n += b.evals
+		}
+	}
+	return n
+}
+
+// RestraintCost reports the total weighted evaluation cost.
+func (p *Project) RestraintCost() float64 {
+	var c float64
+	for _, r := range p.rules {
+		for _, b := range r.restraints {
+			c += b.totalCost
+		}
+	}
+	return c
+}

@@ -1,0 +1,117 @@
+package gatekeeper
+
+import (
+	"fmt"
+	"sort"
+
+	"configerator/internal/confclient"
+)
+
+// Runtime is the Gatekeeper runtime embedded in a product server (the
+// paper's HHVM extension): it holds the compiled projects, re-compiles a
+// project whenever its config changes, and serves gk_check calls.
+type Runtime struct {
+	registry *Registry
+	projects map[string]*Project
+
+	// Recompiles counts live project config swaps.
+	Recompiles uint64
+}
+
+// NewRuntime returns an empty runtime over the registry.
+func NewRuntime(reg *Registry) *Runtime {
+	return &Runtime{registry: reg, projects: make(map[string]*Project)}
+}
+
+// Load installs (or replaces) a project from its config artifact. Called
+// live when a config update arrives — no code upgrade.
+func (r *Runtime) Load(data []byte) error {
+	spec, err := ParseProjectSpec(data)
+	if err != nil {
+		return err
+	}
+	p, err := Compile(spec, r.registry)
+	if err != nil {
+		return err
+	}
+	r.projects[p.Name] = p
+	r.Recompiles++
+	return nil
+}
+
+// Check is gk_check($project, $user): false for unknown projects (a
+// product must fail closed when its gate config has not arrived).
+func (r *Runtime) Check(project string, u *User) bool {
+	p, ok := r.projects[project]
+	if !ok {
+		return false
+	}
+	return p.Check(u)
+}
+
+// Project returns a loaded project (nil if absent).
+func (r *Runtime) Project(name string) *Project { return r.projects[name] }
+
+// Projects lists loaded project names, sorted.
+func (r *Runtime) Projects() []string {
+	out := make([]string, 0, len(r.projects))
+	for n := range r.projects {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bind subscribes the runtime to a project's config path so that config
+// updates rebuild the boolean tree live (bottom of Figure 3: the new
+// config is delivered to production servers and the Gatekeeper runtime
+// reads it).
+func (r *Runtime) Bind(client *confclient.Client, path string) {
+	client.Subscribe(path, func(cfg *confclient.Config) {
+		// A malformed artifact is ignored; the previous tree keeps
+		// serving (availability over freshness).
+		_ = r.Load(cfg.Raw)
+	})
+}
+
+// RolloutStages builds the spec sequence for a typical staged launch
+// (§4): employees 1%→10%→100%, then a regional slice, then global
+// 1%→10%→100%. Each stage is one config update.
+func RolloutStages(project, region string) []*ProjectSpec {
+	employee := func(p float64) RuleSpec {
+		return RuleSpec{
+			Restraints:      []RestraintSpec{{Name: "employee"}},
+			PassProbability: p,
+		}
+	}
+	regional := func(p float64) RuleSpec {
+		return RuleSpec{
+			Restraints:      []RestraintSpec{{Name: "region", Params: Params{"in": []string{region}}}},
+			PassProbability: p,
+		}
+	}
+	global := func(p float64) RuleSpec {
+		return RuleSpec{
+			Restraints:      []RestraintSpec{{Name: "always"}},
+			PassProbability: p,
+		}
+	}
+	mk := func(rules ...RuleSpec) *ProjectSpec {
+		return &ProjectSpec{Project: project, Rules: rules}
+	}
+	return []*ProjectSpec{
+		mk(employee(0.01)),
+		mk(employee(0.10)),
+		mk(employee(1.0)),
+		mk(employee(1.0), regional(0.05)),
+		mk(employee(1.0), regional(0.05), global(0.01)),
+		mk(employee(1.0), regional(0.05), global(0.10)),
+		mk(global(1.0)),
+	}
+}
+
+// String summarizes runtime state.
+func (r *Runtime) String() string {
+	return fmt.Sprintf("gatekeeper.Runtime{projects: %d, recompiles: %d}",
+		len(r.projects), r.Recompiles)
+}

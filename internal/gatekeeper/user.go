@@ -1,0 +1,35 @@
+// Package gatekeeper implements Gatekeeper (§4): staged rollout of product
+// features and A/B experiments through live config changes.
+//
+// A Gatekeeper project is gating logic in disjunctive normal form: an
+// ordered list of if-statements whose conditions are conjunctions of
+// restraints (employee? country? device model? laser score above T?), each
+// with a configurable pass probability that samples users
+// deterministically. Restraints are statically implemented (hundreds exist
+// at Facebook; ~20 here); projects are composed from them dynamically
+// through configuration, so the rollout target changes with a config
+// update and no code push. The runtime reads the project config, builds a
+// boolean tree, and — like an SQL engine doing cost-based optimization —
+// uses execution statistics (restraint cost and probability of returning
+// true) to evaluate the tree efficiently.
+package gatekeeper
+
+import "time"
+
+// User is the evaluation context for one gate check: the viewer and
+// environment attributes restraints inspect.
+type User struct {
+	ID          int64
+	Employee    bool
+	Country     string
+	Region      string
+	Locale      string
+	App         string // product binary: "www", "fb4a", "messenger", ...
+	Platform    string // "www", "ios", "android"
+	AppVersion  int    // monotone build number
+	DeviceModel string
+	AccountAge  time.Duration
+	FriendCount int
+	// Now is the check time (virtual time in simulations).
+	Now time.Time
+}

@@ -1,0 +1,70 @@
+package health
+
+import (
+	"math"
+	"testing"
+
+	"configerator/internal/simnet"
+)
+
+func TestMean(t *testing.T) {
+	samples := []Sample{
+		{MetricErrorRate: 0.01},
+		{MetricErrorRate: 0.03},
+		{MetricLatencyMs: 50}, // no error_rate: excluded, not zero
+	}
+	m, ok := Mean(samples, MetricErrorRate)
+	if !ok || math.Abs(m-0.02) > 1e-12 {
+		t.Errorf("Mean = %v, %v", m, ok)
+	}
+	if _, ok := Mean(samples, "unknown"); ok {
+		t.Error("unknown metric should report no data")
+	}
+}
+
+func TestCompareRelDelta(t *testing.T) {
+	test := []Sample{{MetricErrorRate: 0.03}}
+	control := []Sample{{MetricErrorRate: 0.02}}
+	c := Compare(test, control, MetricErrorRate)
+	if !c.Valid {
+		t.Fatal("not valid")
+	}
+	if math.Abs(c.RelDelta-0.5) > 1e-9 {
+		t.Errorf("RelDelta = %v, want 0.5", c.RelDelta)
+	}
+}
+
+func TestCompareZeroControl(t *testing.T) {
+	c := Compare([]Sample{{MetricCrashRate: 0.1}}, []Sample{{MetricCrashRate: 0}}, MetricCrashRate)
+	if !math.IsInf(c.RelDelta, 1) {
+		t.Errorf("RelDelta = %v, want +Inf", c.RelDelta)
+	}
+	c = Compare([]Sample{{MetricCrashRate: 0}}, []Sample{{MetricCrashRate: 0}}, MetricCrashRate)
+	if c.RelDelta != 0 {
+		t.Errorf("0/0 RelDelta = %v, want 0", c.RelDelta)
+	}
+}
+
+func TestCompareMissingData(t *testing.T) {
+	c := Compare(nil, []Sample{{MetricCTR: 0.1}}, MetricCTR)
+	if c.Valid {
+		t.Error("comparison with empty test group must be invalid")
+	}
+}
+
+func TestCompareNegativeDelta(t *testing.T) {
+	// CTR drops 20%.
+	c := Compare([]Sample{{MetricCTR: 0.08}}, []Sample{{MetricCTR: 0.10}}, MetricCTR)
+	if math.Abs(c.RelDelta+0.2) > 1e-9 {
+		t.Errorf("RelDelta = %v, want -0.2", c.RelDelta)
+	}
+}
+
+func TestCollectorFunc(t *testing.T) {
+	var c Collector = CollectorFunc(func(server simnet.NodeID) Sample {
+		return Sample{MetricLatencyMs: 42}
+	})
+	if got := c.Sample("web-1")[MetricLatencyMs]; got != 42 {
+		t.Errorf("Sample = %v", got)
+	}
+}

@@ -1,0 +1,158 @@
+package landingstrip
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"configerator/internal/vclock"
+	"configerator/internal/vcs"
+)
+
+var t0 = vclock.Epoch
+
+func mkDiff(repo *vcs.Repository, author, path, content string) *vcs.Diff {
+	wc := repo.Clone(author)
+	wc.Write(path, []byte(content))
+	return wc.Diff("change " + path)
+}
+
+func TestStripLandsStaleDisjointDiffs(t *testing.T) {
+	repo := vcs.NewRepository("shared")
+	strip := New(repo, vcs.DefaultCostModel())
+	// Both diffs are cut against the same (empty) head.
+	dA := mkDiff(repo, "alice", "feed/a", "1")
+	dB := mkDiff(repo, "bob", "tao/b", "2")
+	rA := strip.Submit(dA, t0)
+	rB := strip.Submit(dB, t0)
+	if rA.Err != nil || rB.Err != nil {
+		t.Fatalf("errs: %v %v", rA.Err, rB.Err)
+	}
+	if repo.CommitCount() != 2 || strip.Landed != 2 {
+		t.Errorf("commits=%d landed=%d", repo.CommitCount(), strip.Landed)
+	}
+}
+
+func TestStripRejectsTrueConflict(t *testing.T) {
+	repo := vcs.NewRepository("shared")
+	repo.CommitChanges("seed", "seed", t0, vcs.Change{Path: "f", Content: []byte("v0")})
+	strip := New(repo, vcs.DefaultCostModel())
+	dA := mkDiff(repo, "alice", "f", "alice")
+	dB := mkDiff(repo, "bob", "f", "bob")
+	if r := strip.Submit(dA, t0); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	r := strip.Submit(dB, t0)
+	if !errors.Is(r.Err, vcs.ErrConflict) {
+		t.Fatalf("err = %v, want ErrConflict", r.Err)
+	}
+	if strip.Rejected != 1 {
+		t.Errorf("Rejected = %d", strip.Rejected)
+	}
+}
+
+func TestStripSerializesFCFS(t *testing.T) {
+	repo := vcs.NewRepository("shared")
+	strip := New(repo, vcs.DefaultCostModel())
+	// Three diffs arrive at the same instant; they queue.
+	var finishes []time.Time
+	for i, who := range []string{"a", "b", "c"} {
+		d := mkDiff(repo, who, "f"+who, "x")
+		r := strip.Submit(d, t0)
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		finishes = append(finishes, r.Finish)
+		if i > 0 && r.Queued == 0 {
+			t.Errorf("diff %d did not queue", i)
+		}
+	}
+	if !(finishes[0].Before(finishes[1]) && finishes[1].Before(finishes[2])) {
+		t.Errorf("finishes not ordered: %v", finishes)
+	}
+}
+
+func TestStripIdleResetsQueue(t *testing.T) {
+	repo := vcs.NewRepository("shared")
+	strip := New(repo, vcs.DefaultCostModel())
+	r1 := strip.Submit(mkDiff(repo, "a", "f1", "x"), t0)
+	// Next arrival is long after the strip is idle: no queueing.
+	r2 := strip.Submit(mkDiff(repo, "b", "f2", "x"), r1.Finish.Add(time.Hour))
+	if r2.Queued != 0 {
+		t.Errorf("Queued = %v, want 0", r2.Queued)
+	}
+}
+
+func TestCommitCostGrowsWithRepo(t *testing.T) {
+	repo := vcs.NewRepository("shared")
+	strip := New(repo, vcs.DefaultCostModel())
+	small := strip.Submit(mkDiff(repo, "a", "f", "x"), t0).Work
+	// Inflate the repository.
+	var changes []vcs.Change
+	for i := 0; i < 50000; i++ {
+		changes = append(changes, vcs.Change{Path: pathN(i), Content: []byte("y")})
+	}
+	repo.CommitChanges("bulk", "bulk", t0, changes...)
+	large := strip.Submit(mkDiff(repo, "a", "g", "x"), t0.Add(time.Hour)).Work
+	if large <= small {
+		t.Errorf("work did not grow: %v vs %v", small, large)
+	}
+}
+
+func pathN(i int) string {
+	return "bulk/" + string(rune('a'+i%26)) + "/" + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestDirectPushPaysUpdateOnContention(t *testing.T) {
+	repo := vcs.NewRepository("shared")
+	cost := vcs.DefaultCostModel()
+	wc := repo.Clone("alice")
+	wc.Write("feed/a", []byte("1"))
+	// Bob lands first, making alice's clone stale.
+	repo.CommitChanges("bob", "race", t0, vcs.Change{Path: "tao/b", Content: []byte("2")})
+	res, attempts := DirectPush(repo, cost, wc, "alice's diff", t0)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if attempts != 2 {
+		t.Errorf("attempts = %d, want 2 (one stale, one clean)", attempts)
+	}
+	// The direct path must be slower than a strip landing of the same
+	// stale diff (which skips the update entirely).
+	strip := New(vcs.NewRepository("other"), cost)
+	wc2 := strip.Repo().Clone("alice")
+	wc2.Write("feed/a", []byte("1"))
+	strip.Repo().CommitChanges("bob", "race", t0, vcs.Change{Path: "tao/b", Content: []byte("2")})
+	stripRes := strip.Submit(wc2.Diff("alice's diff"), t0)
+	if stripRes.Err != nil {
+		t.Fatal(stripRes.Err)
+	}
+	if res.Finish.Sub(res.Start) <= stripRes.Latency() {
+		t.Errorf("direct push (%v) should cost more than strip (%v)",
+			res.Finish.Sub(res.Start), stripRes.Latency())
+	}
+}
+
+func TestDirectPushConflict(t *testing.T) {
+	repo := vcs.NewRepository("shared")
+	repo.CommitChanges("seed", "seed", t0, vcs.Change{Path: "f", Content: []byte("v0")})
+	wc := repo.Clone("alice")
+	wc.Write("f", []byte("alice"))
+	repo.CommitChanges("bob", "race", t0, vcs.Change{Path: "f", Content: []byte("bob")})
+	res, _ := DirectPush(repo, vcs.DefaultCostModel(), wc, "m", t0)
+	if !errors.Is(res.Err, vcs.ErrConflict) {
+		t.Fatalf("err = %v, want ErrConflict", res.Err)
+	}
+}

@@ -1,0 +1,85 @@
+package packagevessel
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"configerator/internal/cluster"
+	"configerator/internal/confclient"
+	"configerator/internal/core"
+	"configerator/internal/simnet"
+)
+
+// TestMetadataThroughConfigerator wires the full hybrid subscription-P2P
+// model of §3.5: the package metadata is a small config landed through the
+// pipeline, distributed by Zeus to every server's proxy, and each server's
+// subscription callback hands it to the local PackageVessel agent, which
+// then swarms the bulk content. Publishing a new model version is nothing
+// but another config change.
+func TestMetadataThroughConfigerator(t *testing.T) {
+	fleet := cluster.New(cluster.SmallConfig(6, 77)) // 24 servers
+	fleet.Net.RunFor(10 * time.Second)
+	p := core.New(core.Options{Fleet: fleet})
+
+	// Storage + tracker live beside the fleet.
+	storage := NewStorage(fleet.Net, "pv-storage", simnet.Placement{Region: "us-west", Cluster: "store"})
+	fleet.Net.SetBandwidth("pv-storage", 1.25e8, 1.25e8)
+	tracker := NewTracker(fleet.Net, "pv-tracker", simnet.Placement{Region: "us-west", Cluster: "store"})
+
+	const metaPath = "models/ranker.meta.json"
+	zpath := core.ZeusPath(metaPath)
+	fleet.SubscribeAll(zpath)
+
+	// One PackageVessel agent per server, fed by the server's proxy
+	// subscription to the metadata config.
+	completed := 0
+	var agents []*Agent
+	for i, srv := range fleet.AllServers() {
+		agent := NewAgent(fleet.Net, simnet.NodeID(fmt.Sprintf("pv-agent-%d", i)), srv.Placement)
+		fleet.Net.SetBandwidth(simnet.NodeID(fmt.Sprintf("pv-agent-%d", i)), 1.25e8, 1.25e8)
+		agent.OnComplete(func(Metadata, time.Duration) { completed++ })
+		a := agent
+		srv.Client.Subscribe(zpath, func(cfg *confclient.Config) {
+			a.OnMetadata(cfg.Raw)
+		})
+		agents = append(agents, agent)
+	}
+
+	publish := func(version int64) {
+		meta := storage.Upload(tracker, "ranker", version, 24<<20, DefaultChunkSize, "pv-tracker")
+		rep := p.Submit(&core.ChangeRequest{
+			Author: "model-publisher", Reviewer: "oncall",
+			Title:      fmt.Sprintf("publish ranker v%d", version),
+			Raws:       map[string][]byte{metaPath: meta.Encode()},
+			SkipCanary: true,
+		})
+		if !rep.OK() {
+			t.Fatalf("publish v%d blocked: %v", version, rep.Err)
+		}
+	}
+
+	publish(1)
+	fleet.Net.RunFor(3 * time.Minute)
+	if completed != len(agents) {
+		t.Fatalf("v1: %d of %d agents complete", completed, len(agents))
+	}
+	for i, a := range agents {
+		if !a.Has("ranker", 1) {
+			t.Fatalf("agent %d missing v1", i)
+		}
+	}
+
+	// A new version is just another config change; every server converges.
+	completed = 0
+	publish(2)
+	fleet.Net.RunFor(3 * time.Minute)
+	if completed != len(agents) {
+		t.Fatalf("v2: %d of %d agents complete", completed, len(agents))
+	}
+	for i, a := range agents {
+		if !a.Has("ranker", 2) {
+			t.Fatalf("agent %d missing v2", i)
+		}
+	}
+}

@@ -1,0 +1,534 @@
+// Package packagevessel implements PackageVessel (§3.5): distribution of
+// large configs (e.g. GBs of machine-learning models) by separating a
+// config's small metadata from its bulk content.
+//
+// When a large config changes, its bulk content is uploaded to a storage
+// system and only the metadata — name, version, size, chunk count, where
+// to fetch — is stored in Configerator and pushed through Zeus's
+// distribution tree with the usual consistency guarantee. On receiving the
+// metadata update, each subscribed server fetches the bulk content with a
+// BitTorrent-style protocol: peers that need the same config exchange
+// chunks among themselves instead of hammering the central storage, and
+// peer selection is locality aware, preferring peers in the same cluster.
+// The metadata's consistency drives the bulk content's consistency: a
+// server only accepts and serves chunks for the exact version named by its
+// current metadata.
+package packagevessel
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"configerator/internal/simnet"
+)
+
+// Metadata is the small record stored in Configerator for a large config.
+type Metadata struct {
+	Name      string `json:"name"`
+	Version   int64  `json:"version"`
+	Size      int    `json:"size"`
+	ChunkSize int    `json:"chunk_size"`
+	// Storage is the node holding the authoritative copy.
+	Storage simnet.NodeID `json:"storage"`
+	// Tracker coordinates the swarm.
+	Tracker simnet.NodeID `json:"tracker"`
+}
+
+// NumChunks derives the chunk count.
+func (m Metadata) NumChunks() int {
+	if m.ChunkSize <= 0 {
+		return 0
+	}
+	return (m.Size + m.ChunkSize - 1) / m.ChunkSize
+}
+
+// Encode renders the metadata artifact (what Configerator stores).
+func (m Metadata) Encode() []byte {
+	b, err := json.Marshal(m)
+	if err != nil {
+		panic("packagevessel: encoding metadata: " + err.Error())
+	}
+	return b
+}
+
+// ParseMetadata decodes a metadata artifact.
+func ParseMetadata(data []byte) (Metadata, error) {
+	var m Metadata
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Metadata{}, fmt.Errorf("packagevessel: parsing metadata: %w", err)
+	}
+	if m.Name == "" || m.Size <= 0 || m.ChunkSize <= 0 {
+		return Metadata{}, fmt.Errorf("packagevessel: invalid metadata %+v", m)
+	}
+	return m, nil
+}
+
+// DefaultChunkSize is 1 MiB, a typical BitTorrent piece size.
+const DefaultChunkSize = 1 << 20
+
+// swarmKey identifies one (package, version) swarm.
+type swarmKey struct {
+	name    string
+	version int64
+}
+
+// ---- Messages ----
+
+type msgHave struct {
+	Name    string
+	Version int64
+	Index   int
+	// Complete marks the announcer as a full seed.
+	Complete bool
+}
+
+type msgNext struct {
+	Name    string
+	Version int64
+	Missing []int
+}
+
+type msgAssign struct {
+	Name    string
+	Version int64
+	Index   int
+	Peer    simnet.NodeID
+	// None reports that no chunk could be assigned (all missing chunks
+	// momentarily unavailable); the agent retries after a backoff.
+	None bool
+}
+
+type msgGetChunk struct {
+	Name    string
+	Version int64
+	Index   int
+}
+
+type msgChunk struct {
+	Name    string
+	Version int64
+	Index   int
+	OK      bool
+}
+
+type msgFetchRetry struct {
+	Name    string
+	Version int64
+}
+
+type msgChunkTimeout struct {
+	Name    string
+	Version int64
+	Index   int
+}
+
+// chunkTimeout bounds one chunk fetch before the slot is reclaimed (the
+// assigned peer may have crashed mid-transfer).
+const chunkTimeout = 30 * time.Second
+
+// ---- Tracker ----
+
+// Tracker coordinates swarms: it knows which agents hold which chunks and
+// assigns each request the rarest missing chunk from the closest holder.
+type Tracker struct {
+	id  simnet.NodeID
+	net *simnet.Network
+	// holders[swarm][chunk] -> nodes that have it.
+	holders map[swarmKey][]map[simnet.NodeID]bool
+
+	// Assignments counts chunk assignments handed out.
+	Assignments uint64
+}
+
+// NewTracker creates a tracker node.
+func NewTracker(net *simnet.Network, id simnet.NodeID, p simnet.Placement) *Tracker {
+	t := &Tracker{id: id, net: net, holders: make(map[swarmKey][]map[simnet.NodeID]bool)}
+	net.AddNode(id, p, t)
+	return t
+}
+
+func (t *Tracker) swarm(name string, version int64, chunks int) []map[simnet.NodeID]bool {
+	key := swarmKey{name, version}
+	s, ok := t.holders[key]
+	if !ok {
+		s = make([]map[simnet.NodeID]bool, chunks)
+		for i := range s {
+			s[i] = make(map[simnet.NodeID]bool)
+		}
+		t.holders[key] = s
+	}
+	return s
+}
+
+// RegisterSeed marks a node as holding every chunk (the storage system
+// after an upload).
+func (t *Tracker) RegisterSeed(name string, version int64, chunks int, seed simnet.NodeID) {
+	s := t.swarm(name, version, chunks)
+	for i := range s {
+		s[i][seed] = true
+	}
+}
+
+// HandleMessage implements simnet.Handler.
+func (t *Tracker) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
+	switch m := msg.(type) {
+	case msgHave:
+		key := swarmKey{m.Name, m.Version}
+		s, ok := t.holders[key]
+		if !ok || m.Index >= len(s) {
+			return
+		}
+		s[m.Index][from] = true
+	case msgNext:
+		t.assign(ctx, from, m)
+	}
+}
+
+// assign picks the rarest available missing chunk and its closest holder.
+func (t *Tracker) assign(ctx *simnet.Context, agent simnet.NodeID, m msgNext) {
+	key := swarmKey{m.Name, m.Version}
+	s, ok := t.holders[key]
+	if !ok {
+		ctx.Send(agent, msgAssign{Name: m.Name, Version: m.Version, None: true})
+		return
+	}
+	agentPlace := t.net.Placement(agent)
+	// Rarest-first with random tie-breaking: a deterministic tie-break
+	// would put every agent in lockstep on the same chunk, so nobody ever
+	// holds anything a peer is missing and the storage node serves
+	// everything. Randomizing among the rarest chunks decorrelates the
+	// swarm, exactly why BitTorrent randomizes piece selection.
+	minRarity := int(^uint(0) >> 1)
+	for _, idx := range m.Missing {
+		if idx < 0 || idx >= len(s) || len(s[idx]) == 0 {
+			continue
+		}
+		if r := len(s[idx]); r < minRarity {
+			minRarity = r
+		}
+	}
+	var candidates []int
+	for _, idx := range m.Missing {
+		if idx < 0 || idx >= len(s) || len(s[idx]) == 0 {
+			continue
+		}
+		// Anything within 2x of the rarest is a candidate; the band keeps
+		// selection spread wide in the early all-tied phase.
+		if len(s[idx]) <= 2*minRarity {
+			candidates = append(candidates, idx)
+		}
+	}
+	t.net.RNG().Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	for _, idx := range candidates {
+		peer := t.closestHolder(s[idx], agent, agentPlace)
+		if peer == "" {
+			continue
+		}
+		t.Assignments++
+		ctx.Send(agent, msgAssign{Name: m.Name, Version: m.Version, Index: idx, Peer: peer})
+		return
+	}
+	ctx.Send(agent, msgAssign{Name: m.Name, Version: m.Version, None: true})
+}
+
+// closestHolder prefers same-cluster, then same-region, then anything —
+// the locality awareness of §3.5.
+func (t *Tracker) closestHolder(holders map[simnet.NodeID]bool, agent simnet.NodeID, ap simnet.Placement) simnet.NodeID {
+	var cluster, region, far []simnet.NodeID
+	for h := range holders {
+		if h == agent || t.net.IsDown(h) {
+			continue
+		}
+		hp := t.net.Placement(h)
+		switch {
+		case hp.Region == ap.Region && hp.Cluster == ap.Cluster:
+			cluster = append(cluster, h)
+		case hp.Region == ap.Region:
+			region = append(region, h)
+		default:
+			far = append(far, h)
+		}
+	}
+	pick := func(list []simnet.NodeID) simnet.NodeID {
+		return list[t.net.RNG().Intn(len(list))]
+	}
+	switch {
+	case len(cluster) > 0:
+		return pick(cluster)
+	case len(region) > 0:
+		return pick(region)
+	case len(far) > 0:
+		return pick(far)
+	}
+	return ""
+}
+
+// ---- Storage ----
+
+// Storage is the central storage system holding uploaded bulk content.
+type Storage struct {
+	id       simnet.NodeID
+	packages map[swarmKey]Metadata
+
+	// ChunksServed counts chunks served (the load P2P is meant to shed).
+	ChunksServed uint64
+}
+
+// NewStorage creates a storage node.
+func NewStorage(net *simnet.Network, id simnet.NodeID, p simnet.Placement) *Storage {
+	s := &Storage{id: id, packages: make(map[swarmKey]Metadata)}
+	net.AddNode(id, p, s)
+	return s
+}
+
+// Upload stores a package version and seeds the tracker. It returns the
+// metadata to publish through Configerator.
+func (s *Storage) Upload(tracker *Tracker, name string, version int64, size, chunkSize int, trackerID simnet.NodeID) Metadata {
+	m := Metadata{Name: name, Version: version, Size: size, ChunkSize: chunkSize,
+		Storage: s.id, Tracker: trackerID}
+	s.packages[swarmKey{name, version}] = m
+	tracker.RegisterSeed(name, version, m.NumChunks(), s.id)
+	return m
+}
+
+// HandleMessage implements simnet.Handler.
+func (s *Storage) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
+	if m, ok := msg.(msgGetChunk); ok {
+		meta, have := s.packages[swarmKey{m.Name, m.Version}]
+		reply := msgChunk{Name: m.Name, Version: m.Version, Index: m.Index}
+		size := 0
+		if have && m.Index >= 0 && m.Index < meta.NumChunks() {
+			reply.OK = true
+			size = meta.ChunkSize
+			s.ChunksServed++
+		}
+		ctx.SendSized(from, reply, size)
+	}
+}
+
+// ---- Agent ----
+
+// download tracks one in-progress package fetch.
+type download struct {
+	meta      Metadata
+	have      []bool
+	remaining int
+	inflight  map[int]bool
+	started   time.Time
+}
+
+// Agent runs on every subscribed server: it receives metadata updates (via
+// the Configerator proxy subscription) and swarms the bulk content.
+type Agent struct {
+	id  simnet.NodeID
+	net *simnet.Network
+	// window is the number of concurrent chunk fetches.
+	window int
+
+	downloads map[string]*download // by package name (current version only)
+	complete  map[string]Metadata  // finished packages
+
+	// onComplete fires when a package finishes.
+	onComplete func(meta Metadata, took time.Duration)
+
+	// Stats.
+	ChunksFromPeers   uint64
+	ChunksFromStorage uint64
+	ChunksSameCluster uint64
+	ChunksSameRegion  uint64
+	ChunksCrossRegion uint64
+}
+
+// NewAgent creates an agent node.
+func NewAgent(net *simnet.Network, id simnet.NodeID, p simnet.Placement) *Agent {
+	a := &Agent{
+		id: id, net: net, window: 4,
+		downloads: make(map[string]*download),
+		complete:  make(map[string]Metadata),
+	}
+	net.AddNode(id, p, a)
+	return a
+}
+
+// OnComplete registers the completion callback.
+func (a *Agent) OnComplete(fn func(meta Metadata, took time.Duration)) { a.onComplete = fn }
+
+// Has reports whether the agent holds the complete package version.
+func (a *Agent) Has(name string, version int64) bool {
+	m, ok := a.complete[name]
+	return ok && m.Version == version
+}
+
+// OnMetadata starts (or restarts) a download when the subscribed metadata
+// changes. Stale downloads for older versions are abandoned: consistency
+// of the metadata drives consistency of the bulk content.
+func (a *Agent) OnMetadata(data []byte) {
+	meta, err := ParseMetadata(data)
+	if err != nil {
+		return
+	}
+	if cur, ok := a.complete[meta.Name]; ok && cur.Version >= meta.Version {
+		return
+	}
+	if d, ok := a.downloads[meta.Name]; ok && d.meta.Version >= meta.Version {
+		return
+	}
+	d := &download{
+		meta:      meta,
+		have:      make([]bool, meta.NumChunks()),
+		remaining: meta.NumChunks(),
+		inflight:  make(map[int]bool),
+		started:   a.net.Now(),
+	}
+	a.downloads[meta.Name] = d
+	ctx := simnet.MakeContext(a.net, a.id)
+	for i := 0; i < a.window; i++ {
+		a.requestNext(&ctx, d)
+	}
+}
+
+func (a *Agent) requestNext(ctx *simnet.Context, d *download) {
+	if d.remaining == 0 {
+		return
+	}
+	missing := make([]int, 0, d.remaining)
+	for i, have := range d.have {
+		if !have && !d.inflight[i] {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	ctx.Send(d.meta.Tracker, msgNext{Name: d.meta.Name, Version: d.meta.Version, Missing: missing})
+}
+
+// HandleMessage implements simnet.Handler.
+func (a *Agent) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
+	switch m := msg.(type) {
+	case msgAssign:
+		d := a.currentDownload(m.Name, m.Version)
+		if d == nil {
+			return
+		}
+		if m.None {
+			ctx.SetTimer(2*time.Second, msgFetchRetry{Name: m.Name, Version: m.Version})
+			return
+		}
+		if d.have[m.Index] || d.inflight[m.Index] {
+			a.requestNext(ctx, d) // race with another slot; move on
+			return
+		}
+		d.inflight[m.Index] = true
+		ctx.Send(m.Peer, msgGetChunk{Name: m.Name, Version: m.Version, Index: m.Index})
+		ctx.SetTimer(chunkTimeout, msgChunkTimeout{Name: m.Name, Version: m.Version, Index: m.Index})
+	case msgChunkTimeout:
+		if d := a.currentDownload(m.Name, m.Version); d != nil && d.inflight[m.Index] {
+			delete(d.inflight, m.Index)
+			a.requestNext(ctx, d)
+		}
+	case msgFetchRetry:
+		if d := a.currentDownload(m.Name, m.Version); d != nil {
+			a.requestNext(ctx, d)
+		}
+	case msgGetChunk:
+		a.serveChunk(ctx, from, m)
+	case msgChunk:
+		a.onChunk(ctx, from, m)
+	}
+}
+
+func (a *Agent) currentDownload(name string, version int64) *download {
+	d, ok := a.downloads[name]
+	if !ok || d.meta.Version != version {
+		return nil
+	}
+	return d
+}
+
+// serveChunk uploads a chunk to a peer — but only for the exact version we
+// hold, complete or in progress.
+func (a *Agent) serveChunk(ctx *simnet.Context, from simnet.NodeID, m msgGetChunk) {
+	reply := msgChunk{Name: m.Name, Version: m.Version, Index: m.Index}
+	size := 0
+	if meta, ok := a.complete[m.Name]; ok && meta.Version == m.Version &&
+		m.Index >= 0 && m.Index < meta.NumChunks() {
+		reply.OK = true
+		size = meta.ChunkSize
+	} else if d := a.currentDownload(m.Name, m.Version); d != nil &&
+		m.Index >= 0 && m.Index < len(d.have) && d.have[m.Index] {
+		reply.OK = true
+		size = d.meta.ChunkSize
+	}
+	ctx.SendSized(from, reply, size)
+}
+
+func (a *Agent) onChunk(ctx *simnet.Context, from simnet.NodeID, m msgChunk) {
+	d := a.currentDownload(m.Name, m.Version)
+	if d == nil {
+		return
+	}
+	delete(d.inflight, m.Index)
+	if !m.OK {
+		a.requestNext(ctx, d)
+		return
+	}
+	if !d.have[m.Index] {
+		d.have[m.Index] = true
+		d.remaining--
+		// Account locality.
+		if from == d.meta.Storage {
+			a.ChunksFromStorage++
+		} else {
+			a.ChunksFromPeers++
+		}
+		ap := a.net.Placement(a.id)
+		fp := a.net.Placement(from)
+		switch {
+		case ap.Region == fp.Region && ap.Cluster == fp.Cluster:
+			a.ChunksSameCluster++
+		case ap.Region == fp.Region:
+			a.ChunksSameRegion++
+		default:
+			a.ChunksCrossRegion++
+		}
+		ctx.Send(d.meta.Tracker, msgHave{Name: m.Name, Version: m.Version, Index: m.Index})
+	}
+	if d.remaining == 0 {
+		a.complete[m.Name] = d.meta
+		delete(a.downloads, m.Name)
+		ctx.Send(d.meta.Tracker, msgHave{Name: m.Name, Version: m.Version, Index: len(d.have) - 1, Complete: true})
+		if a.onComplete != nil {
+			a.onComplete(d.meta, ctx.Now().Sub(d.started))
+		}
+		return
+	}
+	a.requestNext(ctx, d)
+}
+
+// FetchCentralOnly is the ablation baseline: fetch every chunk directly
+// from storage, no peer exchange. Used by BenchmarkAblation_P2PvsCentral.
+func (a *Agent) FetchCentralOnly(data []byte) {
+	meta, err := ParseMetadata(data)
+	if err != nil {
+		return
+	}
+	d := &download{
+		meta:      meta,
+		have:      make([]bool, meta.NumChunks()),
+		remaining: meta.NumChunks(),
+		inflight:  make(map[int]bool),
+		started:   a.net.Now(),
+	}
+	// Mark the tracker as unused by pointing assignments straight at
+	// storage: we simply issue all chunk requests to storage directly.
+	a.downloads[meta.Name] = d
+	ctx := simnet.MakeContext(a.net, a.id)
+	for i := 0; i < meta.NumChunks(); i++ {
+		d.inflight[i] = true
+		ctx.Send(meta.Storage, msgGetChunk{Name: meta.Name, Version: meta.Version, Index: i})
+	}
+}

@@ -1,0 +1,341 @@
+// Package proxy implements the Configerator Proxy that runs on every
+// production server (§3.4, bottom of Figure 3).
+//
+// The proxy randomly picks a Zeus observer in its own cluster, fetches the
+// configs the local applications need (it is not a full replica — it only
+// caches what is asked for), leaves watches so updates are pushed, and
+// stores everything in an on-disk cache. Failure handling follows the
+// paper: if the observer fails the proxy connects to another one; if every
+// Configerator component fails, applications fall back to reading the
+// on-disk cache directly, so a config that was ever fetched remains
+// available (stale but usable) no matter what.
+package proxy
+
+import (
+	"time"
+
+	"configerator/internal/simnet"
+	"configerator/internal/zeus"
+)
+
+// Entry is one cached config.
+type Entry struct {
+	Path    string
+	Exists  bool
+	Data    []byte
+	Version int64
+	Zxid    int64
+	// Fetched is when the proxy last confirmed this entry with an
+	// observer (virtual time).
+	Fetched time.Time
+}
+
+// DiskCache is the on-disk cache shared between the proxy process and the
+// client library's failure fallback. It survives proxy crashes.
+type DiskCache struct {
+	entries map[string]Entry
+}
+
+// NewDiskCache returns an empty cache.
+func NewDiskCache() *DiskCache {
+	return &DiskCache{entries: make(map[string]Entry)}
+}
+
+// Store persists an entry.
+func (d *DiskCache) Store(e Entry) { d.entries[e.Path] = e }
+
+// Load returns the entry for path.
+func (d *DiskCache) Load(path string) (Entry, bool) {
+	e, ok := d.entries[path]
+	return e, ok
+}
+
+// Len reports the number of cached configs.
+func (d *DiskCache) Len() int { return len(d.entries) }
+
+// UpdateFunc is an application callback fired when a config changes.
+type UpdateFunc func(Entry)
+
+const (
+	pingInterval  = 2 * time.Second
+	fetchTimeout  = 3 * time.Second
+	maxPingMisses = 2
+)
+
+type msgTickPing struct{}
+type msgFetchTimeout struct{ ReqID int64 }
+
+// Proxy is the per-server config proxy. It is a simnet node; the local
+// applications call its methods directly (they share the server).
+type Proxy struct {
+	id        simnet.NodeID
+	net       *simnet.Network
+	observers []simnet.NodeID // observers in this cluster
+	current   int             // index of the connected observer
+	disk      *DiskCache
+
+	cache    map[string]Entry
+	override map[string]Entry // canary temporary deployments win over cache
+	watched  map[string]bool
+	subs     map[string][]UpdateFunc
+	inflight map[int64]string // reqID -> path
+	byPath   map[string]int64 // path -> outstanding reqID
+	nextReq  int64
+
+	pingOutstanding int
+	down            bool // proxy process crashed (fallback testing)
+
+	// Stats.
+	Fetches     uint64
+	WatchEvents uint64
+	Failovers   uint64
+}
+
+// New creates a proxy on the network at the placement, connected to the
+// given same-cluster observers.
+func New(net *simnet.Network, id simnet.NodeID, placement simnet.Placement, observers []simnet.NodeID, disk *DiskCache) *Proxy {
+	if disk == nil {
+		disk = NewDiskCache()
+	}
+	p := &Proxy{
+		id:        id,
+		net:       net,
+		observers: observers,
+		disk:      disk,
+		cache:     make(map[string]Entry),
+		override:  make(map[string]Entry),
+		watched:   make(map[string]bool),
+		subs:      make(map[string][]UpdateFunc),
+		inflight:  make(map[int64]string),
+		byPath:    make(map[string]int64),
+	}
+	if len(observers) > 0 {
+		p.current = int(net.RNG().Intn(len(observers)))
+	}
+	net.AddNode(id, placement, p)
+	net.SetTimer(id, pingInterval, msgTickPing{})
+	return p
+}
+
+// ID returns the proxy's node id.
+func (p *Proxy) ID() simnet.NodeID { return p.id }
+
+// Disk exposes the on-disk cache (the client library fallback reads it).
+func (p *Proxy) Disk() *DiskCache { return p.disk }
+
+// Crash simulates the proxy process dying. Cached state in memory is lost;
+// the disk cache survives.
+func (p *Proxy) Crash() {
+	p.down = true
+	p.net.Fail(p.id)
+}
+
+// Restart brings the proxy back with a cold in-memory cache.
+func (p *Proxy) Restart() {
+	p.down = false
+	p.cache = make(map[string]Entry)
+	p.override = make(map[string]Entry)
+	p.inflight = make(map[int64]string)
+	p.byPath = make(map[string]int64)
+	p.net.Recover(p.id)
+}
+
+// OnRestart implements simnet.Restarter.
+func (p *Proxy) OnRestart(ctx *simnet.Context) {
+	ctx.SetTimer(pingInterval, msgTickPing{})
+	// Re-fetch everything the applications subscribed to.
+	for path := range p.watched {
+		p.sendFetch(ctx, path)
+	}
+}
+
+// Down reports whether the proxy process is crashed.
+func (p *Proxy) Down() bool { return p.down }
+
+func (p *Proxy) observer() simnet.NodeID {
+	if len(p.observers) == 0 {
+		return ""
+	}
+	return p.observers[p.current%len(p.observers)]
+}
+
+// failover rotates to another observer and re-establishes fetches+watches,
+// exactly the "if the observer fails, the proxy connects to another
+// observer" behaviour.
+func (p *Proxy) failover(ctx *simnet.Context) {
+	if len(p.observers) <= 1 {
+		return
+	}
+	p.current = (p.current + 1 + int(p.net.RNG().Intn(len(p.observers)-1))) % len(p.observers)
+	p.Failovers++
+	p.pingOutstanding = 0
+	for path := range p.watched {
+		p.sendFetch(ctx, path)
+	}
+}
+
+// Want asks the proxy to fetch and keep a config warm (with a watch). The
+// application's startup request path.
+func (p *Proxy) Want(path string) {
+	if p.down {
+		return
+	}
+	ctx := simnet.MakeContext(p.net, p.id)
+	p.watched[path] = true
+	if _, cached := p.cache[path]; !cached {
+		p.sendFetch(&ctx, path)
+	}
+}
+
+// Subscribe registers an application callback for a path and keeps the
+// config warm. The callback fires on every subsequent change.
+func (p *Proxy) Subscribe(path string, fn UpdateFunc) {
+	p.subs[path] = append(p.subs[path], fn)
+	p.Want(path)
+}
+
+// SetOverride temporarily deploys a config to this server only — the
+// canary service's mechanism ("the canary service talks to the proxies …
+// to temporarily deploy the new config", §3.3). Subscribers fire as if the
+// config changed.
+func (p *Proxy) SetOverride(path string, data []byte) {
+	e := Entry{Path: path, Exists: true, Data: data, Version: -1}
+	p.override[path] = e
+	for _, fn := range p.subs[path] {
+		fn(e)
+	}
+}
+
+// ClearOverride removes a temporary deployment; subscribers are re-fed the
+// committed value (rollback).
+func (p *Proxy) ClearOverride(path string) {
+	if _, ok := p.override[path]; !ok {
+		return
+	}
+	delete(p.override, path)
+	if e, ok := p.cache[path]; ok {
+		for _, fn := range p.subs[path] {
+			fn(e)
+		}
+	}
+}
+
+// CachedPaths lists the paths currently in the in-memory cache or
+// overridden (the application-visible config set on this server).
+func (p *Proxy) CachedPaths() []string {
+	seen := make(map[string]bool, len(p.cache)+len(p.override))
+	out := make([]string, 0, len(p.cache)+len(p.override))
+	for path := range p.cache {
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	for path := range p.override {
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	return out
+}
+
+// Overridden reports whether path currently has a canary override.
+func (p *Proxy) Overridden(path string) bool {
+	_, ok := p.override[path]
+	return ok
+}
+
+// Get returns the config at path. The second result is false when the
+// config is not available from any layer (override, memory, disk). A stale
+// disk entry is returned when the proxy is down — availability over
+// freshness.
+func (p *Proxy) Get(path string) (Entry, bool) {
+	if e, ok := p.override[path]; ok && !p.down {
+		return e, true
+	}
+	if !p.down {
+		if e, ok := p.cache[path]; ok {
+			return e, ok
+		}
+		p.Want(path) // warm it for next time
+	}
+	// Fall back to the on-disk cache (proxy down or not yet fetched).
+	return p.disk.Load(path)
+}
+
+func (p *Proxy) sendFetch(ctx *simnet.Context, path string) {
+	if prev, ok := p.byPath[path]; ok {
+		delete(p.inflight, prev)
+	}
+	p.nextReq++
+	p.inflight[p.nextReq] = path
+	p.byPath[path] = p.nextReq
+	p.Fetches++
+	obs := p.observer()
+	if obs == "" {
+		return
+	}
+	ctx.Send(obs, zeus.MsgFetch{ReqID: p.nextReq, Path: path, Watch: true})
+	ctx.SetTimer(fetchTimeout, msgFetchTimeout{ReqID: p.nextReq})
+}
+
+// HandleMessage implements simnet.Handler.
+func (p *Proxy) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
+	switch m := msg.(type) {
+	case zeus.MsgFetchReply:
+		path, ok := p.inflight[m.ReqID]
+		if !ok {
+			return
+		}
+		delete(p.inflight, m.ReqID)
+		delete(p.byPath, path)
+		p.apply(ctx, Entry{Path: m.Path, Exists: m.Exists, Data: m.Data,
+			Version: m.Version, Zxid: m.Zxid, Fetched: ctx.Now()})
+	case zeus.MsgWatchEvent:
+		if from != p.observer() {
+			return // stale watch from a previous observer
+		}
+		p.WatchEvents++
+		p.apply(ctx, Entry{Path: m.Path, Exists: m.Exists, Data: m.Data,
+			Version: m.Version, Zxid: m.Zxid, Fetched: ctx.Now()})
+	case msgFetchTimeout:
+		if path, ok := p.inflight[m.ReqID]; ok {
+			delete(p.inflight, m.ReqID)
+			delete(p.byPath, path)
+			p.failover(ctx)
+			p.sendFetch(ctx, path)
+		}
+	case msgTickPing:
+		ctx.SetTimer(pingInterval, msgTickPing{})
+		if p.pingOutstanding >= maxPingMisses {
+			p.failover(ctx)
+		}
+		if obs := p.observer(); obs != "" {
+			p.pingOutstanding++
+			ctx.Send(obs, zeus.MsgPing{})
+		}
+	case zeus.MsgPong:
+		if from == p.observer() {
+			p.pingOutstanding = 0
+		}
+	}
+}
+
+// apply integrates a new entry if it is not older than what we have.
+func (p *Proxy) apply(ctx *simnet.Context, e Entry) {
+	if old, ok := p.cache[e.Path]; ok && e.Zxid < old.Zxid {
+		return
+	}
+	changed := true
+	if old, ok := p.cache[e.Path]; ok && old.Zxid == e.Zxid {
+		changed = false
+	}
+	p.cache[e.Path] = e
+	p.disk.Store(e)
+	if changed {
+		for _, fn := range p.subs[e.Path] {
+			fn(e)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package proxy
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"configerator/internal/simnet"
+	"configerator/internal/zeus"
+)
+
+// rig is a small Zeus deployment with two observers in one cluster and a
+// proxy, mirroring one production cluster.
+type rig struct {
+	net    *simnet.Network
+	ens    *zeus.Ensemble
+	client *zeus.Client
+	proxy  *Proxy
+}
+
+func newRig(t *testing.T, seed uint64) *rig {
+	t.Helper()
+	net := simnet.New(simnet.DefaultLatency(), seed)
+	placements := []simnet.Placement{
+		{Region: "us", Cluster: "zk1"},
+		{Region: "us", Cluster: "zk2"},
+		{Region: "eu", Cluster: "zk3"},
+	}
+	ens := zeus.StartEnsemble(net, 3, placements)
+	ens.AddObserver("obs-1", simnet.Placement{Region: "us", Cluster: "web"})
+	ens.AddObserver("obs-2", simnet.Placement{Region: "us", Cluster: "web"})
+	cl := zeus.NewClient("tailer", ens.Members)
+	net.AddNode("tailer", simnet.Placement{Region: "us", Cluster: "ctrl"}, cl)
+	net.RunFor(10 * time.Second)
+	if ens.Leader() == "" {
+		t.Fatal("no leader")
+	}
+	px := New(net, "proxy-1", simnet.Placement{Region: "us", Cluster: "web"},
+		[]simnet.NodeID{"obs-1", "obs-2"}, nil)
+	return &rig{net: net, ens: ens, client: cl, proxy: px}
+}
+
+func (r *rig) write(t *testing.T, path, data string) {
+	t.Helper()
+	done := false
+	r.net.After(0, func() {
+		ctx := simnet.MakeContext(r.net, "tailer")
+		r.client.Write(&ctx, path, []byte(data), func(zeus.WriteResult) { done = true })
+	})
+	for i := 0; i < 100 && !done; i++ {
+		r.net.RunFor(200 * time.Millisecond)
+	}
+	if !done {
+		t.Fatalf("write %s never committed", path)
+	}
+	r.net.RunFor(5 * time.Second) // let pushes settle
+}
+
+func TestProxyFetchesOnDemand(t *testing.T) {
+	r := newRig(t, 1)
+	r.write(t, "/configs/app", `{"x":1}`)
+	r.proxy.Want("/configs/app")
+	r.net.RunFor(2 * time.Second)
+	e, ok := r.proxy.Get("/configs/app")
+	if !ok || !e.Exists || string(e.Data) != `{"x":1}` {
+		t.Fatalf("Get = %+v, %v", e, ok)
+	}
+}
+
+func TestProxyReceivesPushedUpdate(t *testing.T) {
+	r := newRig(t, 2)
+	r.write(t, "/configs/app", `{"x":1}`)
+	var updates []string
+	r.proxy.Subscribe("/configs/app", func(e Entry) {
+		updates = append(updates, string(e.Data))
+	})
+	r.net.RunFor(2 * time.Second)
+	r.write(t, "/configs/app", `{"x":2}`)
+	e, _ := r.proxy.Get("/configs/app")
+	if string(e.Data) != `{"x":2}` {
+		t.Fatalf("proxy cache = %s", e.Data)
+	}
+	if len(updates) < 2 || updates[len(updates)-1] != `{"x":2}` {
+		t.Fatalf("updates = %v", updates)
+	}
+}
+
+func TestProxyObserverFailover(t *testing.T) {
+	r := newRig(t, 3)
+	r.write(t, "/configs/app", `v1`)
+	r.proxy.Want("/configs/app")
+	r.net.RunFor(2 * time.Second)
+	// Kill the connected observer; the proxy must fail over and keep
+	// receiving updates via the other observer.
+	connected := r.proxy.observer()
+	r.net.Fail(connected)
+	r.net.RunFor(15 * time.Second)
+	if r.proxy.observer() == connected {
+		t.Fatal("proxy did not fail over")
+	}
+	r.write(t, "/configs/app", `v2`)
+	e, _ := r.proxy.Get("/configs/app")
+	if string(e.Data) != "v2" {
+		t.Fatalf("after failover, cache = %s", e.Data)
+	}
+	if r.proxy.Failovers == 0 {
+		t.Error("failover counter not incremented")
+	}
+}
+
+func TestDiskCacheFallbackWhenProxyDown(t *testing.T) {
+	r := newRig(t, 4)
+	r.write(t, "/configs/app", `v1`)
+	r.proxy.Want("/configs/app")
+	r.net.RunFor(2 * time.Second)
+	r.proxy.Crash()
+	// The application still reads the (stale) config from disk.
+	e, ok := r.proxy.Get("/configs/app")
+	if !ok || string(e.Data) != "v1" {
+		t.Fatalf("disk fallback = %+v, %v", e, ok)
+	}
+}
+
+func TestProxyRestartRefetches(t *testing.T) {
+	r := newRig(t, 5)
+	r.write(t, "/configs/app", `v1`)
+	r.proxy.Subscribe("/configs/app", func(Entry) {})
+	r.net.RunFor(2 * time.Second)
+	r.proxy.Crash()
+	r.write(t, "/configs/app", `v2`) // changes while proxy is down
+	r.proxy.Restart()
+	r.net.RunFor(5 * time.Second)
+	e, ok := r.proxy.Get("/configs/app")
+	if !ok || string(e.Data) != "v2" {
+		t.Fatalf("after restart, cache = %+v", e)
+	}
+}
+
+func TestProxyMissingConfig(t *testing.T) {
+	r := newRig(t, 6)
+	if _, ok := r.proxy.Get("/configs/never-written"); ok {
+		t.Fatal("Get of unknown config reported ok")
+	}
+	r.net.RunFor(2 * time.Second)
+	// It was implicitly Want()ed; still should not exist.
+	e, ok := r.proxy.Get("/configs/never-written")
+	if ok && e.Exists {
+		t.Fatalf("nonexistent config materialized: %+v", e)
+	}
+}
+
+func TestManyProxiesAllConverge(t *testing.T) {
+	r := newRig(t, 7)
+	var proxies []*Proxy
+	for i := 0; i < 20; i++ {
+		px := New(r.net, simnet.NodeID(fmt.Sprintf("proxy-x%d", i)),
+			simnet.Placement{Region: "us", Cluster: "web"},
+			[]simnet.NodeID{"obs-1", "obs-2"}, nil)
+		px.Want("/configs/shared")
+		proxies = append(proxies, px)
+	}
+	r.write(t, "/configs/shared", `final`)
+	r.net.RunFor(5 * time.Second)
+	for i, px := range proxies {
+		e, ok := px.Get("/configs/shared")
+		if !ok || string(e.Data) != "final" {
+			t.Fatalf("proxy %d: %+v ok=%v", i, e, ok)
+		}
+	}
+}
+
+func TestDiskCache(t *testing.T) {
+	d := NewDiskCache()
+	d.Store(Entry{Path: "/a", Exists: true, Data: []byte("x"), Version: 1})
+	e, ok := d.Load("/a")
+	if !ok || string(e.Data) != "x" {
+		t.Fatalf("Load = %+v, %v", e, ok)
+	}
+	if _, ok := d.Load("/missing"); ok {
+		t.Fatal("missing path loaded")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}

@@ -1,0 +1,143 @@
+// Package review models Phabricator (§3.3): every config change — whether
+// authored as code, through the UI, or by a tool — "is treated the same as
+// a code change and goes through the same rigorous code review process".
+// Sandcastle posts its integration-test results onto the diff for
+// reviewers; the diff cannot land until a reviewer other than the author
+// accepts it (mandatory diff review, §6.6).
+package review
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Status is a diff's review state.
+type Status int
+
+// Review states.
+const (
+	StatusPending Status = iota
+	StatusApproved
+	StatusRejected
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case StatusPending:
+		return "pending"
+	case StatusApproved:
+		return "approved"
+	case StatusRejected:
+		return "rejected"
+	}
+	return "unknown"
+}
+
+// Errors returned by the queue.
+var (
+	ErrSelfReview = errors.New("review: author cannot review their own diff")
+	ErrNotFound   = errors.New("review: no such diff")
+	ErrDecided    = errors.New("review: diff already decided")
+)
+
+// Diff is one change under review.
+type Diff struct {
+	ID          int
+	Author      string
+	Title       string
+	Status      Status
+	Reviewer    string
+	Comments    []string
+	TestResults []string // posted by Sandcastle
+	Submitted   time.Time
+	Decided     time.Time
+}
+
+// Queue is the review queue.
+type Queue struct {
+	diffs  map[int]*Diff
+	nextID int
+}
+
+// NewQueue returns an empty review queue.
+func NewQueue() *Queue {
+	return &Queue{diffs: make(map[int]*Diff)}
+}
+
+// Submit opens a diff for review.
+func (q *Queue) Submit(author, title string, now time.Time) *Diff {
+	q.nextID++
+	d := &Diff{ID: q.nextID, Author: author, Title: title, Submitted: now}
+	q.diffs[d.ID] = d
+	return d
+}
+
+// Get returns a diff by id.
+func (q *Queue) Get(id int) (*Diff, error) {
+	d, ok := q.diffs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	return d, nil
+}
+
+// PostTestResults attaches CI output to the diff ("Sandcastle posts the
+// testing results to Phabricator for reviewers to access").
+func (q *Queue) PostTestResults(id int, results []string) error {
+	d, err := q.Get(id)
+	if err != nil {
+		return err
+	}
+	d.TestResults = append(d.TestResults, results...)
+	return nil
+}
+
+// Comment adds a reviewer comment.
+func (q *Queue) Comment(id int, who, text string) error {
+	d, err := q.Get(id)
+	if err != nil {
+		return err
+	}
+	d.Comments = append(d.Comments, who+": "+text)
+	return nil
+}
+
+// Approve accepts the diff. Self-review is rejected.
+func (q *Queue) Approve(id int, reviewer string, now time.Time) error {
+	return q.decide(id, reviewer, StatusApproved, now)
+}
+
+// Reject sends the diff back to its author.
+func (q *Queue) Reject(id int, reviewer string, now time.Time) error {
+	return q.decide(id, reviewer, StatusRejected, now)
+}
+
+func (q *Queue) decide(id int, reviewer string, status Status, now time.Time) error {
+	d, err := q.Get(id)
+	if err != nil {
+		return err
+	}
+	if d.Status != StatusPending {
+		return fmt.Errorf("%w: %d is %s", ErrDecided, id, d.Status)
+	}
+	if reviewer == d.Author {
+		return ErrSelfReview
+	}
+	d.Status = status
+	d.Reviewer = reviewer
+	d.Decided = now
+	return nil
+}
+
+// Pending lists undecided diff ids in submission order.
+func (q *Queue) Pending() []int {
+	var out []int
+	for id := 1; id <= q.nextID; id++ {
+		if d, ok := q.diffs[id]; ok && d.Status == StatusPending {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package review
+
+import (
+	"errors"
+	"testing"
+
+	"configerator/internal/vclock"
+)
+
+var t0 = vclock.Epoch
+
+func TestSubmitApprove(t *testing.T) {
+	q := NewQueue()
+	d := q.Submit("alice", "raise cache quota", t0)
+	if d.Status != StatusPending {
+		t.Fatalf("status = %v", d.Status)
+	}
+	if err := q.Approve(d.ID, "bob", t0); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := q.Get(d.ID)
+	if got.Status != StatusApproved || got.Reviewer != "bob" {
+		t.Errorf("diff = %+v", got)
+	}
+}
+
+func TestSelfReviewRejected(t *testing.T) {
+	q := NewQueue()
+	d := q.Submit("alice", "x", t0)
+	if err := q.Approve(d.ID, "alice", t0); !errors.Is(err, ErrSelfReview) {
+		t.Fatalf("err = %v, want ErrSelfReview", err)
+	}
+}
+
+func TestDoubleDecisionRejected(t *testing.T) {
+	q := NewQueue()
+	d := q.Submit("alice", "x", t0)
+	if err := q.Reject(d.ID, "bob", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Approve(d.ID, "carol", t0); !errors.Is(err, ErrDecided) {
+		t.Fatalf("err = %v, want ErrDecided", err)
+	}
+}
+
+func TestTestResultsAndComments(t *testing.T) {
+	q := NewQueue()
+	d := q.Submit("alice", "x", t0)
+	if err := q.PostTestResults(d.ID, []string{"PASS site-load", "PASS login"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Comment(d.ID, "bob", "lgtm"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := q.Get(d.ID)
+	if len(got.TestResults) != 2 || len(got.Comments) != 1 {
+		t.Errorf("diff = %+v", got)
+	}
+}
+
+func TestPendingOrder(t *testing.T) {
+	q := NewQueue()
+	a := q.Submit("a", "1", t0)
+	b := q.Submit("b", "2", t0)
+	c := q.Submit("c", "3", t0)
+	if err := q.Approve(b.ID, "z", t0); err != nil {
+		t.Fatal(err)
+	}
+	p := q.Pending()
+	if len(p) != 2 || p[0] != a.ID || p[1] != c.ID {
+		t.Errorf("Pending = %v", p)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	q := NewQueue()
+	if _, err := q.Get(99); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusPending.String() != "pending" || StatusApproved.String() != "approved" ||
+		StatusRejected.String() != "rejected" {
+		t.Error("Status.String broken")
+	}
+}

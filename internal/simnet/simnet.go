@@ -1,0 +1,426 @@
+// Package simnet is a deterministic discrete-event network simulator.
+//
+// The paper's distribution stack spans multiple continents: a Zeus ensemble
+// with a leader and cross-region followers, per-cluster observers, and a
+// proxy on every production server. simnet stands in for that physical
+// substrate. Nodes are event-driven state machines; messages are delivered
+// in virtual-time order with latencies derived from the placement of the
+// two endpoints (same cluster, same region, cross region) and transfer
+// times derived from message size and per-node link bandwidth. Failures are
+// the norm at this scale, so nodes can crash, restart, and be partitioned.
+//
+// The simulation is single-threaded and fully deterministic: given the same
+// seed and the same sequence of API calls, every run delivers every message
+// at the same virtual instant.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"configerator/internal/stats"
+	"configerator/internal/vclock"
+)
+
+// NodeID identifies a simulated process.
+type NodeID string
+
+// Message is an arbitrary payload delivered to a node's handler.
+type Message interface{}
+
+// Handler is implemented by every simulated process. HandleMessage is
+// invoked for remote messages and for self-scheduled timers (from == the
+// node itself).
+type Handler interface {
+	HandleMessage(ctx *Context, from NodeID, msg Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ctx *Context, from NodeID, msg Message)
+
+// HandleMessage calls f.
+func (f HandlerFunc) HandleMessage(ctx *Context, from NodeID, msg Message) { f(ctx, from, msg) }
+
+// Placement locates a node in the fleet topology. Latency between two nodes
+// is a function of how much of the placement they share.
+type Placement struct {
+	Region  string
+	Cluster string
+}
+
+// LatencyModel computes one-way network latency between two placements.
+type LatencyModel struct {
+	SameCluster time.Duration // e.g. intra-cluster hop
+	SameRegion  time.Duration // cluster-to-cluster within a region
+	CrossRegion time.Duration // intercontinental hop
+	Jitter      float64       // fractional uniform jitter, e.g. 0.2
+}
+
+// DefaultLatency approximates the data-center environment described in the
+// paper: sub-millisecond in-cluster hops, a few milliseconds within a
+// region, and ~75 ms between continents.
+func DefaultLatency() LatencyModel {
+	return LatencyModel{
+		SameCluster: 500 * time.Microsecond,
+		SameRegion:  2 * time.Millisecond,
+		CrossRegion: 75 * time.Millisecond,
+		Jitter:      0.2,
+	}
+}
+
+func (m LatencyModel) between(a, b Placement, rng *stats.RNG) time.Duration {
+	var base time.Duration
+	switch {
+	case a.Region == b.Region && a.Cluster == b.Cluster:
+		base = m.SameCluster
+	case a.Region == b.Region:
+		base = m.SameRegion
+	default:
+		base = m.CrossRegion
+	}
+	if m.Jitter > 0 {
+		base += time.Duration(float64(base) * m.Jitter * rng.Float64())
+	}
+	return base
+}
+
+// node is the internal per-node state.
+type node struct {
+	id        NodeID
+	handler   Handler
+	placement Placement
+	down      bool
+
+	// Link bandwidth modeling: a transfer occupies the sender's uplink and
+	// the receiver's downlink for size/bandwidth seconds.
+	upBps      float64
+	downBps    float64
+	upFreeAt   time.Time
+	downFreeAt time.Time
+}
+
+type eventKind int
+
+const (
+	evDeliver eventKind = iota
+	evTimer
+	evCall
+)
+
+type event struct {
+	at   time.Time
+	seq  uint64
+	kind eventKind
+	from NodeID
+	to   NodeID
+	msg  Message
+	call func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+type pair struct{ a, b NodeID }
+
+func orderedPair(a, b NodeID) pair {
+	if a > b {
+		a, b = b, a
+	}
+	return pair{a, b}
+}
+
+// Network is the simulator. It owns the virtual clock; components that need
+// the current time share the clock via Clock().
+type Network struct {
+	clock   *vclock.Virtual
+	rng     *stats.RNG
+	latency LatencyModel
+	nodes   map[NodeID]*node
+	queue   eventQueue
+	seq     uint64
+
+	partitioned map[pair]bool
+	lossRate    map[pair]float64
+	// lastArrival enforces FIFO delivery per directed link (TCP
+	// semantics): latency jitter never reorders two messages between the
+	// same endpoints. Protocols like Zeus's commit stream rely on this.
+	lastArrival map[pair]time.Time
+
+	// Stats observed by tests and benches.
+	Delivered uint64
+	Dropped   uint64
+	BytesSent uint64
+}
+
+// DefaultBandwidth is the per-node NIC bandwidth assumed when none is set
+// (10 Gbit/s, typical for the data-center servers in the paper's era).
+const DefaultBandwidth = 1.25e9 // bytes/sec
+
+// New returns an empty network with the given latency model and seed.
+func New(latency LatencyModel, seed uint64) *Network {
+	return &Network{
+		clock:       vclock.NewVirtual(),
+		rng:         stats.NewRNG(seed),
+		latency:     latency,
+		nodes:       make(map[NodeID]*node),
+		partitioned: make(map[pair]bool),
+		lossRate:    make(map[pair]float64),
+		lastArrival: make(map[pair]time.Time),
+	}
+}
+
+// Clock exposes the shared virtual clock.
+func (n *Network) Clock() *vclock.Virtual { return n.clock }
+
+// Now reports the current virtual time.
+func (n *Network) Now() time.Time { return n.clock.Now() }
+
+// RNG exposes the network's deterministic random stream.
+func (n *Network) RNG() *stats.RNG { return n.rng }
+
+// AddNode registers a simulated process. It panics if the id is taken.
+func (n *Network) AddNode(id NodeID, p Placement, h Handler) {
+	if _, ok := n.nodes[id]; ok {
+		panic(fmt.Sprintf("simnet: duplicate node %q", id))
+	}
+	n.nodes[id] = &node{
+		id: id, handler: h, placement: p,
+		upBps: DefaultBandwidth, downBps: DefaultBandwidth,
+	}
+}
+
+// SetBandwidth overrides a node's uplink/downlink bandwidth in bytes/sec.
+func (n *Network) SetBandwidth(id NodeID, upBps, downBps float64) {
+	nd := n.mustNode(id)
+	nd.upBps, nd.downBps = upBps, downBps
+}
+
+// Placement reports where a node lives.
+func (n *Network) Placement(id NodeID) Placement { return n.mustNode(id).placement }
+
+// NodeIDs returns all registered node ids (order unspecified).
+func (n *Network) NodeIDs() []NodeID {
+	ids := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+func (n *Network) mustNode(id NodeID) *node {
+	nd, ok := n.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("simnet: unknown node %q", id))
+	}
+	return nd
+}
+
+// Fail crashes a node: in-flight messages to it are dropped on arrival and
+// it stops receiving timers until Recover.
+func (n *Network) Fail(id NodeID) { n.mustNode(id).down = true }
+
+// Restarter is implemented by handlers that need to re-arm timers after a
+// crash: while a node is down its queued timers are dropped, so a periodic
+// chain would otherwise die with it.
+type Restarter interface {
+	OnRestart(ctx *Context)
+}
+
+// Recover restarts a crashed node. If its handler implements Restarter,
+// OnRestart is invoked on the simulation loop at the current instant.
+func (n *Network) Recover(id NodeID) {
+	nd := n.mustNode(id)
+	nd.down = false
+	if r, ok := nd.handler.(Restarter); ok {
+		n.After(0, func() {
+			if !nd.down {
+				r.OnRestart(&Context{net: n, self: id})
+			}
+		})
+	}
+}
+
+// IsDown reports whether the node is currently crashed.
+func (n *Network) IsDown(id NodeID) bool { return n.mustNode(id).down }
+
+// Partition severs connectivity between a and b (both directions).
+func (n *Network) Partition(a, b NodeID) { n.partitioned[orderedPair(a, b)] = true }
+
+// Heal restores connectivity between a and b.
+func (n *Network) Heal(a, b NodeID) { delete(n.partitioned, orderedPair(a, b)) }
+
+// SetLoss sets the probability that a message between a and b is lost.
+// Used to model the unreliable mobile push-notification channel (§5).
+func (n *Network) SetLoss(a, b NodeID, p float64) { n.lossRate[orderedPair(a, b)] = p }
+
+// Send schedules delivery of a zero-size control message.
+func (n *Network) Send(from, to NodeID, msg Message) { n.SendSized(from, to, msg, 0) }
+
+// SendSized schedules delivery of a message of the given payload size.
+// Large payloads occupy the sender's uplink and receiver's downlink, which
+// is what makes centralized distribution of GB configs melt down and P2P
+// win (§3.5).
+func (n *Network) SendSized(from, to NodeID, msg Message, size int) {
+	src := n.mustNode(from)
+	dst := n.mustNode(to)
+	if src.down {
+		n.Dropped++
+		return
+	}
+	if n.partitioned[orderedPair(from, to)] {
+		n.Dropped++
+		return
+	}
+	if p := n.lossRate[orderedPair(from, to)]; p > 0 && n.rng.Bool(p) {
+		n.Dropped++
+		return
+	}
+	now := n.clock.Now()
+	lat := n.latency.between(src.placement, dst.placement, n.rng)
+	depart := now
+	arrive := now.Add(lat)
+	if size > 0 {
+		ser := time.Duration(float64(size) / src.upBps * float64(time.Second))
+		if src.upFreeAt.After(depart) {
+			depart = src.upFreeAt
+		}
+		depart = depart.Add(ser)
+		src.upFreeAt = depart
+		recv := time.Duration(float64(size) / dst.downBps * float64(time.Second))
+		arrive = depart.Add(lat)
+		if dst.downFreeAt.After(arrive) {
+			arrive = dst.downFreeAt
+		}
+		arrive = arrive.Add(recv)
+		dst.downFreeAt = arrive
+		n.BytesSent += uint64(size)
+	}
+	link := pair{from, to}
+	if last := n.lastArrival[link]; arrive.Before(last) {
+		arrive = last
+	}
+	n.lastArrival[link] = arrive
+	n.push(&event{at: arrive, kind: evDeliver, from: from, to: to, msg: msg})
+}
+
+// SetTimer schedules msg to be delivered to id after delay, with from == id.
+func (n *Network) SetTimer(id NodeID, delay time.Duration, msg Message) {
+	n.mustNode(id)
+	n.push(&event{at: n.clock.Now().Add(delay), kind: evTimer, from: id, to: id, msg: msg})
+}
+
+// After schedules an arbitrary callback on the simulation loop. It is the
+// hook used by the driver layers (tailer, canary, workload generators) that
+// are not themselves nodes.
+func (n *Network) After(delay time.Duration, fn func()) {
+	n.push(&event{at: n.clock.Now().Add(delay), kind: evCall, call: fn})
+}
+
+func (n *Network) push(e *event) {
+	e.seq = n.seq
+	n.seq++
+	heap.Push(&n.queue, e)
+}
+
+// Step processes the next event. It reports false when the queue is empty.
+func (n *Network) Step() bool {
+	if len(n.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&n.queue).(*event)
+	n.clock.AdvanceTo(e.at)
+	switch e.kind {
+	case evCall:
+		e.call()
+	default:
+		dst := n.nodes[e.to]
+		if dst == nil || dst.down {
+			n.Dropped++
+			return true
+		}
+		n.Delivered++
+		dst.handler.HandleMessage(&Context{net: n, self: e.to}, e.from, e.msg)
+	}
+	return true
+}
+
+// Run processes events until the queue is empty.
+func (n *Network) Run() {
+	for n.Step() {
+	}
+}
+
+// RunFor processes events until d of virtual time has elapsed; remaining
+// later events stay queued. The clock always ends exactly at start+d.
+func (n *Network) RunFor(d time.Duration) {
+	n.RunUntil(n.clock.Now().Add(d))
+}
+
+// RunUntil processes events up to and including virtual time t.
+func (n *Network) RunUntil(t time.Time) {
+	for len(n.queue) > 0 && !n.queue[0].at.After(t) {
+		n.Step()
+	}
+	n.clock.AdvanceTo(t)
+}
+
+// QueueLen reports the number of pending events (for tests).
+func (n *Network) QueueLen() int { return len(n.queue) }
+
+// Context is handed to handlers; it carries the node's own identity and the
+// network handle for sending messages and arming timers.
+type Context struct {
+	net  *Network
+	self NodeID
+}
+
+// MakeContext builds a Context for driver code (tailers, tests, workload
+// generators) that acts on behalf of a registered node from outside a
+// handler.
+func MakeContext(n *Network, self NodeID) Context {
+	n.mustNode(self)
+	return Context{net: n, self: self}
+}
+
+// Self reports the handling node's id.
+func (c *Context) Self() NodeID { return c.self }
+
+// Now reports the current virtual time.
+func (c *Context) Now() time.Time { return c.net.Now() }
+
+// Send sends a zero-size control message from this node.
+func (c *Context) Send(to NodeID, msg Message) { c.net.Send(c.self, to, msg) }
+
+// SendSized sends a message with a payload size from this node.
+func (c *Context) SendSized(to NodeID, msg Message, size int) {
+	c.net.SendSized(c.self, to, msg, size)
+}
+
+// SetTimer arms a self-timer.
+func (c *Context) SetTimer(delay time.Duration, msg Message) {
+	c.net.SetTimer(c.self, delay, msg)
+}
+
+// RNG exposes the deterministic random stream.
+func (c *Context) RNG() *stats.RNG { return c.net.RNG() }
+
+// Network returns the underlying network (for topology queries).
+func (c *Context) Network() *Network { return c.net }

@@ -1,0 +1,93 @@
+package sitevars
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"configerator/internal/cdl"
+	"configerator/internal/cluster"
+	"configerator/internal/core"
+)
+
+func newBridge(t *testing.T) (*Bridge, *cluster.Fleet) {
+	t.Helper()
+	fleet := cluster.New(cluster.SmallConfig(3, 21))
+	fleet.Net.RunFor(10 * time.Second)
+	p := core.New(core.Options{Fleet: fleet})
+	return NewBridge(p), fleet
+}
+
+func TestBridgeSetDistributes(t *testing.T) {
+	b, fleet := newBridge(t)
+	fleet.SubscribeAll(b.ZeusPath("max_upload_mb"))
+	res, err := b.Set("max_upload_mb", `{limit: 25, burst: 40}`, "alice", "bob", core.SkipCanary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Warnings) != 0 {
+		t.Errorf("warnings = %v", res.Warnings)
+	}
+	fleet.Net.RunFor(20 * time.Second)
+	srv := fleet.AllServers()[0]
+	cfg, err := srv.Client.Current(b.ZeusPath("max_upload_mb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Int("limit", 0) != 25 {
+		t.Errorf("limit = %d", cfg.Int("limit", 0))
+	}
+}
+
+func TestBridgeWarningsSurfaceButDoNotBlock(t *testing.T) {
+	b, _ := newBridge(t)
+	if _, err := b.Set("flag", "true", "alice", "bob", core.SkipCanary()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Set("flag", `"yes"`, "alice", "bob", core.SkipCanary())
+	if err != nil {
+		t.Fatal(err) // warning, not an error
+	}
+	if len(res.Warnings) == 0 || !strings.Contains(res.Warnings[0], "deviates") {
+		t.Errorf("warnings = %v", res.Warnings)
+	}
+	if !res.Report.OK() {
+		t.Error("warned update should still land")
+	}
+}
+
+func TestBridgeCheckerBlocks(t *testing.T) {
+	b, _ := newBridge(t)
+	b.Store().SetChecker("quota", func(v cdl.Value) error {
+		if n, ok := v.(cdl.Int); !ok || n < 0 {
+			return errors.New("quota must be nonnegative int")
+		}
+		return nil
+	})
+	if _, err := b.Set("quota", "-3", "alice", "bob", core.SkipCanary()); err == nil {
+		t.Fatal("checker should block the update")
+	}
+	// Nothing landed.
+	if _, err := b.pipeline.ReadArtifact(b.ArtifactPath("quota")); err == nil {
+		t.Fatal("blocked sitevar landed anyway")
+	}
+}
+
+func TestBridgeSyntaxErrorBlocks(t *testing.T) {
+	b, _ := newBridge(t)
+	if _, err := b.Set("bad", "1 +", "alice", "bob"); err == nil {
+		t.Fatal("syntax error should block")
+	}
+}
+
+func TestBridgeSelfReviewBlocked(t *testing.T) {
+	b, _ := newBridge(t)
+	res, err := b.Set("x", "1", "alice", "alice", core.SkipCanary())
+	if err == nil {
+		t.Fatal("self-review should block")
+	}
+	if res.Report.FailedStage != "review" {
+		t.Errorf("failed at %s", res.Report.FailedStage)
+	}
+}

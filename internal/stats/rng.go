@@ -1,0 +1,131 @@
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator (SplitMix64).
+// Every simulation in this repository threads an explicit *RNG so that runs
+// are reproducible; the global math/rand state is never used.
+type RNG struct {
+	state uint64
+	// cached spare normal variate for Box-Muller
+	hasSpare bool
+	spare    float64
+}
+
+// NewRNG returns a generator seeded with the given seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative int64.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Norm returns a standard normal variate (Box-Muller, with caching).
+func (r *RNG) Norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.hasSpare = true
+	return u * m
+}
+
+// Exp returns an exponential variate with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	return -mean * math.Log(1-r.Float64())
+}
+
+// Lognormal draws from the given lognormal distribution.
+func (r *RNG) Lognormal(l Lognormal) float64 {
+	return l.Sample(r.Norm())
+}
+
+// Pareto returns a Pareto variate with minimum xm and shape alpha; the
+// heavy tail drives the "top 1% of configs take most updates" skew.
+func (r *RNG) Pareto(xm, alpha float64) float64 {
+	return xm / math.Pow(1-r.Float64(), 1/alpha)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle randomises the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Fork derives an independent generator; deterministic given the parent
+// state, so subsystems can be given their own stream.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+// Hash64 mixes arbitrary bytes into a 64-bit value with the same finalizer
+// as the RNG; used for deterministic per-entity sampling (e.g., Gatekeeper
+// user bucketing) without constructing a generator.
+func Hash64(data string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(data); i++ {
+		h ^= uint64(data[i])
+		h *= 0x100000001b3
+	}
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// HashFloat maps arbitrary bytes to a uniform [0,1) value; deterministic.
+func HashFloat(data string) float64 {
+	return float64(Hash64(data)>>11) / (1 << 53)
+}

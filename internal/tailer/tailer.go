@@ -1,0 +1,154 @@
+// Package tailer implements the Git Tailer (§3.4, Figure 3): it
+// "continuously extracts config changes from the git repository and writes
+// them to Zeus for distribution". Each repository in the partitioned
+// namespace gets its own tailer (§3.6).
+package tailer
+
+import (
+	"sort"
+	"time"
+
+	"configerator/internal/simnet"
+	"configerator/internal/vcs"
+	"configerator/internal/zeus"
+)
+
+// PollInterval matches the paper's observed ~5 s tailer latency between a
+// commit landing in the shared repository and the write reaching Zeus.
+const PollInterval = 5 * time.Second
+
+type msgTickTail struct{}
+
+// Tailer is a simnet node that bridges one repository into Zeus.
+type Tailer struct {
+	id     simnet.NodeID
+	net    *simnet.Network
+	repo   *vcs.Repository
+	client *zeus.Client
+	cursor int
+	// prefix maps repo paths to Zeus paths, e.g. "/configs/".
+	prefix   string
+	interval time.Duration
+	// processing models the tailer's extraction cost on a large
+	// repository — the ~5 s the paper attributes to "the git tailer takes
+	// about 5 seconds to fetch config changes" (§6.3).
+	processing time.Duration
+
+	// WritesIssued counts Zeus writes submitted.
+	WritesIssued int
+	// onDelivered, if set, fires when a write commits in Zeus.
+	onDelivered func(path string, zxid int64)
+}
+
+// New creates a tailer node on the network.
+func New(net *simnet.Network, id simnet.NodeID, placement simnet.Placement,
+	repo *vcs.Repository, members []simnet.NodeID, prefix string) *Tailer {
+	t := &Tailer{
+		id:       id,
+		net:      net,
+		repo:     repo,
+		client:   zeus.NewClient(id, members),
+		prefix:   prefix,
+		interval: PollInterval,
+	}
+	net.AddNode(id, placement, t)
+	net.SetTimer(id, t.interval, msgTickTail{})
+	return t
+}
+
+// SetInterval overrides the poll interval (tests).
+func (t *Tailer) SetInterval(d time.Duration) { t.interval = d }
+
+// SetProcessingDelay adds a fixed extraction cost between detecting new
+// commits and writing them to Zeus (the paper's ~5 s git-fetch cost on a
+// large repository).
+func (t *Tailer) SetProcessingDelay(d time.Duration) { t.processing = d }
+
+// OnDelivered registers a callback fired when a tailed write commits in
+// Zeus (used by experiments to timestamp propagation).
+func (t *Tailer) OnDelivered(fn func(path string, zxid int64)) { t.onDelivered = fn }
+
+// OnRestart implements simnet.Restarter.
+func (t *Tailer) OnRestart(ctx *simnet.Context) {
+	ctx.SetTimer(t.interval, msgTickTail{})
+}
+
+// HandleMessage implements simnet.Handler.
+func (t *Tailer) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
+	switch msg.(type) {
+	case msgTickTail:
+		if t.processing > 0 && t.repo.CommitCount() > t.cursor {
+			// Extraction takes time on a big repo; issue the writes when
+			// it completes.
+			t.net.After(t.processing, func() {
+				ctx := simnet.MakeContext(t.net, t.id)
+				t.poll(&ctx)
+			})
+		} else {
+			t.poll(ctx)
+		}
+		ctx.SetTimer(t.interval, msgTickTail{})
+	default:
+		// Zeus client replies and retry timers.
+		t.client.HandleMessage(ctx, from, msg)
+	}
+}
+
+// poll extracts commits past the cursor and writes each changed file to
+// Zeus. Deletions propagate as Zeus deletes.
+func (t *Tailer) poll(ctx *simnet.Context) {
+	commits := t.repo.LogAfter(t.cursor)
+	if len(commits) == 0 {
+		return
+	}
+	store := t.repo.Store()
+	for _, h := range commits {
+		c, _ := store.Commit(h)
+		parentTree := vcs.Tree{}
+		if !c.Parent.IsZero() {
+			pc, _ := store.Commit(c.Parent)
+			parentTree, _ = store.Tree(pc.Tree)
+		}
+		tree, _ := store.Tree(c.Tree)
+		// Deterministic order: collect changed paths sorted.
+		changed := changedPaths(parentTree, tree)
+		for _, p := range changed {
+			zpath := t.prefix + p
+			if h, ok := tree[p]; ok {
+				data, _ := store.Blob(h)
+				t.WritesIssued++
+				path := zpath
+				t.client.Write(ctx, path, data, func(r zeus.WriteResult) {
+					if t.onDelivered != nil {
+						t.onDelivered(path, r.Zxid)
+					}
+				})
+			} else {
+				t.WritesIssued++
+				path := zpath
+				t.client.Delete(ctx, path, func(r zeus.WriteResult) {
+					if t.onDelivered != nil {
+						t.onDelivered(path, r.Zxid)
+					}
+				})
+			}
+		}
+	}
+	t.cursor += len(commits)
+}
+
+func changedPaths(old, new vcs.Tree) []string {
+	var out []string
+	for p, h := range new {
+		if old[p] != h {
+			out = append(out, p)
+		}
+	}
+	for p := range old {
+		if _, ok := new[p]; !ok {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"time"
+
+	"configerator/internal/stats"
+)
+
+// Analysis functions: each reproduces one of the paper's tables or
+// figures from a history. They are measurement code — they would work
+// unchanged on a real repository history.
+
+// Fig7Point is one day of Figure 7.
+type Fig7Point struct {
+	Day      int
+	Total    int
+	Compiled int
+	Raw      int
+}
+
+// Fig7ConfigGrowth computes the number of configs in the repository over
+// time, split compiled vs raw (Figure 7).
+func (h *History) Fig7ConfigGrowth() []Fig7Point {
+	points := make([]Fig7Point, h.Days)
+	for i := range points {
+		points[i].Day = i
+	}
+	for _, c := range h.Configs {
+		day := int(c.Created.Sub(h.Start) / (24 * time.Hour))
+		if day < 0 || day >= h.Days {
+			continue
+		}
+		for d := day; d < h.Days; d++ {
+			points[d].Total++
+			if c.Kind == KindRaw {
+				points[d].Raw++
+			} else {
+				points[d].Compiled++
+			}
+		}
+	}
+	return points
+}
+
+// Fig8SizeCDFs computes the config-size CDFs (Figure 8): raw and compiled.
+func (h *History) Fig8SizeCDFs() (raw, compiled *stats.CDF) {
+	raw, compiled = &stats.CDF{}, &stats.CDF{}
+	for _, c := range h.Configs {
+		if c.Kind == KindRaw {
+			raw.Add(float64(c.Size))
+		} else {
+			compiled.Add(float64(c.Size))
+		}
+	}
+	return raw, compiled
+}
+
+// Fig9Freshness computes the CDF of days since each config was last
+// modified, measured at the horizon (Figure 9).
+func (h *History) Fig9Freshness() *stats.CDF {
+	cdf := &stats.CDF{}
+	end := h.End()
+	for _, c := range h.Configs {
+		cdf.Add(end.Sub(c.LastModified()).Hours() / 24)
+	}
+	return cdf
+}
+
+// Fig10AgeAtUpdate computes the CDF of a config's age (days) at each of
+// its updates (Figure 10).
+func (h *History) Fig10AgeAtUpdate() *stats.CDF {
+	cdf := &stats.CDF{}
+	for _, c := range h.Configs {
+		for _, u := range c.Updates {
+			cdf.Add(u.Time.Sub(c.Created).Hours() / 24)
+		}
+	}
+	return cdf
+}
+
+// Table1UpdatesPerConfig computes the updates-per-config histograms
+// (Table 1; the paper's table counts writes, i.e. creation + updates, so
+// "written once" = never updated).
+func (h *History) Table1UpdatesPerConfig() (compiled, raw *stats.Histogram) {
+	compiled, raw = stats.NewHistogram(), stats.NewHistogram()
+	for _, c := range h.Configs {
+		writes := 1 + len(c.Updates)
+		if c.Kind == KindRaw {
+			raw.Observe(writes)
+		} else {
+			compiled.Observe(writes)
+		}
+	}
+	return compiled, raw
+}
+
+// TopUpdateShare reports the share of updates contributed by the top-frac
+// most-updated configs of a kind (the §6.2 skew: top 1% of raw configs
+// account for 92.8% of raw updates).
+func (h *History) TopUpdateShare(kind Kind, frac float64) float64 {
+	hist := stats.NewHistogram()
+	for _, c := range h.Configs {
+		if c.Kind == kind {
+			hist.Observe(1 + len(c.Updates))
+		}
+	}
+	return hist.TopShare(frac)
+}
+
+// Table2LineChanges computes the line-changes-per-update histogram for a
+// kind (Table 2).
+func (h *History) Table2LineChanges(kind Kind) *stats.Histogram {
+	hist := stats.NewHistogram()
+	for _, c := range h.Configs {
+		if c.Kind != kind {
+			continue
+		}
+		for _, u := range c.Updates {
+			hist.Observe(u.LineChanges)
+		}
+	}
+	return hist
+}
+
+// Table3CoAuthors computes the distinct-co-author histogram (Table 3).
+func (h *History) Table3CoAuthors(kind Kind) *stats.Histogram {
+	hist := stats.NewHistogram()
+	for _, c := range h.Configs {
+		if c.Kind == kind {
+			hist.Observe(c.Authors())
+		}
+	}
+	return hist
+}
+
+// AutomatedUpdateFraction reports the fraction of updates to a kind made
+// by automation (§6.1's 89% for raw).
+func (h *History) AutomatedUpdateFraction(kind Kind) float64 {
+	auto, total := 0, 0
+	for _, c := range h.Configs {
+		if c.Kind != kind {
+			continue
+		}
+		for _, u := range c.Updates {
+			total++
+			if u.Automated {
+				auto++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(auto) / float64(total)
+}
+
+// MeanUpdatesPerConfig reports the average update count for a kind (§6.1:
+// raw 44, compiled 16 — the model reproduces the ordering and rough ratio,
+// not the absolute means, which depend on horizon).
+func (h *History) MeanUpdatesPerConfig(kind Kind) float64 {
+	total, n := 0, 0
+	for _, c := range h.Configs {
+		if c.Kind == kind {
+			total += len(c.Updates)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}

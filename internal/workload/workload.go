@@ -1,0 +1,356 @@
+// Package workload generates synthetic config-repository histories whose
+// statistics match Section 6 of the paper, and computes from them the same
+// tables and figures the paper reports.
+//
+// The paper's evaluation is production telemetry we cannot observe, so —
+// per the reproduction ground rules — we build the closest synthetic
+// equivalent: a generative model of config creation, updates, authorship,
+// sizes, and commit timing, with each knob calibrated against a published
+// number (raw-config P50 of 400 bytes, 25.0%/56.9% never-updated, two-line
+// changes dominating, 89% of raw updates automated, weekend commit ratios,
+// …). The analysis side (fig*.go) is measurement code that would work
+// unchanged on a real history; the experiments then check that the
+// generated population reproduces the paper's distributions end to end.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"configerator/internal/stats"
+	"configerator/internal/vclock"
+)
+
+// Kind distinguishes the paper's config classes (§6.1).
+type Kind int
+
+// Config kinds. Source files generate compiled files; raw configs are
+// checked in directly (often by automation).
+const (
+	KindCompiled Kind = iota
+	KindRaw
+	KindSource
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCompiled:
+		return "compiled"
+	case KindRaw:
+		return "raw"
+	case KindSource:
+		return "source"
+	}
+	return "?"
+}
+
+// Update is one config update event.
+type Update struct {
+	Time        time.Time
+	Author      string
+	LineChanges int
+	Automated   bool
+}
+
+// Config is one config file's life.
+type Config struct {
+	ID      int
+	Kind    Kind
+	Created time.Time
+	Size    int
+	Updates []Update
+	// authors is the distinct author set (including the creator).
+	authors map[string]bool
+}
+
+// Authors reports the number of distinct co-authors.
+func (c *Config) Authors() int { return len(c.authors) }
+
+// LastModified reports the last update time (creation if never updated).
+func (c *Config) LastModified() time.Time {
+	if len(c.Updates) == 0 {
+		return c.Created
+	}
+	return c.Updates[len(c.Updates)-1].Time
+}
+
+// History is a generated repository history.
+type History struct {
+	Start   time.Time
+	Days    int
+	Configs []*Config
+}
+
+// End reports the horizon.
+func (h *History) End() time.Time { return h.Start.Add(time.Duration(h.Days) * 24 * time.Hour) }
+
+// Params calibrates the generator. Zero fields take defaults matched to
+// the paper.
+type Params struct {
+	Seed uint64
+	// Days is the horizon (Fig 7 spans ~1400 days).
+	Days int
+	// ScalePerDay is the creation rate scale; total configs ≈
+	// ScalePerDay·Days·(1+Growth·Days)/2. Pick small values for tests.
+	ScalePerDay float64
+	// MigrationDay injects the "Gatekeeper migrated to Configerator" bulk
+	// import visible as a step in Fig 7 (0 disables).
+	MigrationDay int
+	// MigrationConfigs is the size of that bulk import.
+	MigrationConfigs int
+}
+
+// DefaultParams returns the calibrated defaults at a laptop-friendly
+// scale (~20k configs over 1400 days).
+func DefaultParams(seed uint64) Params {
+	return Params{
+		Seed:             seed,
+		Days:             1400,
+		ScalePerDay:      3.0,
+		MigrationDay:     900,
+		MigrationConfigs: 2500,
+	}
+}
+
+// Calibration constants (each traces to a §6 number).
+const (
+	// rawFracStart/End: raw share shrinks as teams adopt config-as-code;
+	// 75% of configs are compiled "currently" (§6.1).
+	rawFracStart = 0.45
+	rawFracEnd   = 0.25
+	// neverUpdated fractions, Table 1 first row.
+	neverUpdatedCompiled = 0.250
+	neverUpdatedRaw      = 0.569
+	// automatedRawUpdates: "about 89% of the updates to raw configs are
+	// done by automation tools" (§6.1).
+	automatedRawUpdates = 0.89
+	// automatedCompiledUpdates keeps Configerator's overall automated
+	// commit share near the reported 39% (§6.3).
+	automatedCompiledUpdates = 0.22
+)
+
+// sizeModel fits the §6.1 size quantiles: raw P50=400B/P95=25KB,
+// compiled P50=1KB/P95=45KB.
+var (
+	rawSizes      = stats.LognormalFromQuantiles(0.50, 400, 0.95, 25_000)
+	compiledSizes = stats.LognormalFromQuantiles(0.50, 1_000, 0.95, 45_000)
+)
+
+// Generate builds a history.
+func Generate(p Params) *History {
+	if p.Days == 0 {
+		p = DefaultParams(p.Seed)
+	}
+	rng := stats.NewRNG(p.Seed)
+	h := &History{Start: vclock.Epoch, Days: p.Days}
+	id := 0
+	for day := 0; day < p.Days; day++ {
+		// Linear rate growth ⇒ convex cumulative curve like Fig 7.
+		rate := p.ScalePerDay * (0.2 + 1.8*float64(day)/float64(p.Days))
+		n := poisson(rng, rate)
+		for i := 0; i < n; i++ {
+			id++
+			h.Configs = append(h.Configs, genConfig(rng, h, id, day, p.Days, KindSource))
+		}
+		if day == p.MigrationDay {
+			// The Gatekeeper migration imported compiled configs in bulk
+			// (the Fig 7 step).
+			for i := 0; i < p.MigrationConfigs; i++ {
+				id++
+				h.Configs = append(h.Configs, genConfig(rng, h, id, day, p.Days, KindCompiled))
+			}
+		}
+	}
+	return h
+}
+
+func poisson(rng *stats.RNG, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	// Knuth's method; per-day rates here are small.
+	threshold := math.Exp(-lambda)
+	l := 1.0
+	for i := 0; ; i++ {
+		l *= rng.Float64()
+		if l < threshold {
+			return i
+		}
+		if i > 100000 {
+			return i
+		}
+	}
+}
+
+func genConfig(rng *stats.RNG, h *History, id, day, horizon int, forced Kind) *Config {
+	kind := forced
+	if forced == KindSource { // sentinel: draw the kind
+		frac := float64(day) / float64(horizon)
+		rawFrac := rawFracStart + (rawFracEnd-rawFracStart)*frac
+		kind = KindCompiled
+		if rng.Bool(rawFrac) {
+			kind = KindRaw
+		}
+	}
+	created := h.Start.Add(time.Duration(day)*24*time.Hour +
+		time.Duration(rng.Float64()*24*float64(time.Hour)))
+	c := &Config{ID: id, Kind: kind, Created: created, authors: make(map[string]bool)}
+	// Size.
+	switch kind {
+	case KindRaw:
+		c.Size = int(rng.Lognormal(rawSizes))
+	default:
+		c.Size = int(rng.Lognormal(compiledSizes))
+	}
+	if c.Size < 16 {
+		c.Size = 16
+	}
+	// Each config has one owning automation identity; a tool counts as a
+	// single author no matter how many updates it makes (§6.2, Table 3
+	// discussion). Half the raw configs are tool-owned end to end.
+	tool := "svc:" + toolName(rng)
+	creator := pickAuthor(rng, kind, false)
+	toolOwned := kind == KindRaw && rng.Bool(0.5)
+	if toolOwned {
+		creator = tool
+	}
+	c.authors[creator] = true
+	humanAuthors := []string{}
+	if !toolOwned {
+		humanAuthors = append(humanAuthors, creator)
+	}
+
+	// Update count over the config's lifetime: the never-updated mass plus
+	// a heavy tail (top 1% of raw configs take 92.8% of raw updates).
+	var count int
+	switch kind {
+	case KindRaw:
+		count = updateCount(rng, neverUpdatedRaw, 2.2, 0.75)
+	default:
+		count = updateCount(rng, neverUpdatedCompiled, 1.6, 1.05)
+	}
+	remaining := float64(horizon-day) * 24 * float64(time.Hour)
+	if remaining <= 0 {
+		return c
+	}
+	// Authorship accrues incrementally: each human update either comes
+	// from an existing co-author or (with diminishing probability) from a
+	// new engineer, so most configs stay at 1-2 authors (Table 3) while
+	// hot shared configs grow long co-author tails (the 727-author
+	// sitevar of §6.2).
+	pNewBase := 0.30
+	if kind == KindRaw {
+		pNewBase = 0.40
+	}
+	for i := 0; i < count; i++ {
+		// Update times: a fresh-bias mixture — 55% of updates land early
+		// in the config's life (exponential with 90-day mean), the rest
+		// uniformly across its lifetime (old configs do get updated, Fig
+		// 10).
+		var offset float64
+		if rng.Bool(0.55) {
+			offset = rng.Exp(90 * 24 * float64(time.Hour))
+			if offset > remaining {
+				offset = rng.Float64() * remaining
+			}
+		} else {
+			offset = rng.Float64() * remaining
+		}
+		automated := rng.Bool(automatedFrac(kind))
+		var author string
+		switch {
+		case automated:
+			author = tool
+		case len(humanAuthors) == 0 || rng.Bool(pNewBase/float64(len(humanAuthors))):
+			author = pickAuthor(rng, kind, false)
+			humanAuthors = append(humanAuthors, author)
+		default:
+			author = humanAuthors[rng.Intn(len(humanAuthors))]
+		}
+		u := Update{
+			Time:        created.Add(time.Duration(offset)),
+			Author:      author,
+			LineChanges: lineChanges(rng, kind),
+			Automated:   automated,
+		}
+		c.Updates = append(c.Updates, u)
+		c.authors[author] = true
+	}
+	sortUpdates(c.Updates)
+	return c
+}
+
+func automatedFrac(k Kind) float64 {
+	if k == KindRaw {
+		return automatedRawUpdates
+	}
+	return automatedCompiledUpdates
+}
+
+// updateCount draws the lifetime update count: zero with probability
+// pZero, else a Pareto-tailed count.
+func updateCount(rng *stats.RNG, pZero, xm, alpha float64) int {
+	if rng.Bool(pZero) {
+		return 0
+	}
+	n := int(rng.Pareto(xm, alpha)) - 1
+	if n < 1 {
+		n = 1
+	}
+	if n > 100_000 {
+		n = 100_000
+	}
+	return n
+}
+
+// lineChanges draws a diff size from the Table 2 buckets.
+func lineChanges(rng *stats.RNG, k Kind) int {
+	u := rng.Float64()
+	type bucket struct {
+		p      float64
+		lo, hi int
+	}
+	var buckets []bucket
+	if k == KindRaw {
+		buckets = []bucket{
+			{0.023, 1, 1}, {0.486, 2, 2}, {0.325, 3, 4}, {0.042, 5, 6},
+			{0.036, 7, 10}, {0.057, 11, 50}, {0.011, 51, 100}, {0.020, 101, 2000},
+		}
+	} else {
+		buckets = []bucket{
+			{0.025, 1, 1}, {0.495, 2, 2}, {0.099, 3, 4}, {0.039, 5, 6},
+			{0.074, 7, 10}, {0.153, 11, 50}, {0.028, 51, 100}, {0.087, 101, 2000},
+		}
+	}
+	acc := 0.0
+	for _, b := range buckets {
+		acc += b.p
+		if u < acc {
+			if b.lo == b.hi {
+				return b.lo
+			}
+			return b.lo + rng.Intn(b.hi-b.lo+1)
+		}
+	}
+	return 2
+}
+
+var engineerPool = 4000
+
+func pickAuthor(rng *stats.RNG, k Kind, automated bool) string {
+	if automated {
+		return "svc:" + toolName(rng)
+	}
+	return fmt.Sprintf("eng%04d", rng.Intn(engineerPool))
+}
+
+var tools = []string{"traffic-shifter", "model-publisher", "topology-mgr", "drain-bot", "loadtest"}
+
+func toolName(rng *stats.RNG) string { return tools[rng.Intn(len(tools))] }
+
+func sortUpdates(us []Update) {
+	sort.Slice(us, func(i, j int) bool { return us[i].Time.Before(us[j].Time) })
+}

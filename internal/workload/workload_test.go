@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// testHistory generates a moderate history once; the calibration tests
+// share it.
+var testHist = Generate(Params{Seed: 1, Days: 1400, ScalePerDay: 1.2,
+	MigrationDay: 900, MigrationConfigs: 800})
+
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.3f, want %.3f ± %.3f", name, got, want, tol)
+	}
+}
+
+func TestGrowthShape(t *testing.T) {
+	points := testHist.Fig7ConfigGrowth()
+	if len(points) != 1400 {
+		t.Fatalf("points = %d", len(points))
+	}
+	total := points[len(points)-1].Total
+	if total < 2000 {
+		t.Fatalf("total configs = %d, too few to analyze", total)
+	}
+	// Convex growth: the second half adds more than the first half.
+	mid := points[700].Total
+	if mid >= total-mid {
+		t.Errorf("growth not accelerating: first half %d, second half %d", mid, total-mid)
+	}
+	// Migration step: day 900 jumps.
+	jump := points[900].Total - points[899].Total
+	if jump < 700 {
+		t.Errorf("migration step = %d, want >= 700", jump)
+	}
+	// Compiled share ≈ 75% at the end (§6.1).
+	share := float64(points[len(points)-1].Compiled) / float64(total)
+	within(t, "compiled share", share, 0.75, 0.06)
+}
+
+func TestSizeQuantiles(t *testing.T) {
+	raw, compiled := testHist.Fig8SizeCDFs()
+	// §6.1: raw P50 400B, compiled P50 1KB; P95 25KB / 45KB.
+	p50raw := raw.Quantile(0.5)
+	if p50raw < 300 || p50raw > 550 {
+		t.Errorf("raw P50 = %v, want ~400", p50raw)
+	}
+	p50c := compiled.Quantile(0.5)
+	if p50c < 800 || p50c > 1300 {
+		t.Errorf("compiled P50 = %v, want ~1000", p50c)
+	}
+	p95raw := raw.Quantile(0.95)
+	if p95raw < 17_000 || p95raw > 36_000 {
+		t.Errorf("raw P95 = %v, want ~25000", p95raw)
+	}
+	p95c := compiled.Quantile(0.95)
+	if p95c < 32_000 || p95c > 62_000 {
+		t.Errorf("compiled P95 = %v, want ~45000", p95c)
+	}
+}
+
+func TestNeverUpdatedFractions(t *testing.T) {
+	compiled, raw := testHist.Table1UpdatesPerConfig()
+	// Table 1: 25.0% of compiled and 56.9% of raw written exactly once.
+	within(t, "compiled once", compiled.FractionExactly(1), 0.250, 0.04)
+	within(t, "raw once", raw.FractionExactly(1), 0.569, 0.05)
+}
+
+func TestUpdateSkew(t *testing.T) {
+	// §6.2: top 1% of raw configs account for 92.8% of raw updates; top
+	// 1% of compiled for 64.5%. Heavy tails converge slowly — accept the
+	// qualitative shape: raw much more skewed than compiled, both heavy.
+	rawShare := testHist.TopUpdateShare(KindRaw, 0.01)
+	compiledShare := testHist.TopUpdateShare(KindCompiled, 0.01)
+	if rawShare < 0.55 {
+		t.Errorf("raw top-1%% share = %.3f, want heavy (> 0.55)", rawShare)
+	}
+	if compiledShare < 0.30 {
+		t.Errorf("compiled top-1%% share = %.3f, want heavy (> 0.30)", compiledShare)
+	}
+	if rawShare <= compiledShare {
+		t.Errorf("raw skew (%.3f) must exceed compiled skew (%.3f)", rawShare, compiledShare)
+	}
+}
+
+func TestRawUpdatedMoreOftenThanCompiled(t *testing.T) {
+	// §6.1: raw configs get updated ~175% more often than compiled.
+	raw := testHist.MeanUpdatesPerConfig(KindRaw)
+	compiled := testHist.MeanUpdatesPerConfig(KindCompiled)
+	if raw <= compiled {
+		t.Errorf("raw mean %.2f must exceed compiled mean %.2f", raw, compiled)
+	}
+}
+
+func TestAutomationFractions(t *testing.T) {
+	// §6.1: 89% of raw updates are automated.
+	within(t, "raw automated", testHist.AutomatedUpdateFraction(KindRaw), 0.89, 0.02)
+	auto := testHist.AutomatedUpdateFraction(KindCompiled)
+	if auto < 0.1 || auto > 0.4 {
+		t.Errorf("compiled automated = %.3f", auto)
+	}
+}
+
+func TestLineChangeDistribution(t *testing.T) {
+	h := testHist.Table2LineChanges(KindCompiled)
+	// Table 2: 49.5% of compiled updates are two-line changes; 8.7% touch
+	// >100 lines.
+	within(t, "two-line", h.FractionExactly(2), 0.495, 0.03)
+	big := h.FractionInRange(101, 1<<30)
+	within(t, ">100 lines", big, 0.087, 0.03)
+}
+
+func TestCoAuthorDistribution(t *testing.T) {
+	compiled := testHist.Table3CoAuthors(KindCompiled)
+	raw := testHist.Table3CoAuthors(KindRaw)
+	// Table 3: 49.5% single-author compiled; 70% raw; 79.6% of compiled
+	// within 1-2 authors; 91.5% of raw.
+	within(t, "compiled 1 author", compiled.FractionExactly(1), 0.495, 0.07)
+	within(t, "raw 1 author", raw.FractionExactly(1), 0.70, 0.07)
+	if got := compiled.FractionInRange(1, 2); got < 0.70 || got > 0.88 {
+		t.Errorf("compiled 1-2 authors = %.3f, want ~0.796", got)
+	}
+	if got := raw.FractionInRange(1, 2); got < 0.84 || got > 0.97 {
+		t.Errorf("raw 1-2 authors = %.3f, want ~0.915", got)
+	}
+}
+
+func TestFreshnessShape(t *testing.T) {
+	f := testHist.Fig9Freshness()
+	// Fig 9: 28% modified in the past 90 days; 35% untouched for 300+
+	// days. Shapes depend on horizon; assert the qualitative claims: both
+	// fresh and dormant mass are significant.
+	fresh := f.FractionAtMost(90)
+	dormant := 1 - f.FractionAtMost(300)
+	if fresh < 0.15 || fresh > 0.55 {
+		t.Errorf("fresh fraction = %.3f, want significant (~0.28)", fresh)
+	}
+	if dormant < 0.15 || dormant > 0.60 {
+		t.Errorf("dormant fraction = %.3f, want significant (~0.35)", dormant)
+	}
+}
+
+func TestAgeAtUpdateShape(t *testing.T) {
+	a := testHist.Fig10AgeAtUpdate()
+	young := a.FractionAtMost(60)
+	old := 1 - a.FractionAtMost(300)
+	// Fig 10: 29% of updates hit configs < 60 days old; 29% hit configs
+	// older than 300 days. Both ends must carry real mass.
+	if young < 0.15 || young > 0.60 {
+		t.Errorf("young-update fraction = %.3f (~0.29 expected)", young)
+	}
+	if old < 0.10 || old > 0.55 {
+		t.Errorf("old-update fraction = %.3f (~0.29 expected)", old)
+	}
+}
+
+func TestUpdatesSortedWithinLifetime(t *testing.T) {
+	for _, c := range testHist.Configs[:min(500, len(testHist.Configs))] {
+		last := c.Created
+		for _, u := range c.Updates {
+			if u.Time.Before(c.Created) {
+				t.Fatalf("update before creation")
+			}
+			if u.Time.Before(last) {
+				t.Fatalf("updates not sorted")
+			}
+			last = u.Time
+		}
+		if c.LastModified().After(testHist.End().Add(24 * time.Hour)) {
+			t.Fatalf("update beyond horizon")
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Params{Seed: 9, Days: 200, ScalePerDay: 1})
+	b := Generate(Params{Seed: 9, Days: 200, ScalePerDay: 1})
+	if len(a.Configs) != len(b.Configs) {
+		t.Fatal("nondeterministic config count")
+	}
+	for i := range a.Configs {
+		if len(a.Configs[i].Updates) != len(b.Configs[i].Updates) {
+			t.Fatal("nondeterministic updates")
+		}
+	}
+}
+
+func TestCommitSeriesWeekendRatios(t *testing.T) {
+	days := 280
+	cfg := GenerateCommits(ConfigeratorProfile(), days, 1)
+	www := GenerateCommits(WWWProfile(), days, 2)
+	fbcode := GenerateCommits(FbcodeProfile(), days, 3)
+	// §6.3: weekend/weekday ≈ 33% / 10% / 7%.
+	within(t, "configerator weekend ratio", cfg.WeekendRatio(), 0.33, 0.1)
+	within(t, "www weekend ratio", www.WeekendRatio(), 0.10, 0.05)
+	within(t, "fbcode weekend ratio", fbcode.WeekendRatio(), 0.07, 0.05)
+	if cfg.WeekendRatio() <= www.WeekendRatio() {
+		t.Error("configerator must stay busier on weekends than www")
+	}
+}
+
+func TestCommitGrowth(t *testing.T) {
+	days := 300
+	cfg := GenerateCommits(ConfigeratorProfile(), days, 1)
+	early := cfg.PeakDaily(0, 30)
+	late := cfg.PeakDaily(days-30, days)
+	growth := float64(late)/float64(early) - 1
+	// §6.3: peak daily throughput grew by 180% over 10 months.
+	if growth < 1.2 {
+		t.Errorf("peak growth = %.0f%%, want ~180%%", 100*growth)
+	}
+}
+
+func TestHourlyDiurnalPattern(t *testing.T) {
+	cfg := GenerateCommits(ConfigeratorProfile(), 14, 5)
+	// Mean 10AM-6PM volume must dominate the small hours, but the small
+	// hours stay nonzero (automation).
+	var peak, trough float64
+	peakN, troughN := 0, 0
+	for h, n := range cfg.PerHour {
+		hour := h % 24
+		if hour >= 10 && hour < 18 {
+			peak += float64(n)
+			peakN++
+		}
+		if hour >= 2 && hour < 6 {
+			trough += float64(n)
+			troughN++
+		}
+	}
+	peak /= float64(peakN)
+	trough /= float64(troughN)
+	if peak < 3*trough {
+		t.Errorf("no diurnal pattern: peak=%.1f trough=%.1f", peak, trough)
+	}
+	if trough == 0 {
+		t.Error("automation should keep nights nonzero")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindCompiled.String() != "compiled" || KindRaw.String() != "raw" || KindSource.String() != "source" {
+		t.Error("Kind.String broken")
+	}
+}

@@ -1,0 +1,177 @@
+package zeus
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"configerator/internal/simnet"
+	"configerator/internal/stats"
+)
+
+// TestChaosConvergence subjects a 5-member ensemble to a random schedule
+// of member crashes and recoveries (never more than two down at once, so a
+// quorum always exists) while a client keeps writing. At the end, with all
+// members recovered and the dust settled, every replica must agree on
+// every path.
+func TestChaosConvergence(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			net := simnet.New(simnet.DefaultLatency(), seed)
+			placements := []simnet.Placement{
+				{Region: "us-west", Cluster: "zk1"},
+				{Region: "us-west", Cluster: "zk2"},
+				{Region: "us-east", Cluster: "zk3"},
+				{Region: "us-east", Cluster: "zk4"},
+				{Region: "eu", Cluster: "zk5"},
+			}
+			e := StartEnsemble(net, 5, placements)
+			net.RunFor(10 * time.Second)
+			cl := NewClient("writer", e.Members)
+			net.AddNode("writer", simnet.Placement{Region: "us-west", Cluster: "ctrl"}, cl)
+
+			rng := stats.NewRNG(seed * 977)
+			down := make(map[simnet.NodeID]bool)
+			committed := 0
+			// 40 rounds: each round maybe crash/recover a member, then
+			// issue a write and run for a few seconds.
+			for round := 0; round < 40; round++ {
+				// Random fault action.
+				m := e.Members[rng.Intn(len(e.Members))]
+				if down[m] {
+					net.Recover(m)
+					delete(down, m)
+				} else if len(down) < 2 && rng.Bool(0.4) {
+					net.Fail(m)
+					down[m] = true
+				}
+				path := fmt.Sprintf("/chaos/p%d", round%7)
+				val := fmt.Sprintf("round-%d", round)
+				func(r int) {
+					net.After(0, func() {
+						ctx := simnet.MakeContext(net, "writer")
+						cl.Write(&ctx, path, []byte(val), func(WriteResult) { committed++ })
+					})
+				}(round)
+				net.RunFor(4 * time.Second)
+			}
+			// Recover everyone and settle.
+			for m := range down {
+				net.Recover(m)
+			}
+			net.RunFor(2 * time.Minute)
+			if cl.PendingWrites() != 0 {
+				t.Fatalf("%d writes never committed (%d committed)", cl.PendingWrites(), committed)
+			}
+			if committed != 40 {
+				t.Fatalf("committed = %d of 40", committed)
+			}
+			// All replicas agree on every path.
+			leader := e.LeaderServer()
+			if leader == nil {
+				t.Fatal("no leader after recovery")
+			}
+			for _, path := range leader.Tree().Paths() {
+				want := string(leader.Tree().Get(path).Data)
+				for id, s := range e.Servers {
+					rec := s.Tree().Get(path)
+					if rec == nil || string(rec.Data) != want {
+						t.Errorf("%s diverged on %s: %v (leader has %q)", id, path, rec, want)
+					}
+				}
+			}
+			// Each path's final value is from its LAST committed write.
+			// (Retries may duplicate a write, but duplicates carry the
+			// same data, so last-round data per path must win.)
+			for p := 0; p < 7; p++ {
+				path := fmt.Sprintf("/chaos/p%d", p)
+				rec := leader.Tree().Get(path)
+				if rec == nil {
+					t.Errorf("%s missing", path)
+					continue
+				}
+				lastRound := -1
+				for round := p; round < 40; round += 7 {
+					lastRound = round
+				}
+				if want := fmt.Sprintf("round-%d", lastRound); string(rec.Data) != want {
+					t.Errorf("%s = %q, want %q", path, rec.Data, want)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosObserversConverge runs the same churn with observers attached;
+// observers must also converge.
+func TestChaosObserversConverge(t *testing.T) {
+	net := simnet.New(simnet.DefaultLatency(), 99)
+	e := StartEnsemble(net, 5, []simnet.Placement{
+		{Region: "us", Cluster: "zk1"},
+		{Region: "us", Cluster: "zk2"},
+		{Region: "eu", Cluster: "zk3"},
+		{Region: "eu", Cluster: "zk4"},
+		{Region: "ap", Cluster: "zk5"},
+	})
+	obs1 := e.AddObserver("obs-1", simnet.Placement{Region: "us", Cluster: "web1"})
+	obs2 := e.AddObserver("obs-2", simnet.Placement{Region: "eu", Cluster: "web2"})
+	net.RunFor(10 * time.Second)
+	cl := NewClient("writer", e.Members)
+	net.AddNode("writer", simnet.Placement{Region: "us", Cluster: "ctrl"}, cl)
+
+	rng := stats.NewRNG(5)
+	committed := 0
+	for round := 0; round < 25; round++ {
+		if rng.Bool(0.3) {
+			obs := []simnet.NodeID{"obs-1", "obs-2"}[rng.Intn(2)]
+			if net.IsDown(obs) {
+				net.Recover(obs)
+			} else {
+				net.Fail(obs)
+			}
+		}
+		if rng.Bool(0.25) {
+			m := e.Members[rng.Intn(len(e.Members))]
+			if net.IsDown(m) {
+				net.Recover(m)
+			} else {
+				downCount := 0
+				for _, mm := range e.Members {
+					if net.IsDown(mm) {
+						downCount++
+					}
+				}
+				if downCount < 2 {
+					net.Fail(m)
+				}
+			}
+		}
+		r := round
+		net.After(0, func() {
+			ctx := simnet.MakeContext(net, "writer")
+			cl.Write(&ctx, "/obs-chaos", []byte(fmt.Sprintf("v%d", r)), func(WriteResult) { committed++ })
+		})
+		net.RunFor(5 * time.Second)
+	}
+	for _, id := range []simnet.NodeID{"obs-1", "obs-2", "zeus-0", "zeus-1", "zeus-2", "zeus-3", "zeus-4"} {
+		if net.IsDown(id) {
+			net.Recover(id)
+		}
+	}
+	net.RunFor(2 * time.Minute)
+	if committed != 25 {
+		t.Fatalf("committed %d of 25", committed)
+	}
+	leader := e.LeaderServer()
+	want := string(leader.Tree().Get("/obs-chaos").Data)
+	if want != "v24" {
+		t.Errorf("final value = %q, want v24", want)
+	}
+	for name, o := range map[string]*Observer{"obs-1": obs1, "obs-2": obs2} {
+		rec := o.Tree().Get("/obs-chaos")
+		if rec == nil || string(rec.Data) != want {
+			t.Errorf("%s diverged: %v (want %q)", name, rec, want)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package zeus
+
+import "configerator/internal/simnet"
+
+// ---- Ensemble protocol messages ----
+
+// msgHeartbeat is sent by the leader to followers periodically.
+type msgHeartbeat struct {
+	Epoch int64
+}
+
+// msgTickLeader fires the leader's heartbeat timer.
+type msgTickLeader struct{}
+
+// msgTickFollower fires the follower's election-timeout check.
+type msgTickFollower struct{}
+
+// msgProbe starts an election: the candidate advertises its log position.
+type msgProbe struct {
+	Term     int64
+	LastZxid int64
+}
+
+// msgProbeReply answers a probe with the replier's log position.
+type msgProbeReply struct {
+	Term     int64
+	LastZxid int64
+}
+
+// msgElectionDecide fires after the candidate's vote-collection window.
+type msgElectionDecide struct {
+	Term int64
+}
+
+// msgNewLeader announces a won election.
+type msgNewLeader struct {
+	Term     int64
+	LastZxid int64
+}
+
+// msgSyncRequest asks the leader for committed ops after LastZxid.
+type msgSyncRequest struct {
+	LastZxid int64
+}
+
+// msgSyncReply carries catch-up ops.
+type msgSyncReply struct {
+	Epoch int64
+	Ops   []WriteOp
+}
+
+// msgPropose carries a proposed (uncommitted) write to followers.
+type msgPropose struct {
+	Epoch int64
+	Op    WriteOp
+}
+
+// msgAck acknowledges a proposal.
+type msgAck struct {
+	Epoch int64
+	Zxid  int64
+}
+
+// msgCommit tells followers to apply a proposal.
+type msgCommit struct {
+	Epoch int64
+	Zxid  int64
+}
+
+// ---- Client protocol ----
+
+// MsgWrite is a client write request (exported so drivers can build them).
+type MsgWrite struct {
+	ReqID  int64
+	Path   string
+	Data   []byte
+	Delete bool
+}
+
+// MsgWriteReply reports the outcome of a write.
+type MsgWriteReply struct {
+	ReqID   int64
+	OK      bool
+	Zxid    int64
+	Version int64
+	// Redirect is the leader to retry against when OK is false and the
+	// receiving server was not the leader ("" if unknown).
+	Redirect simnet.NodeID
+}
+
+// ---- Observer protocol ----
+
+// msgObserverRegister subscribes an observer to the leader's commit stream.
+type msgObserverRegister struct {
+	LastZxid int64
+}
+
+// msgObserverSync carries catch-up ops to an observer.
+type msgObserverSync struct {
+	Epoch int64
+	Ops   []WriteOp
+}
+
+// msgObserverPush streams one committed write to an observer.
+type msgObserverPush struct {
+	Epoch int64
+	Op    WriteOp
+}
+
+// msgTickObserver fires the observer's periodic re-register timer.
+type msgTickObserver struct{}
+
+// ---- Proxy-facing protocol (served by observers) ----
+
+// MsgFetch asks an observer for a path's current record, optionally
+// leaving a watch.
+type MsgFetch struct {
+	ReqID int64
+	Path  string
+	Watch bool
+}
+
+// MsgFetchReply answers a fetch.
+type MsgFetchReply struct {
+	ReqID   int64
+	Path    string
+	Exists  bool
+	Data    []byte
+	Version int64
+	Zxid    int64
+}
+
+// MsgWatchEvent notifies a watching proxy that a path changed. The new data
+// rides along (push model: no extra round trip).
+type MsgWatchEvent struct {
+	Path    string
+	Exists  bool
+	Data    []byte
+	Version int64
+	Zxid    int64
+}
+
+// MsgUnwatch removes a proxy's watch on a path.
+type MsgUnwatch struct {
+	Path string
+}
+
+// MsgPing lets proxies health-check their observer.
+type MsgPing struct{ ReqID int64 }
+
+// MsgPong answers a ping.
+type MsgPong struct{ ReqID int64 }

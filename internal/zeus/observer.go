@@ -1,0 +1,114 @@
+package zeus
+
+import (
+	"configerator/internal/simnet"
+)
+
+// Observer keeps a fully replicated read-only copy of the leader's data
+// (§3.4). Each cluster runs several observers; the leader pushes committed
+// writes to them asynchronously, and proxies in the cluster fetch configs
+// from an observer and leave watches so that later updates are pushed the
+// rest of the way down the tree.
+type Observer struct {
+	id      simnet.NodeID
+	members []simnet.NodeID
+	tree    *DataTree
+	// watches maps path -> the set of proxies to notify on change.
+	watches map[string]map[simnet.NodeID]bool
+
+	// Notified counts watch events pushed (observability for benches).
+	Notified uint64
+}
+
+// NewObserver constructs an observer attached to the given ensemble
+// member list.
+func NewObserver(id simnet.NodeID, members []simnet.NodeID) *Observer {
+	return &Observer{
+		id:      id,
+		members: members,
+		tree:    NewDataTree(),
+		watches: make(map[string]map[simnet.NodeID]bool),
+	}
+}
+
+// Tree exposes the observer's replica (tests/benches).
+func (o *Observer) Tree() *DataTree { return o.tree }
+
+// WatchCount reports how many proxies watch the given path.
+func (o *Observer) WatchCount(path string) int { return len(o.watches[path]) }
+
+// OnRestart implements simnet.Restarter: a recovered observer immediately
+// re-registers (requesting catch-up from its last zxid) and re-arms its
+// periodic registration timer.
+func (o *Observer) OnRestart(ctx *simnet.Context) {
+	o.register(ctx)
+	ctx.SetTimer(observerRegisterGap, msgTickObserver{})
+}
+
+// register broadcasts a registration to all ensemble members; only the
+// current leader responds and adds us to its push set. Broadcasting keeps
+// the observer attached across leader failover without tracking epochs.
+func (o *Observer) register(ctx *simnet.Context) {
+	for _, m := range o.members {
+		ctx.Send(m, msgObserverRegister{LastZxid: o.tree.LastZxid()})
+	}
+}
+
+// HandleMessage implements simnet.Handler.
+func (o *Observer) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
+	switch m := msg.(type) {
+	case msgTickObserver:
+		o.register(ctx)
+		ctx.SetTimer(observerRegisterGap, msgTickObserver{})
+	case msgObserverSync:
+		for _, op := range m.Ops {
+			o.apply(ctx, op)
+		}
+	case msgObserverPush:
+		o.apply(ctx, m.Op)
+	case MsgFetch:
+		o.onFetch(ctx, from, m)
+	case MsgUnwatch:
+		if set := o.watches[m.Path]; set != nil {
+			delete(set, from)
+		}
+	case MsgPing:
+		ctx.Send(from, MsgPong{ReqID: m.ReqID})
+	}
+}
+
+func (o *Observer) apply(ctx *simnet.Context, op WriteOp) {
+	if !o.tree.Apply(op) {
+		return // duplicate or stale
+	}
+	rec := o.tree.Get(op.Path)
+	ev := MsgWatchEvent{Path: op.Path, Zxid: op.Zxid}
+	if rec != nil {
+		ev.Exists = true
+		ev.Data = rec.Data
+		ev.Version = rec.Version
+	}
+	for proxy := range o.watches[op.Path] {
+		ctx.SendSized(proxy, ev, len(ev.Data))
+		o.Notified++
+	}
+}
+
+func (o *Observer) onFetch(ctx *simnet.Context, from simnet.NodeID, m MsgFetch) {
+	if m.Watch {
+		set, ok := o.watches[m.Path]
+		if !ok {
+			set = make(map[simnet.NodeID]bool)
+			o.watches[m.Path] = set
+		}
+		set[from] = true
+	}
+	reply := MsgFetchReply{ReqID: m.ReqID, Path: m.Path}
+	if rec := o.tree.Get(m.Path); rec != nil {
+		reply.Exists = true
+		reply.Data = rec.Data
+		reply.Version = rec.Version
+		reply.Zxid = rec.Zxid
+	}
+	ctx.SendSized(from, reply, len(reply.Data))
+}

@@ -1,0 +1,74 @@
+package zeus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQuickDataTreeMonotoneZxid(t *testing.T) {
+	// Whatever the op sequence, the tree's applied zxid never decreases
+	// and stale ops never clobber newer state.
+	err := quick.Check(func(zxids []int64, datas [][]byte) bool {
+		tree := NewDataTree()
+		var highest int64
+		var lastData []byte
+		n := len(zxids)
+		if len(datas) < n {
+			n = len(datas)
+		}
+		for i := 0; i < n; i++ {
+			z := zxids[i]
+			if z < 0 {
+				z = -z
+			}
+			applied := tree.Apply(WriteOp{Zxid: z, Path: "/p", Data: datas[i], Version: int64(i)})
+			if applied != (z > highest) {
+				return false
+			}
+			if applied {
+				highest = z
+				lastData = datas[i]
+			}
+			if tree.LastZxid() != highest {
+				return false
+			}
+		}
+		if highest == 0 {
+			return true
+		}
+		rec := tree.Get("/p")
+		return rec != nil && string(rec.Data) == string(lastData)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOpsAfterPartitions(t *testing.T) {
+	// OpsAfter(k) returns exactly the committed ops with zxid > k.
+	err := quick.Check(func(count uint8, cut uint8) bool {
+		tree := NewDataTree()
+		n := int(count%50) + 1
+		for i := 1; i <= n; i++ {
+			tree.Apply(WriteOp{Zxid: int64(i * 2), Path: "/p", Version: int64(i)})
+		}
+		k := int64(cut) % int64(n*2+2)
+		ops := tree.OpsAfter(k)
+		for _, op := range ops {
+			if op.Zxid <= k {
+				return false
+			}
+		}
+		// Count check: ops with zxid in (k, 2n] stepping by 2.
+		want := 0
+		for i := 1; i <= n; i++ {
+			if int64(i*2) > k {
+				want++
+			}
+		}
+		return len(ops) == want
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}

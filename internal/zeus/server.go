@@ -1,0 +1,429 @@
+package zeus
+
+import (
+	"sort"
+	"time"
+
+	"configerator/internal/simnet"
+)
+
+// Role is an ensemble member's current role.
+type Role int
+
+// Ensemble roles.
+const (
+	RoleFollower Role = iota
+	RoleCandidate
+	RoleLeader
+)
+
+// Timing constants for the ensemble protocol. The heartbeat keeps
+// followership cheap; the election timeout is staggered per member index so
+// that elections rarely duel.
+const (
+	heartbeatInterval   = 500 * time.Millisecond
+	electionTimeoutBase = 2 * time.Second
+	electionStagger     = 400 * time.Millisecond
+	electionWindow      = 300 * time.Millisecond
+	observerRegisterGap = 2 * time.Second
+)
+
+// zxidEpochShift packs the epoch into the high bits of the zxid so that a
+// new leader's transactions always order after every prior epoch's.
+const zxidEpochShift = 32
+
+type proposal struct {
+	op        WriteOp
+	acks      map[simnet.NodeID]bool
+	committed bool
+	client    simnet.NodeID
+	reqID     int64
+}
+
+// Server is one ensemble member (leader or follower).
+type Server struct {
+	id      simnet.NodeID
+	index   int // position in the member list, staggers election timeouts
+	members []simnet.NodeID
+
+	role     Role
+	epoch    int64
+	leaderID simnet.NodeID
+	tree     *DataTree
+
+	// Leader state.
+	counter     int64
+	pending     map[int64]*proposal
+	versionSeq  map[string]int64 // highest version assigned per path (incl. pending)
+	observers   map[simnet.NodeID]bool
+	pendingZxid []int64 // sorted pending zxids for in-order commit
+
+	// Follower state.
+	lastLeaderContact time.Time
+	uncommitted       map[int64]WriteOp
+
+	// Candidate state.
+	probeTerm    int64
+	probeReplies map[simnet.NodeID]int64 // replier -> lastZxid
+
+	// needSync is set after a restart: the node may have missed commits
+	// while down and must catch up from the leader even if the epoch is
+	// unchanged.
+	needSync bool
+
+	started bool
+}
+
+// NewServer constructs an ensemble member; register it on the network and
+// then call Start via the ensemble helper.
+func NewServer(id simnet.NodeID, index int, members []simnet.NodeID) *Server {
+	return &Server{
+		id:          id,
+		index:       index,
+		members:     members,
+		tree:        NewDataTree(),
+		pending:     make(map[int64]*proposal),
+		versionSeq:  make(map[string]int64),
+		observers:   make(map[simnet.NodeID]bool),
+		uncommitted: make(map[int64]WriteOp),
+	}
+}
+
+// Tree exposes the replica state (read-only use in tests and benches).
+func (s *Server) Tree() *DataTree { return s.tree }
+
+// Role reports the server's current role.
+func (s *Server) Role() Role { return s.role }
+
+// Epoch reports the server's current epoch.
+func (s *Server) Epoch() int64 { return s.epoch }
+
+// LeaderID reports who this server believes leads ("" if unknown).
+func (s *Server) LeaderID() simnet.NodeID { return s.leaderID }
+
+func (s *Server) quorum() int { return len(s.members)/2 + 1 }
+
+func (s *Server) electionTimeout() time.Duration {
+	return electionTimeoutBase + time.Duration(s.index)*electionStagger
+}
+
+func (s *Server) othersDo(ctx *simnet.Context, fn func(peer simnet.NodeID)) {
+	for _, m := range s.members {
+		if m != s.id {
+			fn(m)
+		}
+	}
+}
+
+// HandleMessage implements simnet.Handler.
+func (s *Server) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
+	if !s.started {
+		// First event (the bootstrap timer) initializes liveness tracking;
+		// the tick handler below re-arms its own chain.
+		s.started = true
+		s.lastLeaderContact = ctx.Now()
+	}
+	switch m := msg.(type) {
+	case msgTickFollower:
+		s.onFollowerTick(ctx)
+	case msgTickLeader:
+		s.onLeaderTick(ctx)
+	case msgHeartbeat:
+		s.onHeartbeat(ctx, from, m)
+	case msgProbe:
+		s.onProbe(ctx, from, m)
+	case msgProbeReply:
+		s.onProbeReply(ctx, from, m)
+	case msgElectionDecide:
+		s.onElectionDecide(ctx, m)
+	case msgNewLeader:
+		s.onNewLeader(ctx, from, m)
+	case msgSyncRequest:
+		s.onSyncRequest(ctx, from, m)
+	case msgSyncReply:
+		s.onSyncReply(ctx, from, m)
+	case MsgWrite:
+		s.onWrite(ctx, from, m)
+	case msgPropose:
+		s.onPropose(ctx, from, m)
+	case msgAck:
+		s.onAck(ctx, from, m)
+	case msgCommit:
+		s.onCommit(ctx, from, m)
+	case msgObserverRegister:
+		s.onObserverRegister(ctx, from, m)
+	}
+}
+
+// OnRestart implements simnet.Restarter: a recovered member rejoins as a
+// follower and re-arms its election-timeout chain.
+func (s *Server) OnRestart(ctx *simnet.Context) {
+	s.role = RoleFollower
+	s.lastLeaderContact = ctx.Now()
+	s.uncommitted = make(map[int64]WriteOp)
+	s.needSync = true
+	if s.leaderID != "" && s.leaderID != s.id {
+		ctx.Send(s.leaderID, msgSyncRequest{LastZxid: s.tree.LastZxid()})
+	}
+	ctx.SetTimer(s.electionTimeout()/2, msgTickFollower{})
+}
+
+// ---- Follower / election ----
+
+func (s *Server) onFollowerTick(ctx *simnet.Context) {
+	if s.role == RoleLeader {
+		return // leader uses its own tick
+	}
+	ctx.SetTimer(s.electionTimeout()/2, msgTickFollower{})
+	if ctx.Now().Sub(s.lastLeaderContact) < s.electionTimeout() {
+		return
+	}
+	s.startElection(ctx, s.epoch+1)
+}
+
+func (s *Server) startElection(ctx *simnet.Context, term int64) {
+	if s.role == RoleLeader || (s.role == RoleCandidate && s.probeTerm >= term) {
+		return
+	}
+	s.role = RoleCandidate
+	s.probeTerm = term
+	s.probeReplies = make(map[simnet.NodeID]int64)
+	s.othersDo(ctx, func(peer simnet.NodeID) {
+		ctx.Send(peer, msgProbe{Term: term, LastZxid: s.tree.LastZxid()})
+	})
+	ctx.SetTimer(electionWindow, msgElectionDecide{Term: term})
+}
+
+func (s *Server) onProbe(ctx *simnet.Context, from simnet.NodeID, m msgProbe) {
+	if m.Term <= s.epoch {
+		return // stale candidacy
+	}
+	ctx.Send(from, msgProbeReply{Term: m.Term, LastZxid: s.tree.LastZxid()})
+	// Defer our own timeout: someone is already running an election.
+	s.lastLeaderContact = ctx.Now()
+	// If we are strictly better positioned than the candidate, contest the
+	// election so the most up-to-date member wins.
+	if s.role != RoleLeader && s.betterThan(m.LastZxid, from) {
+		s.startElection(ctx, m.Term)
+	}
+}
+
+// betterThan reports whether this server outranks a candidate with the
+// given log position (higher zxid wins; ties break to the smaller id).
+func (s *Server) betterThan(candZxid int64, candID simnet.NodeID) bool {
+	my := s.tree.LastZxid()
+	if my != candZxid {
+		return my > candZxid
+	}
+	return s.id < candID
+}
+
+func (s *Server) onProbeReply(ctx *simnet.Context, from simnet.NodeID, m msgProbeReply) {
+	if s.role != RoleCandidate || m.Term != s.probeTerm {
+		return
+	}
+	s.probeReplies[from] = m.LastZxid
+}
+
+func (s *Server) onElectionDecide(ctx *simnet.Context, m msgElectionDecide) {
+	if s.role != RoleCandidate || m.Term != s.probeTerm {
+		return
+	}
+	// Count self plus repliers; require a quorum of reachable members.
+	if len(s.probeReplies)+1 < s.quorum() {
+		s.role = RoleFollower // retry after next timeout
+		return
+	}
+	my := s.tree.LastZxid()
+	for peer, zxid := range s.probeReplies {
+		if zxid > my || (zxid == my && peer < s.id) {
+			// A better-positioned peer exists; let it win (we nudged it in
+			// onProbe). Stand down.
+			s.role = RoleFollower
+			s.lastLeaderContact = ctx.Now()
+			return
+		}
+	}
+	s.becomeLeader(ctx, m.Term)
+}
+
+func (s *Server) becomeLeader(ctx *simnet.Context, term int64) {
+	s.role = RoleLeader
+	s.epoch = term
+	s.leaderID = s.id
+	s.counter = 0
+	s.pending = make(map[int64]*proposal)
+	s.pendingZxid = nil
+	s.versionSeq = make(map[string]int64)
+	s.observers = make(map[simnet.NodeID]bool)
+	s.uncommitted = make(map[int64]WriteOp)
+	s.othersDo(ctx, func(peer simnet.NodeID) {
+		ctx.Send(peer, msgNewLeader{Term: term, LastZxid: s.tree.LastZxid()})
+	})
+	ctx.SetTimer(heartbeatInterval, msgTickLeader{})
+}
+
+func (s *Server) onNewLeader(ctx *simnet.Context, from simnet.NodeID, m msgNewLeader) {
+	if m.Term < s.epoch {
+		return
+	}
+	s.role = RoleFollower
+	s.epoch = m.Term
+	s.leaderID = from
+	s.lastLeaderContact = ctx.Now()
+	s.uncommitted = make(map[int64]WriteOp)
+	ctx.Send(from, msgSyncRequest{LastZxid: s.tree.LastZxid()})
+}
+
+func (s *Server) onLeaderTick(ctx *simnet.Context) {
+	if s.role != RoleLeader {
+		return
+	}
+	ctx.SetTimer(heartbeatInterval, msgTickLeader{})
+	s.othersDo(ctx, func(peer simnet.NodeID) {
+		ctx.Send(peer, msgHeartbeat{Epoch: s.epoch})
+	})
+}
+
+func (s *Server) onHeartbeat(ctx *simnet.Context, from simnet.NodeID, m msgHeartbeat) {
+	if m.Epoch < s.epoch {
+		return
+	}
+	if m.Epoch > s.epoch || s.leaderID != from || s.needSync {
+		s.epoch = m.Epoch
+		s.leaderID = from
+		s.role = RoleFollower
+		s.needSync = false
+		ctx.Send(from, msgSyncRequest{LastZxid: s.tree.LastZxid()})
+	}
+	s.lastLeaderContact = ctx.Now()
+}
+
+func (s *Server) onSyncRequest(ctx *simnet.Context, from simnet.NodeID, m msgSyncRequest) {
+	if s.role != RoleLeader {
+		return
+	}
+	ops := s.tree.OpsAfter(m.LastZxid)
+	size := 0
+	for _, op := range ops {
+		size += len(op.Data)
+	}
+	ctx.SendSized(from, msgSyncReply{Epoch: s.epoch, Ops: ops}, size)
+}
+
+func (s *Server) onSyncReply(ctx *simnet.Context, from simnet.NodeID, m msgSyncReply) {
+	if m.Epoch < s.epoch {
+		return
+	}
+	for _, op := range m.Ops {
+		s.tree.Apply(op)
+	}
+	s.lastLeaderContact = ctx.Now()
+}
+
+// ---- Write path ----
+
+func (s *Server) onWrite(ctx *simnet.Context, from simnet.NodeID, m MsgWrite) {
+	if s.role != RoleLeader {
+		ctx.Send(from, MsgWriteReply{ReqID: m.ReqID, OK: false, Redirect: s.leaderID})
+		return
+	}
+	s.counter++
+	zxid := s.epoch<<zxidEpochShift | s.counter
+	version := s.tree.NextVersion(m.Path)
+	if v := s.versionSeq[m.Path] + 1; v > version {
+		version = v
+	}
+	s.versionSeq[m.Path] = version
+	op := WriteOp{Zxid: zxid, Path: m.Path, Data: m.Data, Version: version, Delete: m.Delete}
+	p := &proposal{op: op, acks: map[simnet.NodeID]bool{s.id: true}, client: from, reqID: m.ReqID}
+	s.pending[zxid] = p
+	s.pendingZxid = append(s.pendingZxid, zxid)
+	s.othersDo(ctx, func(peer simnet.NodeID) {
+		ctx.SendSized(peer, msgPropose{Epoch: s.epoch, Op: op}, len(op.Data))
+	})
+	s.maybeCommit(ctx)
+}
+
+func (s *Server) onPropose(ctx *simnet.Context, from simnet.NodeID, m msgPropose) {
+	if m.Epoch < s.epoch || from != s.leaderID {
+		return
+	}
+	s.lastLeaderContact = ctx.Now()
+	s.uncommitted[m.Op.Zxid] = m.Op
+	ctx.Send(from, msgAck{Epoch: m.Epoch, Zxid: m.Op.Zxid})
+}
+
+func (s *Server) onAck(ctx *simnet.Context, from simnet.NodeID, m msgAck) {
+	if s.role != RoleLeader || m.Epoch != s.epoch {
+		return
+	}
+	if p, ok := s.pending[m.Zxid]; ok {
+		p.acks[from] = true
+	}
+	s.maybeCommit(ctx)
+}
+
+// maybeCommit commits pending proposals in strict zxid order: a proposal
+// only commits when it has quorum AND every earlier proposal has committed.
+// This preserves the in-order delivery guarantee of the commit log (§3.4).
+func (s *Server) maybeCommit(ctx *simnet.Context) {
+	sort.Slice(s.pendingZxid, func(i, j int) bool { return s.pendingZxid[i] < s.pendingZxid[j] })
+	for len(s.pendingZxid) > 0 {
+		zxid := s.pendingZxid[0]
+		p := s.pending[zxid]
+		if p == nil {
+			s.pendingZxid = s.pendingZxid[1:]
+			continue
+		}
+		if len(p.acks) < s.quorum() {
+			return
+		}
+		// Commit.
+		s.tree.Apply(p.op)
+		s.othersDo(ctx, func(peer simnet.NodeID) {
+			ctx.Send(peer, msgCommit{Epoch: s.epoch, Zxid: zxid})
+		})
+		for obs := range s.observers {
+			ctx.SendSized(obs, msgObserverPush{Epoch: s.epoch, Op: p.op}, len(p.op.Data))
+		}
+		if p.client != "" {
+			ctx.Send(p.client, MsgWriteReply{ReqID: p.reqID, OK: true, Zxid: zxid, Version: p.op.Version})
+		}
+		delete(s.pending, zxid)
+		s.pendingZxid = s.pendingZxid[1:]
+	}
+}
+
+func (s *Server) onCommit(ctx *simnet.Context, from simnet.NodeID, m msgCommit) {
+	if from != s.leaderID {
+		return
+	}
+	s.lastLeaderContact = ctx.Now()
+	op, ok := s.uncommitted[m.Zxid]
+	if !ok {
+		// Missed the proposal (e.g. we were briefly down): resync.
+		ctx.Send(from, msgSyncRequest{LastZxid: s.tree.LastZxid()})
+		return
+	}
+	s.tree.Apply(op)
+	delete(s.uncommitted, m.Zxid)
+}
+
+// ---- Observers ----
+
+func (s *Server) onObserverRegister(ctx *simnet.Context, from simnet.NodeID, m msgObserverRegister) {
+	if s.role != RoleLeader {
+		return
+	}
+	s.observers[from] = true
+	ops := s.tree.OpsAfter(m.LastZxid)
+	if len(ops) == 0 {
+		return
+	}
+	size := 0
+	for _, op := range ops {
+		size += len(op.Data)
+	}
+	ctx.SendSized(from, msgObserverSync{Epoch: s.epoch, Ops: ops}, size)
+}
