@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test check vet race bench-compile report
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# check: the compilation-engine gate — static analysis plus the race
+# detector over the concurrent packages (engine worker pool, pipeline).
+check: vet race
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/cdl/... ./internal/core/...
+
+# bench-compile: the shared-.cinc fan-out benchmarks behind BENCH_compile.json.
+bench-compile:
+	$(GO) test -run xxx -bench 'BenchmarkCDLCompileFanout|BenchmarkCDLCompileAllWorkers|BenchmarkEngine_CompileCache' -benchmem -benchtime 20x .
+
+report:
+	$(GO) run ./cmd/benchreport

@@ -13,6 +13,7 @@ package configerator
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -239,6 +240,107 @@ func BenchmarkCDLCompile(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// fanoutBenchFS mirrors the paper's recompile fan-out: one shared .cinc
+// imported by n top-level configs (§3.1 dependency tracking, §3.3 CI
+// double-compiles).
+func fanoutBenchFS(n int) (cdl.MapFS, []string) {
+	fs := cdl.MapFS{
+		"lib/shared.cinc": `
+			schema Job {
+				1: string name;
+				2: i32 priority = 1;
+				3: list<string> tags = [];
+				4: map<string, i64> limits = {};
+			}
+			validator Job(c) { assert(c.priority >= 0 && c.priority <= 10, "range"); }
+			let total = 0;
+			for (i in range(400)) {
+				total = total + i * i;
+			}
+			def mk(name, prio) {
+				return Job{name: name, priority: prio, tags: ["managed", name], limits: {"budget": total}};
+			}
+			export mk("shared-default", 1);
+		`,
+	}
+	paths := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		p := fmt.Sprintf("svc/app%03d.cconf", i)
+		fs[p] = fmt.Sprintf("import \"lib/shared.cinc\";\nexport mk(\"svc-%03d\", %d);\n", i, i%10)
+		paths = append(paths, p)
+	}
+	return fs, paths
+}
+
+// BenchmarkCDLCompileFanout compiles 100 configs that all import one shared
+// .cinc: the seed serial path re-parses and re-evaluates the .cinc per
+// dependent, the cold engine parses every source exactly once, and the warm
+// engine serves the whole batch from the result cache.
+func BenchmarkCDLCompileFanout(b *testing.B) {
+	fs, paths := fanoutBenchFS(100)
+	b.Run("seed-serial", func(b *testing.B) {
+		eng := &cdl.Engine{CacheDisabled: true}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, p := range paths {
+				if _, err := eng.Compile(fs, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("engine-cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng := cdl.NewEngine()
+			if _, err := eng.CompileAll(fs, paths); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("engine-warm", func(b *testing.B) {
+		eng := cdl.NewEngine()
+		if _, err := eng.CompileAll(fs, paths); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.CompileAll(fs, paths); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCDLCompileAllWorkers compares a cold batch compile run serially
+// (Workers=1) against the parallel worker pool. Output is byte-identical
+// either way; only wall-clock differs (and only on multi-core hosts).
+func BenchmarkCDLCompileAllWorkers(b *testing.B) {
+	fs, paths := fanoutBenchFS(100)
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng := cdl.NewEngine()
+				eng.Workers = w
+				if _, err := eng.CompileAll(fs, paths); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngine_CompileCache republishes the engine experiment's headline
+// metrics so benchreport and EXPERIMENTS.md carry the cache numbers.
+func BenchmarkEngine_CompileCache(b *testing.B) {
+	var r experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.CompileEngine(benchOpts())
+	}
+	report(b, r, "warm_speedup_vs_seed", "touched_speedup_vs_seed", "cold_parse_miss", "warm_result_hit_delta")
 }
 
 func BenchmarkCDLEvalExpr(b *testing.B) {

@@ -1,0 +1,225 @@
+package cdl
+
+import "sort"
+
+// Static cache-safety analysis for module memoization.
+//
+// A memoized module's evaluated environment is shared, read-only, across
+// Compile calls (and across goroutines in CompileAll). That is only sound
+// if nothing can write to the environment after module evaluation
+// finishes. The one post-evaluation write path in CDL is an `x = expr`
+// assignment executed inside a deferred body — a `def` function or a
+// `validator` — whose closure chains up to the module environment: calling
+// such a function later would mutate the shared environment.
+//
+// astCacheSafe walks every deferred body and resolves each assignment
+// against the lexical scopes *created at call time* (parameters, `let`s and
+// `for` variables inside the body, and enclosing function-call scopes,
+// which are all fresh per invocation). If an assignment could bind to any
+// scope that exists at module-evaluation time — the module env, a
+// top-level if/for block env captured by a nested def, a builtin in the
+// global env, or an imported name — the module is declared unsafe and is
+// evaluated fresh on every compile instead of being cached.
+//
+// The analysis is flow-sensitive within a block (a `let` only makes the
+// name local for statements after it, matching the evaluator) and
+// conservative: anything it cannot prove call-local is treated as a module
+// mutation.
+
+// collectStructRefs gathers every StructExpr type name appearing anywhere
+// in the module — including def and validator bodies, which may run during
+// another module's evaluation. `Name{...}` resolves as a schema literal
+// when Name is a registered schema and as variable-update syntax otherwise,
+// and the seed compiler's schema namespace is compile-global: a schema
+// registered by an unrelated, non-imported module changes how the
+// expression resolves. Activating a cached module is therefore gated on
+// none of these names being bound to a schema from outside the module's
+// own closure (see loadState.activate).
+func collectStructRefs(mod *Module) []string {
+	set := map[string]bool{}
+	var walkStmts func([]Stmt)
+	var walkExpr func(Expr)
+	walkExpr = func(x Expr) {
+		switch e := x.(type) {
+		case *ListExpr:
+			for _, el := range e.Elems {
+				walkExpr(el)
+			}
+		case *MapExpr:
+			for i := range e.Keys {
+				walkExpr(e.Keys[i])
+				walkExpr(e.Values[i])
+			}
+		case *StructExpr:
+			set[e.Type] = true
+			for _, v := range e.Values {
+				walkExpr(v)
+			}
+		case *UpdateExpr:
+			walkExpr(e.Base)
+			for _, v := range e.Values {
+				walkExpr(v)
+			}
+		case *FieldExpr:
+			walkExpr(e.Base)
+		case *IndexExpr:
+			walkExpr(e.Base)
+			walkExpr(e.Index)
+		case *CallExpr:
+			walkExpr(e.Fn)
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		case *UnaryExpr:
+			walkExpr(e.X)
+		case *BinaryExpr:
+			walkExpr(e.X)
+			walkExpr(e.Y)
+		case *CondExpr:
+			walkExpr(e.Cond)
+			walkExpr(e.A)
+			walkExpr(e.B)
+		}
+	}
+	walkStmts = func(stmts []Stmt) {
+		for _, st := range stmts {
+			switch s := st.(type) {
+			case *LetStmt:
+				walkExpr(s.Value)
+			case *AssignStmt:
+				walkExpr(s.Value)
+			case *DefStmt:
+				walkStmts(s.Body)
+			case *ValidatorStmt:
+				walkStmts(s.Body)
+			case *ExportStmt:
+				walkExpr(s.Value)
+			case *AssertStmt:
+				walkExpr(s.Cond)
+				if s.Message != nil {
+					walkExpr(s.Message)
+				}
+			case *IfStmt:
+				walkExpr(s.Cond)
+				walkStmts(s.Then)
+				walkStmts(s.Else)
+			case *ForStmt:
+				walkExpr(s.Seq)
+				walkStmts(s.Body)
+			case *ReturnStmt:
+				if s.Value != nil {
+					walkExpr(s.Value)
+				}
+			case *ExprStmt:
+				walkExpr(s.X)
+			}
+		}
+	}
+	walkStmts(mod.Stmts)
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// scanScope is one lexical block during the static walk. callLocal marks
+// scopes that the evaluator materializes per function call (safe to
+// mutate); module-evaluation-time scopes have callLocal=false.
+type scanScope struct {
+	parent    *scanScope
+	names     map[string]bool
+	callLocal bool
+}
+
+func newScanScope(parent *scanScope, callLocal bool) *scanScope {
+	return &scanScope{parent: parent, names: map[string]bool{}, callLocal: callLocal}
+}
+
+// resolvesCallLocal reports whether an assignment to name would bind inside
+// a per-call scope. Unknown names fall through to the module/global env,
+// which is not call-local.
+func (s *scanScope) resolvesCallLocal(name string) bool {
+	for cur := s; cur != nil; cur = cur.parent {
+		if cur.names[name] {
+			return cur.callLocal
+		}
+	}
+	return false
+}
+
+// resolves reports whether the name is bound anywhere in the statically
+// visible scopes. An unresolved top-level assignment either rebinds an
+// imported name (invisible to this single-module walk), rebinds a builtin
+// in the global env — which the seed semantics share across every module
+// of a compile — or fails at runtime. All three are conservatively treated
+// as unsafe to memoize.
+func (s *scanScope) resolves(name string) bool {
+	for cur := s; cur != nil; cur = cur.parent {
+		if cur.names[name] {
+			return true
+		}
+	}
+	return false
+}
+
+// astCacheSafe reports whether the module's evaluated environment may be
+// shared across compiles.
+func astCacheSafe(mod *Module) bool {
+	top := newScanScope(nil, false)
+	return stmtsCacheSafe(mod.Stmts, top, false)
+}
+
+// stmtsCacheSafe walks a statement list inside the given scope. inDeferred
+// is true once the walk has entered a def or validator body (where
+// assignments execute after module evaluation).
+func stmtsCacheSafe(stmts []Stmt, scope *scanScope, inDeferred bool) bool {
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *LetStmt:
+			scope.names[s.Name] = true
+		case *AssignStmt:
+			if inDeferred {
+				if !scope.resolvesCallLocal(s.Name) {
+					return false
+				}
+			} else if !scope.resolves(s.Name) {
+				return false
+			}
+		case *DefStmt:
+			scope.names[s.Name] = true
+			body := newScanScope(scope, true)
+			for _, p := range s.Params {
+				body.names[p] = true
+			}
+			if !stmtsCacheSafe(s.Body, body, true) {
+				return false
+			}
+		case *ValidatorStmt:
+			body := newScanScope(scope, true)
+			body.names[s.Param] = true
+			if !stmtsCacheSafe(s.Body, body, true) {
+				return false
+			}
+		case *IfStmt:
+			// Child blocks inherit call-locality from the enclosing scope:
+			// a block env inside a def is per-call, a top-level block env
+			// is created once at module evaluation and captured by any def
+			// defined inside it.
+			if !stmtsCacheSafe(s.Then, newScanScope(scope, scope.callLocal), inDeferred) {
+				return false
+			}
+			if !stmtsCacheSafe(s.Else, newScanScope(scope, scope.callLocal), inDeferred) {
+				return false
+			}
+		case *ForStmt:
+			body := newScanScope(scope, scope.callLocal)
+			body.names[s.Var] = true
+			if !stmtsCacheSafe(s.Body, body, inDeferred) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -12,12 +12,21 @@
 package ci
 
 import (
+	"bytes"
 	"fmt"
+	"sort"
 	"time"
+
+	"configerator/internal/cdl"
 )
 
 // ChangeSet is the proposed config artifacts, path → JSON content.
 type ChangeSet map[string][]byte
+
+// CompileChecker verifies the compiled artifacts in a change set — the
+// sandbox's first gate, run before any synthetic test. It returns an error
+// when an artifact does not match what the compiler produces.
+type CompileChecker func(cs ChangeSet) error
 
 // Test is one synthetic integration test.
 type Test struct {
@@ -42,6 +51,10 @@ type Sandbox struct {
 	tests []Test
 	// SetupCost models sandbox provisioning.
 	SetupCost time.Duration
+	// Compile, when set, re-verifies the change set's artifacts against
+	// the compiler before the test suite runs (cost 0: the engine's
+	// result cache makes the double-compile nearly free).
+	Compile CompileChecker
 
 	// Runs counts sandbox executions.
 	Runs int
@@ -62,6 +75,15 @@ func (s *Sandbox) TestCount() int { return len(s.tests) }
 func (s *Sandbox) Run(cs ChangeSet) Result {
 	s.Runs++
 	res := Result{Passed: true, Duration: s.SetupCost}
+	if s.Compile != nil {
+		if err := s.Compile(cs); err != nil {
+			res.Passed = false
+			res.Failures = append(res.Failures, fmt.Sprintf("compile: %v", err))
+			res.Logs = append(res.Logs, fmt.Sprintf("FAIL compile: %v", err))
+		} else {
+			res.Logs = append(res.Logs, "PASS compile")
+		}
+	}
 	for _, t := range s.tests {
 		res.Duration += t.Cost
 		if err := t.Run(cs); err != nil {
@@ -73,4 +95,40 @@ func (s *Sandbox) Run(cs ChangeSet) Result {
 		}
 	}
 	return res
+}
+
+// RecompileCheck returns a CompileChecker that recompiles each artifact's
+// source through the engine's batch API and compares bytes. sources maps
+// artifact path → source path; artifacts without a mapping (raw configs)
+// are skipped. Because the pipeline compiled the same sources moments
+// earlier through the same engine, this re-verification is served almost
+// entirely from the result cache.
+func RecompileCheck(eng *cdl.Engine, fs cdl.FileSystem, sources map[string]string) CompileChecker {
+	return func(cs ChangeSet) error {
+		var paths []string
+		bySrc := make(map[string]string)
+		for artifact := range cs {
+			src, ok := sources[artifact]
+			if !ok {
+				continue
+			}
+			paths = append(paths, src)
+			bySrc[src] = artifact
+		}
+		if len(paths) == 0 {
+			return nil
+		}
+		sort.Strings(paths)
+		results, err := eng.CompileAll(fs, paths)
+		if err != nil {
+			return err
+		}
+		for _, res := range results {
+			artifact := bySrc[res.Path]
+			if !bytes.Equal(res.JSON, cs[artifact]) {
+				return fmt.Errorf("ci: artifact %s does not match compiler output of %s", artifact, res.Path)
+			}
+		}
+		return nil
+	}
 }

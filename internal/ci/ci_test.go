@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"configerator/internal/cdl"
 )
 
 func TestAllPass(t *testing.T) {
@@ -73,5 +75,78 @@ func TestEmptySuitePasses(t *testing.T) {
 	res := s.Run(nil)
 	if !res.Passed || res.Duration != time.Second {
 		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestCompileCheckerRunsFirst(t *testing.T) {
+	s := NewSandbox(0)
+	var order []string
+	s.Compile = func(ChangeSet) error {
+		order = append(order, "compile")
+		return nil
+	}
+	s.Register(Test{Name: "t1", Run: func(ChangeSet) error {
+		order = append(order, "t1")
+		return nil
+	}})
+	res := s.Run(ChangeSet{"a.json": []byte("{}")})
+	if !res.Passed {
+		t.Fatalf("res = %+v", res)
+	}
+	if len(order) != 2 || order[0] != "compile" || order[1] != "t1" {
+		t.Errorf("order = %v, want compile before tests", order)
+	}
+	if len(res.Logs) == 0 || res.Logs[0] != "PASS compile" {
+		t.Errorf("Logs = %v", res.Logs)
+	}
+}
+
+func TestCompileCheckerFailure(t *testing.T) {
+	s := NewSandbox(0)
+	s.Compile = func(ChangeSet) error { return errors.New("artifact drift") }
+	res := s.Run(ChangeSet{"a.json": []byte("{}")})
+	if res.Passed {
+		t.Fatal("compile failure must fail the sandbox run")
+	}
+	if len(res.Failures) != 1 || !strings.Contains(res.Failures[0], "compile: artifact drift") {
+		t.Errorf("Failures = %v", res.Failures)
+	}
+}
+
+func TestRecompileCheck(t *testing.T) {
+	fs := cdl.MapFS{
+		"lib.cinc": `def mk(p) { return {prio: p}; }`,
+		"a.cconf":  `import "lib.cinc"; export mk(1);`,
+		"b.cconf":  `import "lib.cinc"; export mk(2);`,
+	}
+	eng := cdl.NewEngine()
+	resA, err := eng.Compile(fs, "a.cconf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := eng.Compile(fs, "b.cconf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := map[string]string{"a.json": "a.cconf", "b.json": "b.cconf"}
+	check := RecompileCheck(eng, fs, sources)
+
+	// Matching artifacts pass; raw configs without a source mapping are
+	// skipped.
+	cs := ChangeSet{"a.json": resA.JSON, "b.json": resB.JSON, "raw.json": []byte(`{"x":1}`)}
+	if err := check(cs); err != nil {
+		t.Fatalf("matching change set: %v", err)
+	}
+
+	// A tampered artifact is caught.
+	cs["b.json"] = []byte(`{"prio":99}`)
+	err = check(cs)
+	if err == nil || !strings.Contains(err.Error(), "artifact b.json does not match compiler output of b.cconf") {
+		t.Errorf("tampered artifact: err = %v", err)
+	}
+
+	// A change set with no compiled artifacts passes trivially.
+	if err := RecompileCheck(eng, fs, nil)(ChangeSet{"raw.json": []byte("{}")}); err != nil {
+		t.Errorf("raw-only change set: %v", err)
 	}
 }

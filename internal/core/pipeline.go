@@ -12,6 +12,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -58,6 +59,11 @@ type Pipeline struct {
 	Deps    *depgraph.Graph
 	Review  *review.Queue
 	Sandbox *ci.Sandbox
+	// Engine is the shared CDL compilation engine. It lives for the whole
+	// pipeline lifetime: its caches are content-addressed, so compiles
+	// across different changes (each with its own overlay view) reuse
+	// parse trees and module evaluations for unchanged files.
+	Engine  *cdl.Engine
 	Fleet   *cluster.Fleet
 	Canary  *canary.Runner
 	Tailers []*tailer.Tailer
@@ -85,6 +91,7 @@ func New(opts Options) *Pipeline {
 		Deps:        depgraph.New(),
 		Review:      review.NewQueue(),
 		Sandbox:     ci.NewSandbox(opts.SandboxSetup),
+		Engine:      cdl.NewEngine(),
 		Fleet:       opts.Fleet,
 		Risk:        riskadvisor.New(riskadvisor.DefaultThresholds()),
 		strips:      make(map[*vcs.Repository]*landingstrip.Strip),
@@ -221,7 +228,11 @@ type ChangeReport struct {
 	// changed.
 	Recompiled []string
 	CIResult   *ci.Result
-	Canary     *canary.Report
+	// Canary is the last canary report — the failing one when the stage
+	// failed (kept for compatibility; see Canaries for the full set).
+	Canary *canary.Report
+	// Canaries holds one report per canaried artifact, in artifact order.
+	Canaries []*canary.Report
 	// RiskFlags are the advisory findings posted to the review diff.
 	RiskFlags []string
 	// Landed maps repository name -> commit hash.
@@ -280,20 +291,36 @@ func (p *Pipeline) Submit(req *ChangeRequest) *ChangeReport {
 		changedSources = append(changedSources, path)
 	}
 	toCompile := p.Deps.RecompileSet(changedSources, isTopLevel)
-	compiler := cdl.NewCompiler(fs)
+	live := toCompile[:0]
 	for _, src := range toCompile {
-		if fs.deleted[src] {
-			continue
-		}
-		res, err := compiler.Compile(src)
-		if err != nil {
-			return fail("compile", err)
-		}
-		report.Compiled[ArtifactPath(src)] = res.JSON
-		if _, direct := req.Sources[src]; !direct {
-			report.Recompiled = append(report.Recompiled, src)
+		if !fs.deleted[src] {
+			live = append(live, src)
 		}
 	}
+	toCompile = live
+	// The batch API compiles the recompile set through the shared engine:
+	// dependency-topological waves over a bounded worker pool, with the
+	// shared .cinc closure parsed and evaluated once instead of once per
+	// dependent. Results are sorted by path and the error is the first
+	// failing path's, so reports are reproducible run-to-run.
+	results, cerr := p.Engine.CompileAll(fs, toCompile)
+	srcForArtifact := make(map[string]string, len(results))
+	for _, res := range results {
+		if be, ok := cerr.(*cdl.BatchError); ok && res.Path >= be.Path {
+			// Keep the seed's stop-at-first-error report shape: only
+			// artifacts preceding the failing path are recorded.
+			continue
+		}
+		report.Compiled[ArtifactPath(res.Path)] = res.JSON
+		srcForArtifact[ArtifactPath(res.Path)] = res.Path
+		if _, direct := req.Sources[res.Path]; !direct {
+			report.Recompiled = append(report.Recompiled, res.Path)
+		}
+	}
+	if cerr != nil {
+		return fail("compile", cerr)
+	}
+	p.Sandbox.Compile = ci.RecompileCheck(p.Engine, fs, srcForArtifact)
 	report.Timings["compile"] = p.Now().Sub(start)
 
 	// ---- Stage 2: review + Sandcastle CI ----
@@ -339,6 +366,7 @@ func (p *Pipeline) Submit(req *ChangeRequest) *ChangeReport {
 			for i := 0; i < 360 && !done; i++ {
 				p.Fleet.Net.RunFor(5 * time.Second)
 			}
+			report.Canaries = append(report.Canaries, &cres)
 			report.Canary = &cres
 			if !done {
 				return fail("canary", fmt.Errorf("core: canary never completed for %s", artifact))
@@ -389,6 +417,27 @@ func (p *Pipeline) Submit(req *ChangeRequest) *ChangeReport {
 	p.advance(worst)
 	report.Timings["commit"] = p.Now().Sub(start)
 
+	// Evict engine cache entries whose closures touch the landed change.
+	// The affected set — changed files plus their transitive importers —
+	// must be computed against the pre-change graph edges, before the
+	// ExtractAndSet loop below rewrites them. (Content-hash keys already
+	// make stale entries unreachable; this reclaims their memory.)
+	var touched []string
+	for path := range req.Sources {
+		if isSource(path) {
+			touched = append(touched, path)
+		}
+	}
+	for _, path := range req.Deletes {
+		if isSource(path) {
+			touched = append(touched, path)
+		}
+	}
+	if len(touched) > 0 {
+		affected := append(touched, p.Deps.Dependents(touched...)...)
+		p.Engine.InvalidatePaths(affected...)
+	}
+
 	// Keep the dependency graph current.
 	for path, data := range req.Sources {
 		if isSource(path) {
@@ -422,12 +471,7 @@ func sortedKeys(cs ci.ChangeSet) []string {
 	for k := range cs {
 		out = append(out, k)
 	}
-	// Small n; insertion sort keeps imports lean.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Strings(out)
 	return out
 }
 

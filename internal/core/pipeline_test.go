@@ -346,3 +346,53 @@ func TestOverrideCanaryLandsAnyway(t *testing.T) {
 		t.Error("canary should have flagged the change")
 	}
 }
+
+func TestCanariesPerArtifact(t *testing.T) {
+	// Satellite fix: with two artifacts in one change, the report keeps one
+	// canary report per artifact instead of overwriting a single field.
+	p, f := fleetPipeline(t)
+	f.SubscribeAll("/configs/feed/one.json")
+	f.SubscribeAll("/configs/feed/two.json")
+	rep := p.Submit(&ChangeRequest{
+		Author: "alice", Reviewer: "bob", Title: "two artifacts",
+		Raws: map[string][]byte{
+			"feed/one.json": []byte(`{"v":1}`),
+			"feed/two.json": []byte(`{"v":2}`),
+		},
+	})
+	if !rep.OK() {
+		t.Fatalf("failed at %s: %v", rep.FailedStage, rep.Err)
+	}
+	if len(rep.Canaries) != 2 {
+		t.Fatalf("Canaries = %d reports, want 2", len(rep.Canaries))
+	}
+	for i, cr := range rep.Canaries {
+		if cr == nil || !cr.Passed {
+			t.Errorf("Canaries[%d] = %+v, want passed", i, cr)
+		}
+	}
+	// The legacy single-report field still holds the last canary run.
+	if rep.Canary == nil || rep.Canary != rep.Canaries[len(rep.Canaries)-1] {
+		t.Errorf("Canary = %p, want last of Canaries", rep.Canary)
+	}
+}
+
+func TestPipelineEngineReuse(t *testing.T) {
+	// The pipeline's engine persists across Submits: resubmitting the same
+	// source compiles from the result cache.
+	p, _ := fleetPipeline(t)
+	src := `export {limit: 10};`
+	for i := 0; i < 2; i++ {
+		rep := p.Submit(&ChangeRequest{
+			Author: "alice", Reviewer: "bob", Title: "compiled",
+			Sources:    map[string][]byte{"limits/app.cconf": []byte(src)},
+			SkipCanary: true,
+		})
+		if !rep.OK() {
+			t.Fatalf("submit %d failed at %s: %v", i, rep.FailedStage, rep.Err)
+		}
+	}
+	if hits := p.Engine.Counters().Get("result.hit"); hits == 0 {
+		t.Error("second submit of identical source produced no result-cache hits")
+	}
+}

@@ -139,3 +139,84 @@ func TestFiles(t *testing.T) {
 		t.Errorf("Files = %v", got)
 	}
 }
+
+// --- RecompileSet on diamond import graphs ---
+
+// diamondGraph builds two stacked diamonds:
+//
+//	base.cinc ← {left.cinc, right.cinc} ← mid.cinc ← {a.cconf, b.cconf}
+//	base.cinc ← left.cinc ← c.cconf (short side)
+func diamondGraph() *Graph {
+	g := New()
+	g.SetImports("left.cinc", []string{"base.cinc"})
+	g.SetImports("right.cinc", []string{"base.cinc"})
+	g.SetImports("mid.cinc", []string{"left.cinc", "right.cinc"})
+	g.SetImports("a.cconf", []string{"mid.cinc"})
+	g.SetImports("b.cconf", []string{"mid.cinc"})
+	g.SetImports("c.cconf", []string{"left.cinc"})
+	return g
+}
+
+func isConf(f string) bool { return strings.HasSuffix(f, ".cconf") }
+
+// TestRecompileSetDiamondDedup: a .cconf reachable through both sides of a
+// diamond appears exactly once.
+func TestRecompileSetDiamondDedup(t *testing.T) {
+	g := diamondGraph()
+	got := g.RecompileSet([]string{"base.cinc"}, isConf)
+	want := []string{"a.cconf", "b.cconf", "c.cconf"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("RecompileSet = %v, want %v (deduped, sorted)", got, want)
+	}
+}
+
+// TestRecompileSetDiamondStable: repeated calls return identical slices —
+// the set is sorted, not map-ordered.
+func TestRecompileSetDiamondStable(t *testing.T) {
+	g := diamondGraph()
+	first := g.RecompileSet([]string{"base.cinc"}, isConf)
+	for i := 0; i < 20; i++ {
+		if got := g.RecompileSet([]string{"base.cinc"}, isConf); !reflect.DeepEqual(got, first) {
+			t.Fatalf("iteration %d: RecompileSet = %v, want %v", i, got, first)
+		}
+	}
+}
+
+// TestRecompileSetDiamondKeepFilter: the keep filter prunes intermediate
+// .cinc files but must never drop a transitively affected .cconf, no
+// matter which diamond vertex changes.
+func TestRecompileSetDiamondKeepFilter(t *testing.T) {
+	g := diamondGraph()
+	cases := []struct {
+		changed []string
+		want    []string
+	}{
+		{[]string{"base.cinc"}, []string{"a.cconf", "b.cconf", "c.cconf"}},
+		{[]string{"left.cinc"}, []string{"a.cconf", "b.cconf", "c.cconf"}},
+		{[]string{"right.cinc"}, []string{"a.cconf", "b.cconf"}},
+		{[]string{"mid.cinc"}, []string{"a.cconf", "b.cconf"}},
+		{[]string{"left.cinc", "right.cinc"}, []string{"a.cconf", "b.cconf", "c.cconf"}},
+		{[]string{"a.cconf"}, []string{"a.cconf"}},
+	}
+	for _, c := range cases {
+		got := g.RecompileSet(c.changed, isConf)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("RecompileSet(%v) = %v, want %v", c.changed, got, c.want)
+		}
+		// No filter: the set includes the changed files and every
+		// intermediate, still deduped.
+		unfiltered := g.RecompileSet(c.changed, nil)
+		seen := make(map[string]bool)
+		for _, f := range unfiltered {
+			if seen[f] {
+				t.Errorf("RecompileSet(%v, nil) has duplicate %s", c.changed, f)
+			}
+			seen[f] = true
+		}
+		for _, f := range c.want {
+			if !seen[f] {
+				t.Errorf("RecompileSet(%v, nil) missing affected %s", c.changed, f)
+			}
+		}
+	}
+}

@@ -96,5 +96,6 @@ func All(opts Options) []Result {
 		AblationGatekeeperOptimizer(opts),
 		AblationMobileDelta(opts),
 		ExtensionRiskAdvisor(opts),
+		CompileEngine(opts),
 	}
 }
