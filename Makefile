@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet race bench-compile report
+.PHONY: build test check vet lint race bench-compile report
 
 build:
 	$(GO) build ./...
@@ -8,15 +8,21 @@ build:
 test: build
 	$(GO) test ./...
 
-# check: the compilation-engine gate — static analysis plus the race
-# detector over the concurrent packages (engine worker pool, pipeline).
-check: vet race
+# check: the static-analysis gates (go vet for the Go code, configlint
+# for the CDL corpus) plus the race detector over the concurrent
+# packages (engine worker pool, pipeline, proxy, zeus, strip, canary).
+check: vet lint race
 
 vet:
 	$(GO) vet ./...
 
+# lint: the CDL analyzer suite over the example corpus, at the
+# strictest threshold — the examples must stay warning-free.
+lint:
+	$(GO) run ./cmd/configlint -C examples/configs -severity info
+
 race:
-	$(GO) test -race ./internal/cdl/... ./internal/core/...
+	$(GO) test -race ./internal/cdl/... ./internal/core/... ./internal/proxy/... ./internal/zeus/... ./internal/landingstrip/... ./internal/canary/...
 
 # bench-compile: the shared-.cinc fan-out benchmarks behind BENCH_compile.json.
 bench-compile:

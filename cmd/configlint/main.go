@@ -1,0 +1,214 @@
+// Command configlint runs the CDL static-analysis suite over a config
+// tree — the same analyzers that gate pipeline stage 1, the CI sandbox,
+// and the landing strip, usable from an editor or a pre-commit hook.
+//
+// Usage:
+//
+//	configlint [flags] [path ...]
+//
+// Paths are files or directories relative to the tree root (-C),
+// defaulting to the whole tree. Directories are walked for .cconf and
+// .cinc files; import paths resolve against the root, exactly like the
+// compiler.
+//
+// Exit code contract:
+//
+//	0  no diagnostic at or above the -severity threshold
+//	1  at least one diagnostic at or above the threshold
+//	2  internal error (bad flags, unreadable tree)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"configerator/internal/cdl"
+	"configerator/internal/cdl/analysis"
+)
+
+type options struct {
+	root     string
+	jsonOut  bool
+	severity string
+	// deprecated holds -deprecated name=note pairs.
+	deprecated map[string]string
+}
+
+// dirFS serves repository-relative paths from the tree root.
+type dirFS struct{ root string }
+
+func (d dirFS) ReadFile(path string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(d.root, filepath.FromSlash(path)))
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	opts := options{deprecated: map[string]string{}}
+	fs := flag.NewFlagSet("configlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&opts.root, "C", ".", "config tree root; import paths resolve against it")
+	fs.BoolVar(&opts.jsonOut, "json", false, "emit diagnostics as JSON")
+	fs.StringVar(&opts.severity, "severity", "error",
+		"exit non-zero when a diagnostic at or above this severity exists (error, warn, info)")
+	fs.Func("deprecated", "mark a sitevar deprecated, as name=note (repeatable)", func(v string) error {
+		name, note, ok := strings.Cut(v, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("want name=note, got %q", v)
+		}
+		opts.deprecated[name] = note
+		return nil
+	})
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: configlint [flags] [path ...]\n\nAnalyzers:\n")
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(stderr, "  %-20s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stderr, "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	threshold, err := analysis.ParseSeverity(opts.severity)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	roots, err := collectRoots(opts.root, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "configlint:", err)
+		return 2
+	}
+	if len(roots) == 0 {
+		fmt.Fprintln(stderr, "configlint: no .cconf or .cinc files found")
+		return 2
+	}
+
+	driver := analysis.NewDriver(cdl.NewEngine(), dirFS{root: opts.root})
+	driver.DeprecatedSitevars = opts.deprecated
+	diags, err := driver.Run(roots)
+	if err != nil {
+		fmt.Fprintln(stderr, "configlint:", err)
+		return 2
+	}
+
+	if opts.jsonOut {
+		writeJSON(stdout, diags)
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+			if d.SuggestedFix != "" {
+				fmt.Fprintf(stdout, "\tfix: %s\n", d.SuggestedFix)
+			}
+		}
+		if len(diags) > 0 {
+			fmt.Fprintln(stdout, analysis.Summary(diags))
+		}
+	}
+	if len(analysis.Filter(diags, threshold)) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// collectRoots resolves the argument list (files or directories, relative
+// to root) into the sorted set of lintable source paths.
+func collectRoots(root string, args []string) ([]string, error) {
+	if len(args) == 0 {
+		args = []string{"."}
+	}
+	seen := map[string]bool{}
+	var roots []string
+	add := func(rel string) {
+		rel = filepath.ToSlash(rel)
+		if !seen[rel] {
+			seen[rel] = true
+			roots = append(roots, rel)
+		}
+	}
+	for _, arg := range args {
+		full := filepath.Join(root, filepath.FromSlash(arg))
+		info, err := os.Stat(full)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			add(arg)
+			continue
+		}
+		err = filepath.Walk(full, func(path string, fi os.FileInfo, err error) error {
+			if err != nil {
+				return err
+			}
+			if fi.IsDir() {
+				return nil
+			}
+			if strings.HasSuffix(path, ".cconf") || strings.HasSuffix(path, ".cinc") {
+				rel, err := filepath.Rel(root, path)
+				if err != nil {
+					return err
+				}
+				add(rel)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(roots)
+	return roots, nil
+}
+
+// jsonDiag is the CLI's JSON shape for one diagnostic.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	EndLine  int    `json:"end_line"`
+	EndCol   int    `json:"end_col"`
+	Severity string `json:"severity"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Fix      string `json:"suggested_fix,omitempty"`
+}
+
+type jsonReport struct {
+	Diagnostics []jsonDiag `json:"diagnostics"`
+	Errors      int        `json:"errors"`
+	Warnings    int        `json:"warnings"`
+	Infos       int        `json:"infos"`
+}
+
+func writeJSON(w io.Writer, diags []analysis.Diagnostic) {
+	rep := jsonReport{Diagnostics: []jsonDiag{}}
+	for _, d := range diags {
+		rep.Diagnostics = append(rep.Diagnostics, jsonDiag{
+			File: d.Pos.File, Line: d.Pos.Line, Col: d.Pos.Col,
+			EndLine: d.End.Line, EndCol: d.End.Col,
+			Severity: d.Severity.String(), Analyzer: d.Analyzer,
+			Message: d.Message, Fix: d.SuggestedFix,
+		})
+		switch d.Severity {
+		case analysis.Error:
+			rep.Errors++
+		case analysis.Warn:
+			rep.Warnings++
+		default:
+			rep.Infos++
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rep)
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out a config tree under a temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for path, content := range files {
+		full := filepath.Join(root, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestCLIExitCodes(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"clean/app.cconf": `export {a: 1};`,
+		"dirty/app.cconf": "let on = false;\nif (on) {\n\tlet x = nope;\n}\nexport {on: on};\n",
+		"warn/app.cconf":  "import \"warn/lib.cinc\";\nexport {a: 1};\n",
+		"warn/lib.cinc":   "let UNUSED = 1;\n",
+	})
+	var out, errb bytes.Buffer
+
+	// Clean subtree: exit 0, no output.
+	if code := run([]string{"-C", root, "clean"}, &out, &errb); code != 0 {
+		t.Fatalf("clean: exit %d, stderr %s", code, errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean: unexpected output %q", out.String())
+	}
+
+	// Error diagnostic: exit 1 under the default threshold.
+	out.Reset()
+	if code := run([]string{"-C", root, "dirty"}, &out, &errb); code != 1 {
+		t.Fatalf("dirty: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "undefined reference to \"nope\"") {
+		t.Fatalf("dirty output missing diagnostic:\n%s", out.String())
+	}
+
+	// Warnings pass the default (error) threshold but fail -severity warn.
+	out.Reset()
+	if code := run([]string{"-C", root, "warn"}, &out, &errb); code != 0 {
+		t.Fatalf("warn at error threshold: exit %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), "unused-import") {
+		t.Fatalf("warnings should still print:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-C", root, "-severity", "warn", "warn"}, &out, &errb); code != 1 {
+		t.Fatalf("warn at warn threshold: exit %d, want 1", code)
+	}
+
+	// Bad flag: exit 2.
+	if code := run([]string{"-severity", "loud"}, &out, &errb); code != 2 {
+		t.Fatalf("bad severity: exit %d, want 2", code)
+	}
+	// Missing path: exit 2.
+	if code := run([]string{"-C", root, "no-such-dir"}, &out, &errb); code != 2 {
+		t.Fatalf("missing path: exit %d, want 2", code)
+	}
+}
+
+func TestCLIJSONOutput(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"app.cconf": "let on = false;\nif (on) {\n\tlet x = nope;\n}\nexport {on: on};\n",
+	})
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", root, "-json"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %s)", code, errb.String())
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Errors == 0 || len(rep.Diagnostics) == 0 {
+		t.Fatalf("JSON report missing findings: %+v", rep)
+	}
+	d := rep.Diagnostics[0]
+	if d.File != "app.cconf" || d.Line == 0 || d.Col == 0 || d.Severity == "" || d.Analyzer == "" {
+		t.Fatalf("incomplete diagnostic: %+v", d)
+	}
+}
+
+func TestCLIDeprecatedSitevarFlag(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"app.cconf":              "import \"sitevars/old_flag.cinc\";\nexport {v: OLD};\n",
+		"sitevars/old_flag.cinc": "let OLD = 1;\n",
+	})
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", root, "-severity", "warn", "-deprecated", "old_flag=use new_flag", "app.cconf"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (out %s, stderr %s)", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "deprecated: use new_flag") {
+		t.Fatalf("missing deprecation note:\n%s", out.String())
+	}
+}
+
+func TestCLIOnExamples(t *testing.T) {
+	examples := filepath.Join("..", "..", "examples", "configs")
+	if _, err := os.Stat(examples); err != nil {
+		t.Skip("examples not present")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", examples, "-severity", "info"}, &out, &errb); code != 0 {
+		t.Fatalf("examples lint dirty (exit %d):\n%s%s", code, out.String(), errb.String())
+	}
+}

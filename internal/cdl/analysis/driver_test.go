@@ -1,0 +1,263 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"configerator/internal/cdl"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// dirFS serves repository-relative paths from a directory root.
+type dirFS struct{ root string }
+
+func (d dirFS) ReadFile(path string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(d.root, filepath.FromSlash(path)))
+}
+
+// renderDiags renders diagnostics one per line in golden-file form.
+func renderDiags(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		if d.SuggestedFix != "" {
+			b.WriteString(" (fix: " + d.SuggestedFix + ")")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestGoldenCorpus lints each bad-case directory under testdata/src and
+// compares every diagnostic — position, severity, message, suggested fix —
+// against the case's golden file, exactly.
+func TestGoldenCorpus(t *testing.T) {
+	cases := []string{
+		"unused-import",
+		"undefined-reference",
+		"shadowed-export",
+		"schema-conformance",
+		"validator-coverage",
+		"import-cycle",
+		"dead-export",
+		"impure-construct",
+		"deprecated-sitevar",
+	}
+	fs := dirFS{root: filepath.Join("testdata", "src")}
+	for _, name := range cases {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", name)
+			ents, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var roots []string
+			for _, e := range ents {
+				if strings.HasSuffix(e.Name(), ".cconf") || strings.HasSuffix(e.Name(), ".cinc") {
+					roots = append(roots, name+"/"+e.Name())
+				}
+			}
+			sort.Strings(roots)
+			d := NewDriver(nil, fs)
+			d.DeprecatedSitevars = map[string]string{"old_flag": "use new_flag instead"}
+			diags, err := d.Run(roots)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Every case must produce at least one diagnostic from the
+			// analyzer it names.
+			found := false
+			for _, dg := range diags {
+				if dg.Analyzer == name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("no %s diagnostic reported; got:\n%s", name, renderDiags(diags))
+			}
+			got := renderDiags(diags)
+			goldenPath := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n-- got --\n%s-- want --\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestExamplesLintClean asserts the shipped example corpus lints clean —
+// the same invariant `make lint` enforces in CI.
+func TestExamplesLintClean(t *testing.T) {
+	root := filepath.Join("..", "..", "..", "examples", "configs")
+	var roots []string
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			return nil
+		}
+		if strings.HasSuffix(path, ".cconf") || strings.HasSuffix(path, ".cinc") {
+			rel, _ := filepath.Rel(root, path)
+			roots = append(roots, filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) == 0 {
+		t.Fatal("no example configs found")
+	}
+	diags, err := NewDriver(cdl.NewEngine(), dirFS{root: root}).Run(roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("examples should lint clean, got:\n%s", renderDiags(diags))
+	}
+}
+
+// fanoutFS builds a shared-.cinc fan-out: n .cconf dependents all
+// importing one library (mirrors the experiments package's topology).
+func fanoutFS(n int) (cdl.MapFS, []string) {
+	fs := cdl.MapFS{
+		"lib/shared.cinc": `
+			schema Job {
+				1: string name;
+				2: i32 priority = 1;
+			}
+			validator Job(c) { assert(c.priority >= 0, "priority"); }
+			def mk(name, pri) {
+				return Job{name: name, priority: pri};
+			}
+			export mk("shared-default", 1);
+		`,
+	}
+	var roots []string
+	for i := 0; i < n; i++ {
+		p := fmt.Sprintf("svc/app%03d.cconf", i)
+		fs[p] = fmt.Sprintf("import \"lib/shared.cinc\";\nexport mk(\"svc-%03d\", %d);\n", i, i%10)
+		roots = append(roots, p)
+	}
+	return fs, roots
+}
+
+// TestDriverReusesEngineParseCache is the acceptance check for the lint
+// driver's cache integration: linting 50 dependents of one shared .cinc
+// parses the .cinc exactly once (51 total parses for 51 files), and a
+// second lint run over the unchanged tree parses nothing at all.
+func TestDriverReusesEngineParseCache(t *testing.T) {
+	fs, roots := fanoutFS(50)
+	eng := cdl.NewEngine()
+	d := NewDriver(eng, fs)
+
+	diags, err := d.Run(roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("fan-out should lint clean, got:\n%s", renderDiags(diags))
+	}
+	c := eng.Counters()
+	if miss := c.Get("parse.miss"); miss != 51 {
+		t.Errorf("first lint: parse.miss = %d, want 51 (shared .cinc parsed once)", miss)
+	}
+	if hit := c.Get("parse.hit"); hit != 0 {
+		t.Errorf("first lint: parse.hit = %d, want 0", hit)
+	}
+
+	if _, err := d.Run(roots); err != nil {
+		t.Fatal(err)
+	}
+	if miss := c.Get("parse.miss"); miss != 51 {
+		t.Errorf("second lint: parse.miss = %d, want 51 (no re-parse)", miss)
+	}
+	if hit := c.Get("parse.hit"); hit != 51 {
+		t.Errorf("second lint: parse.hit = %d, want 51", hit)
+	}
+
+	// The same engine then compiles the tree: every parse is served from
+	// the cache the lint pass populated.
+	if _, err := eng.CompileAll(fs, roots); err != nil {
+		t.Fatal(err)
+	}
+	if miss := c.Get("parse.miss"); miss != 51 {
+		t.Errorf("compile after lint: parse.miss = %d, want 51", miss)
+	}
+}
+
+// TestDriverReportsLoadFailures exercises the parse/read error paths:
+// a root that does not exist, and an import of a file with a syntax error.
+func TestDriverReportsLoadFailures(t *testing.T) {
+	fs := cdl.MapFS{
+		"ok.cconf":     "import \"broken.cinc\";\nexport {a: X};\n",
+		"broken.cinc":  "let X = ;\n",
+		"orphan.cconf": "export {b: 2};\n",
+	}
+	diags, err := NewDriver(nil, fs).Run([]string{"ok.cconf", "orphan.cconf", "missing.cconf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parseMsgs []string
+	for _, d := range diags {
+		if d.Analyzer == "parse" {
+			parseMsgs = append(parseMsgs, d.String())
+		}
+		if d.Severity != Error && d.Analyzer == "parse" {
+			t.Errorf("parse diagnostics must be errors: %s", d)
+		}
+	}
+	if len(parseMsgs) != 2 {
+		t.Fatalf("want 2 parse diagnostics (broken.cinc syntax, missing root), got %v", parseMsgs)
+	}
+	if !HasErrors(diags) {
+		t.Error("load failures must gate (HasErrors)")
+	}
+}
+
+// TestSeverityHelpers covers Filter/HasErrors/ParseSeverity.
+func TestSeverityHelpers(t *testing.T) {
+	diags := []Diagnostic{
+		{Severity: Info, Message: "i"},
+		{Severity: Warn, Message: "w"},
+		{Severity: Error, Message: "e"},
+	}
+	if n := len(Filter(diags, Warn)); n != 2 {
+		t.Errorf("Filter(Warn) = %d diags, want 2", n)
+	}
+	if !HasErrors(diags) {
+		t.Error("HasErrors = false, want true")
+	}
+	if HasErrors(diags[:2]) {
+		t.Error("HasErrors without errors = true, want false")
+	}
+	for in, want := range map[string]Severity{"error": Error, "warn": Warn, "warning": Warn, "info": Info} {
+		got, err := ParseSeverity(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSeverity(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSeverity("bogus"); err == nil {
+		t.Error("ParseSeverity(bogus) should fail")
+	}
+	if s := Summary(diags); s != "1 errors, 1 warnings, 1 infos" {
+		t.Errorf("Summary = %q", s)
+	}
+}

@@ -9,6 +9,7 @@ type TypeExpr struct {
 	Elem *TypeExpr // list element / map value
 	Name string    // struct type name for KindStruct
 	Pos  Pos
+	End  Pos
 }
 
 // TypeKind enumerates schema types.
@@ -56,6 +57,7 @@ type FieldDef struct {
 	Name    string
 	Default Expr // nil if none
 	Pos     Pos
+	End     Pos
 }
 
 // SchemaDef is a thrift-like struct schema. Extends names an optional base
@@ -66,6 +68,7 @@ type SchemaDef struct {
 	Extends string
 	Fields  []*FieldDef
 	Pos     Pos
+	End     Pos
 }
 
 // Field returns the field with the given name, or nil.
@@ -80,24 +83,31 @@ func (s *SchemaDef) Field(name string) *FieldDef {
 
 // ---- Expressions ----
 
-// Expr is any expression node.
-type Expr interface{ exprPos() Pos }
+// Expr is any expression node. Every node carries its start position and
+// its end position (one past the final character of its source text).
+type Expr interface {
+	exprPos() Pos
+	exprEnd() Pos
+}
 
 // LitExpr is a literal: int, float, string, bool, or null.
 type LitExpr struct {
 	Pos Pos
+	End Pos
 	Val Value // pre-built runtime value
 }
 
 // IdentExpr references a binding.
 type IdentExpr struct {
 	Pos  Pos
+	End  Pos
 	Name string
 }
 
 // ListExpr is a list literal.
 type ListExpr struct {
 	Pos   Pos
+	End   Pos
 	Elems []Expr
 }
 
@@ -105,6 +115,7 @@ type ListExpr struct {
 // must evaluate to strings.
 type MapExpr struct {
 	Pos    Pos
+	End    Pos
 	Keys   []Expr
 	Values []Expr
 }
@@ -112,6 +123,7 @@ type MapExpr struct {
 // StructExpr constructs a struct: Job{name: "x"}.
 type StructExpr struct {
 	Pos    Pos
+	End    Pos
 	Type   string
 	Names  []string
 	Values []Expr
@@ -120,6 +132,7 @@ type StructExpr struct {
 // UpdateExpr is a struct-update: base{field: v} producing a modified copy.
 type UpdateExpr struct {
 	Pos    Pos
+	End    Pos
 	Base   Expr
 	Names  []string
 	Values []Expr
@@ -128,6 +141,7 @@ type UpdateExpr struct {
 // FieldExpr accesses a struct field or map key: e.name.
 type FieldExpr struct {
 	Pos  Pos
+	End  Pos
 	Base Expr
 	Name string
 }
@@ -135,6 +149,7 @@ type FieldExpr struct {
 // IndexExpr indexes a list or map: e[i].
 type IndexExpr struct {
 	Pos   Pos
+	End   Pos
 	Base  Expr
 	Index Expr
 }
@@ -142,6 +157,7 @@ type IndexExpr struct {
 // CallExpr invokes a function: f(a, b).
 type CallExpr struct {
 	Pos  Pos
+	End  Pos
 	Fn   Expr
 	Args []Expr
 }
@@ -149,13 +165,16 @@ type CallExpr struct {
 // UnaryExpr is -x or !x.
 type UnaryExpr struct {
 	Pos Pos
+	End Pos
 	Op  string
 	X   Expr
 }
 
-// BinaryExpr is x op y.
+// BinaryExpr is x op y. Pos is the operator position (error messages point
+// at the operator); the full source range is X's start to Y's end.
 type BinaryExpr struct {
 	Pos  Pos
+	End  Pos
 	Op   string
 	X, Y Expr
 }
@@ -163,6 +182,7 @@ type BinaryExpr struct {
 // CondExpr is cond ? a : b.
 type CondExpr struct {
 	Pos        Pos
+	End        Pos
 	Cond, A, B Expr
 }
 
@@ -179,27 +199,60 @@ func (e *UnaryExpr) exprPos() Pos  { return e.Pos }
 func (e *BinaryExpr) exprPos() Pos { return e.Pos }
 func (e *CondExpr) exprPos() Pos   { return e.Pos }
 
+func (e *LitExpr) exprEnd() Pos    { return e.End }
+func (e *IdentExpr) exprEnd() Pos  { return e.End }
+func (e *ListExpr) exprEnd() Pos   { return e.End }
+func (e *MapExpr) exprEnd() Pos    { return e.End }
+func (e *StructExpr) exprEnd() Pos { return e.End }
+func (e *UpdateExpr) exprEnd() Pos { return e.End }
+func (e *FieldExpr) exprEnd() Pos  { return e.End }
+func (e *IndexExpr) exprEnd() Pos  { return e.End }
+func (e *CallExpr) exprEnd() Pos   { return e.End }
+func (e *UnaryExpr) exprEnd() Pos  { return e.End }
+func (e *BinaryExpr) exprEnd() Pos { return e.End }
+func (e *CondExpr) exprEnd() Pos   { return e.End }
+
+// ExprPos returns the expression's start position.
+func ExprPos(e Expr) Pos { return e.exprPos() }
+
+// ExprEnd returns the position one past the expression's last character.
+func ExprEnd(e Expr) Pos { return e.exprEnd() }
+
 // ---- Statements ----
 
-// Stmt is any statement node.
-type Stmt interface{ stmtPos() Pos }
+// Stmt is any statement node. Like expressions, statements carry an
+// accurate start and end position.
+type Stmt interface {
+	stmtPos() Pos
+	stmtEnd() Pos
+}
 
 // ImportStmt pulls every top-level binding of another module into scope.
 type ImportStmt struct {
 	Pos  Pos
+	End  Pos
 	Path string
+	// PathPos/PathEnd delimit the quoted path literal, so diagnostics about
+	// the import target can point at the string rather than the keyword.
+	PathPos Pos
+	PathEnd Pos
 }
 
 // LetStmt binds (or rebinds) a name.
 type LetStmt struct {
 	Pos   Pos
+	End   Pos
 	Name  string
 	Value Expr
+	// NamePos/NameEnd delimit the bound identifier.
+	NamePos Pos
+	NameEnd Pos
 }
 
 // AssignStmt rebinds an existing name (x = expr).
 type AssignStmt struct {
 	Pos   Pos
+	End   Pos
 	Name  string
 	Value Expr
 }
@@ -207,14 +260,19 @@ type AssignStmt struct {
 // DefStmt defines a function.
 type DefStmt struct {
 	Pos    Pos
+	End    Pos
 	Name   string
 	Params []string
 	Body   []Stmt
+	// NamePos/NameEnd delimit the function name.
+	NamePos Pos
+	NameEnd Pos
 }
 
 // ValidatorStmt registers an invariant checker for a schema type.
 type ValidatorStmt struct {
 	Pos    Pos
+	End    Pos
 	Schema string
 	Param  string
 	Body   []Stmt
@@ -223,12 +281,14 @@ type ValidatorStmt struct {
 // ExportStmt marks the module's exported config value.
 type ExportStmt struct {
 	Pos   Pos
+	End   Pos
 	Value Expr
 }
 
 // AssertStmt checks an invariant.
 type AssertStmt struct {
 	Pos     Pos
+	End     Pos
 	Cond    Expr
 	Message Expr // optional
 }
@@ -236,6 +296,7 @@ type AssertStmt struct {
 // IfStmt is if/else.
 type IfStmt struct {
 	Pos  Pos
+	End  Pos
 	Cond Expr
 	Then []Stmt
 	Else []Stmt
@@ -244,6 +305,7 @@ type IfStmt struct {
 // ForStmt iterates a list: for x in expr { ... }.
 type ForStmt struct {
 	Pos  Pos
+	End  Pos
 	Var  string
 	Seq  Expr
 	Body []Stmt
@@ -252,12 +314,14 @@ type ForStmt struct {
 // ReturnStmt returns from a def.
 type ReturnStmt struct {
 	Pos   Pos
+	End   Pos
 	Value Expr // nil means return null
 }
 
 // ExprStmt evaluates an expression for effect.
 type ExprStmt struct {
 	Pos Pos
+	End Pos
 	X   Expr
 }
 
@@ -272,6 +336,24 @@ func (s *IfStmt) stmtPos() Pos        { return s.Pos }
 func (s *ForStmt) stmtPos() Pos       { return s.Pos }
 func (s *ReturnStmt) stmtPos() Pos    { return s.Pos }
 func (s *ExprStmt) stmtPos() Pos      { return s.Pos }
+
+func (s *ImportStmt) stmtEnd() Pos    { return s.End }
+func (s *LetStmt) stmtEnd() Pos       { return s.End }
+func (s *AssignStmt) stmtEnd() Pos    { return s.End }
+func (s *DefStmt) stmtEnd() Pos       { return s.End }
+func (s *ValidatorStmt) stmtEnd() Pos { return s.End }
+func (s *ExportStmt) stmtEnd() Pos    { return s.End }
+func (s *AssertStmt) stmtEnd() Pos    { return s.End }
+func (s *IfStmt) stmtEnd() Pos        { return s.End }
+func (s *ForStmt) stmtEnd() Pos       { return s.End }
+func (s *ReturnStmt) stmtEnd() Pos    { return s.End }
+func (s *ExprStmt) stmtEnd() Pos      { return s.End }
+
+// StmtPos returns the statement's start position.
+func StmtPos(s Stmt) Pos { return s.stmtPos() }
+
+// StmtEnd returns the position one past the statement's last character.
+func StmtEnd(s Stmt) Pos { return s.stmtEnd() }
 
 // Module is a parsed source file.
 type Module struct {

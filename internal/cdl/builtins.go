@@ -309,6 +309,10 @@ func baseEnv() *Env {
 	return env
 }
 
+// BuiltinNames returns the names bound in the root environment, sorted.
+// Static analyses treat these as always-defined.
+func BuiltinNames() []string { return baseEnv().Names() }
+
 func varArgsNumeric(name string, combine func(a, b float64) float64) func(Pos, []Value) (Value, error) {
 	return func(pos Pos, args []Value) (Value, error) {
 		if len(args) < 2 {

@@ -243,6 +243,16 @@ func (e *Engine) parseModule(path string, src []byte) (*Module, error) {
 	return mod, err
 }
 
+// ParseCached parses src through the engine's content-addressed parse
+// cache: the same (path, bytes) pair is parsed once no matter how many
+// callers ask. This is the entry point the configlint driver uses, so a
+// lint of N dependents sharing a .cinc parses the shared file exactly once
+// — and a lint run immediately after a compile (or vice versa) reuses the
+// other's parse work entirely.
+func (e *Engine) ParseCached(path string, src []byte) (*Module, error) {
+	return e.parseModule(path, src)
+}
+
 // parseMeta reports the cached cache-safety verdict and struct-literal
 // type names for already-parsed content (false/nil when unknown).
 func (e *Engine) parseMeta(path string, src []byte) (bool, []string) {

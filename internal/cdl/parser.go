@@ -32,6 +32,10 @@ func Parse(file, src string) (*Module, error) {
 func (p *parser) cur() token  { return p.toks[p.i] }
 func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
 
+// last returns the end position of the most recently consumed token — the
+// end position of whatever construct just finished parsing.
+func (p *parser) last() Pos { return p.toks[p.i-1].end }
+
 func (p *parser) at(kind tokenKind, text string) bool {
 	t := p.cur()
 	if t.kind != kind {
@@ -92,7 +96,8 @@ func (p *parser) parseImport() (*ImportStmt, error) {
 	if _, err := p.expect(tokPunct, ";"); err != nil {
 		return nil, err
 	}
-	return &ImportStmt{Pos: kw.pos, Path: pathTok.strVal}, nil
+	return &ImportStmt{Pos: kw.pos, End: p.last(), Path: pathTok.strVal,
+		PathPos: pathTok.pos, PathEnd: pathTok.end}, nil
 }
 
 func (p *parser) parseSchema() (*SchemaDef, error) {
@@ -150,12 +155,23 @@ func (p *parser) parseSchema() (*SchemaDef, error) {
 		if _, err := p.expect(tokPunct, ";"); err != nil {
 			return nil, err
 		}
+		fd.End = p.last()
 		sd.Fields = append(sd.Fields, fd)
 	}
+	sd.End = p.last()
 	return sd, nil
 }
 
 func (p *parser) parseType() (*TypeExpr, error) {
+	te, err := p.parseTypeInner()
+	if err != nil {
+		return nil, err
+	}
+	te.End = p.last()
+	return te, nil
+}
+
+func (p *parser) parseTypeInner() (*TypeExpr, error) {
 	t := p.cur()
 	if t.kind != tokIdent {
 		return nil, errf(t.pos, "expected type name, found %q", t.text)
@@ -251,7 +267,8 @@ func (p *parser) parseStmt() (Stmt, error) {
 			if _, err := p.expect(tokPunct, ";"); err != nil {
 				return nil, err
 			}
-			return &LetStmt{Pos: t.pos, Name: name.text, Value: v}, nil
+			return &LetStmt{Pos: t.pos, End: p.last(), Name: name.text, Value: v,
+				NamePos: name.pos, NameEnd: name.end}, nil
 		case "def":
 			p.next()
 			name, err := p.expect(tokIdent, "")
@@ -278,7 +295,8 @@ func (p *parser) parseStmt() (Stmt, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &DefStmt{Pos: t.pos, Name: name.text, Params: params, Body: body}, nil
+			return &DefStmt{Pos: t.pos, End: p.last(), Name: name.text, Params: params, Body: body,
+				NamePos: name.pos, NameEnd: name.end}, nil
 		case "validator":
 			p.next()
 			schema, err := p.expect(tokIdent, "")
@@ -299,7 +317,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &ValidatorStmt{Pos: t.pos, Schema: schema.text, Param: param.text, Body: body}, nil
+			return &ValidatorStmt{Pos: t.pos, End: p.last(), Schema: schema.text, Param: param.text, Body: body}, nil
 		case "export":
 			p.next()
 			v, err := p.parseExpr()
@@ -309,7 +327,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 			if _, err := p.expect(tokPunct, ";"); err != nil {
 				return nil, err
 			}
-			return &ExportStmt{Pos: t.pos, Value: v}, nil
+			return &ExportStmt{Pos: t.pos, End: p.last(), Value: v}, nil
 		case "assert":
 			p.next()
 			if _, err := p.expect(tokPunct, "("); err != nil {
@@ -332,7 +350,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 			if _, err := p.expect(tokPunct, ";"); err != nil {
 				return nil, err
 			}
-			return &AssertStmt{Pos: t.pos, Cond: cond, Message: msg}, nil
+			return &AssertStmt{Pos: t.pos, End: p.last(), Cond: cond, Message: msg}, nil
 		case "if":
 			return p.parseIf()
 		case "for":
@@ -360,11 +378,11 @@ func (p *parser) parseStmt() (Stmt, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &ForStmt{Pos: t.pos, Var: v.text, Seq: seq, Body: body}, nil
+			return &ForStmt{Pos: t.pos, End: p.last(), Var: v.text, Seq: seq, Body: body}, nil
 		case "return":
 			p.next()
 			if p.accept(tokPunct, ";") {
-				return &ReturnStmt{Pos: t.pos}, nil
+				return &ReturnStmt{Pos: t.pos, End: p.last()}, nil
 			}
 			v, err := p.parseExpr()
 			if err != nil {
@@ -373,7 +391,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 			if _, err := p.expect(tokPunct, ";"); err != nil {
 				return nil, err
 			}
-			return &ReturnStmt{Pos: t.pos, Value: v}, nil
+			return &ReturnStmt{Pos: t.pos, End: p.last(), Value: v}, nil
 		case "import", "schema":
 			return nil, errf(t.pos, "%s is only allowed at top level", t.text)
 		}
@@ -389,7 +407,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 		if _, err := p.expect(tokPunct, ";"); err != nil {
 			return nil, err
 		}
-		return &AssignStmt{Pos: t.pos, Name: t.text, Value: v}, nil
+		return &AssignStmt{Pos: t.pos, End: p.last(), Name: t.text, Value: v}, nil
 	}
 	x, err := p.parseExpr()
 	if err != nil {
@@ -398,7 +416,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 	if _, err := p.expect(tokPunct, ";"); err != nil {
 		return nil, err
 	}
-	return &ExprStmt{Pos: t.pos, X: x}, nil
+	return &ExprStmt{Pos: t.pos, End: p.last(), X: x}, nil
 }
 
 func (p *parser) parseIf() (Stmt, error) {
@@ -417,7 +435,7 @@ func (p *parser) parseIf() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &IfStmt{Pos: kw.pos, Cond: cond, Then: then}
+	st := &IfStmt{Pos: kw.pos, End: p.last(), Cond: cond, Then: then}
 	if p.accept(tokKeyword, "else") {
 		if p.at(tokKeyword, "if") {
 			elseIf, err := p.parseIf()
@@ -432,6 +450,7 @@ func (p *parser) parseIf() (Stmt, error) {
 			}
 			st.Else = els
 		}
+		st.End = p.last()
 	}
 	return st, nil
 }
@@ -459,7 +478,7 @@ func (p *parser) parseCond() (Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CondExpr{Pos: cond.exprPos(), Cond: cond, A: a, B: b}, nil
+	return &CondExpr{Pos: cond.exprPos(), End: b.exprEnd(), Cond: cond, A: a, B: b}, nil
 }
 
 func (p *parser) parseOr() (Expr, error) {
@@ -473,7 +492,7 @@ func (p *parser) parseOr() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		x = &BinaryExpr{Pos: op.pos, Op: "||", X: x, Y: y}
+		x = &BinaryExpr{Pos: op.pos, End: y.exprEnd(), Op: "||", X: x, Y: y}
 	}
 	return x, nil
 }
@@ -489,7 +508,7 @@ func (p *parser) parseAnd() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		x = &BinaryExpr{Pos: op.pos, Op: "&&", X: x, Y: y}
+		x = &BinaryExpr{Pos: op.pos, End: y.exprEnd(), Op: "&&", X: x, Y: y}
 	}
 	return x, nil
 }
@@ -511,7 +530,7 @@ func (p *parser) parseCmp() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			x = &BinaryExpr{Pos: t.pos, Op: t.text, X: x, Y: y}
+			x = &BinaryExpr{Pos: t.pos, End: y.exprEnd(), Op: t.text, X: x, Y: y}
 		default:
 			return x, nil
 		}
@@ -529,7 +548,7 @@ func (p *parser) parseAdd() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		x = &BinaryExpr{Pos: op.pos, Op: op.text, X: x, Y: y}
+		x = &BinaryExpr{Pos: op.pos, End: y.exprEnd(), Op: op.text, X: x, Y: y}
 	}
 	return x, nil
 }
@@ -545,7 +564,7 @@ func (p *parser) parseMul() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		x = &BinaryExpr{Pos: op.pos, Op: op.text, X: x, Y: y}
+		x = &BinaryExpr{Pos: op.pos, End: y.exprEnd(), Op: op.text, X: x, Y: y}
 	}
 	return x, nil
 }
@@ -558,7 +577,7 @@ func (p *parser) parseUnary() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &UnaryExpr{Pos: t.pos, Op: t.text, X: x}, nil
+		return &UnaryExpr{Pos: t.pos, End: x.exprEnd(), Op: t.text, X: x}, nil
 	}
 	return p.parsePostfix()
 }
@@ -577,7 +596,7 @@ func (p *parser) parsePostfix() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			x = &FieldExpr{Pos: t.pos, Base: x, Name: name.text}
+			x = &FieldExpr{Pos: t.pos, End: name.end, Base: x, Name: name.text}
 		case t.is(tokPunct, "["):
 			p.next()
 			idx, err := p.parseExpr()
@@ -587,7 +606,7 @@ func (p *parser) parsePostfix() (Expr, error) {
 			if _, err := p.expect(tokPunct, "]"); err != nil {
 				return nil, err
 			}
-			x = &IndexExpr{Pos: t.pos, Base: x, Index: idx}
+			x = &IndexExpr{Pos: t.pos, End: p.last(), Base: x, Index: idx}
 		case t.is(tokPunct, "("):
 			p.next()
 			var args []Expr
@@ -603,7 +622,7 @@ func (p *parser) parsePostfix() (Expr, error) {
 				}
 				args = append(args, a)
 			}
-			x = &CallExpr{Pos: t.pos, Fn: x, Args: args}
+			x = &CallExpr{Pos: t.pos, End: p.last(), Fn: x, Args: args}
 		case t.is(tokPunct, "{"):
 			// Struct update on a non-identifier base, or struct literal on
 			// an identifier base. An identifier followed by '{' is a struct
@@ -614,9 +633,9 @@ func (p *parser) parsePostfix() (Expr, error) {
 				return nil, err
 			}
 			if id, ok := x.(*IdentExpr); ok {
-				x = &StructExpr{Pos: id.Pos, Type: id.Name, Names: names, Values: values}
+				x = &StructExpr{Pos: id.Pos, End: p.last(), Type: id.Name, Names: names, Values: values}
 			} else {
-				x = &UpdateExpr{Pos: t.pos, Base: x, Names: names, Values: values}
+				x = &UpdateExpr{Pos: t.pos, End: p.last(), Base: x, Names: names, Values: values}
 			}
 		default:
 			return x, nil
@@ -662,28 +681,28 @@ func (p *parser) parsePrimary() (Expr, error) {
 	switch t.kind {
 	case tokInt:
 		p.next()
-		return &LitExpr{Pos: t.pos, Val: Int(t.intVal)}, nil
+		return &LitExpr{Pos: t.pos, End: t.end, Val: Int(t.intVal)}, nil
 	case tokFloat:
 		p.next()
-		return &LitExpr{Pos: t.pos, Val: Float(t.floatVal)}, nil
+		return &LitExpr{Pos: t.pos, End: t.end, Val: Float(t.floatVal)}, nil
 	case tokString:
 		p.next()
-		return &LitExpr{Pos: t.pos, Val: Str(t.strVal)}, nil
+		return &LitExpr{Pos: t.pos, End: t.end, Val: Str(t.strVal)}, nil
 	case tokKeyword:
 		switch t.text {
 		case "true":
 			p.next()
-			return &LitExpr{Pos: t.pos, Val: Bool(true)}, nil
+			return &LitExpr{Pos: t.pos, End: t.end, Val: Bool(true)}, nil
 		case "false":
 			p.next()
-			return &LitExpr{Pos: t.pos, Val: Bool(false)}, nil
+			return &LitExpr{Pos: t.pos, End: t.end, Val: Bool(false)}, nil
 		case "null":
 			p.next()
-			return &LitExpr{Pos: t.pos, Val: Null{}}, nil
+			return &LitExpr{Pos: t.pos, End: t.end, Val: Null{}}, nil
 		}
 	case tokIdent:
 		p.next()
-		return &IdentExpr{Pos: t.pos, Name: t.text}, nil
+		return &IdentExpr{Pos: t.pos, End: t.end, Name: t.text}, nil
 	case tokPunct:
 		switch t.text {
 		case "(":
@@ -705,7 +724,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 						return nil, err
 					}
 					if p.accept(tokPunct, "]") {
-						return &ListExpr{Pos: t.pos, Elems: elems}, nil
+						return &ListExpr{Pos: t.pos, End: p.last(), Elems: elems}, nil
 					}
 				}
 				e, err := p.parseExpr()
@@ -714,7 +733,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 				}
 				elems = append(elems, e)
 			}
-			return &ListExpr{Pos: t.pos, Elems: elems}, nil
+			return &ListExpr{Pos: t.pos, End: p.last(), Elems: elems}, nil
 		case "{":
 			p.next()
 			m := &MapExpr{Pos: t.pos}
@@ -724,6 +743,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 						return nil, err
 					}
 					if p.accept(tokPunct, "}") {
+						m.End = p.last()
 						return m, nil
 					}
 				}
@@ -731,10 +751,10 @@ func (p *parser) parsePrimary() (Expr, error) {
 				kt := p.cur()
 				if kt.kind == tokString {
 					p.next()
-					k = &LitExpr{Pos: kt.pos, Val: Str(kt.strVal)}
+					k = &LitExpr{Pos: kt.pos, End: kt.end, Val: Str(kt.strVal)}
 				} else if kt.kind == tokIdent {
 					p.next()
-					k = &LitExpr{Pos: kt.pos, Val: Str(kt.text)}
+					k = &LitExpr{Pos: kt.pos, End: kt.end, Val: Str(kt.text)}
 				} else {
 					return nil, errf(kt.pos, "map key must be a string or identifier")
 				}
@@ -748,6 +768,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 				m.Keys = append(m.Keys, k)
 				m.Values = append(m.Values, v)
 			}
+			m.End = p.last()
 			return m, nil
 		}
 	}

@@ -1,0 +1,262 @@
+package cdl
+
+import (
+	"strings"
+	"testing"
+)
+
+// offsetOf converts a (line, col) position back to a byte offset in src.
+func offsetOf(t *testing.T, lines []string, p Pos) int {
+	t.Helper()
+	if p.Line < 1 || p.Line > len(lines)+1 {
+		t.Fatalf("position %v: line out of range (have %d lines)", p, len(lines))
+	}
+	off := 0
+	for i := 0; i < p.Line-1; i++ {
+		off += len(lines[i]) + 1 // +1 for the newline
+	}
+	return off + p.Col - 1
+}
+
+// collectNodes gathers every statement and expression in the module.
+func collectNodes(mod *Module) (stmts []Stmt, exprs []Expr) {
+	var walkExpr func(Expr)
+	var walkStmts func([]Stmt)
+	walkExpr = func(x Expr) {
+		if x == nil {
+			return
+		}
+		exprs = append(exprs, x)
+		switch e := x.(type) {
+		case *ListExpr:
+			for _, el := range e.Elems {
+				walkExpr(el)
+			}
+		case *MapExpr:
+			for i := range e.Keys {
+				walkExpr(e.Keys[i])
+				walkExpr(e.Values[i])
+			}
+		case *StructExpr:
+			for _, v := range e.Values {
+				walkExpr(v)
+			}
+		case *UpdateExpr:
+			walkExpr(e.Base)
+			for _, v := range e.Values {
+				walkExpr(v)
+			}
+		case *FieldExpr:
+			walkExpr(e.Base)
+		case *IndexExpr:
+			walkExpr(e.Base)
+			walkExpr(e.Index)
+		case *CallExpr:
+			walkExpr(e.Fn)
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		case *UnaryExpr:
+			walkExpr(e.X)
+		case *BinaryExpr:
+			walkExpr(e.X)
+			walkExpr(e.Y)
+		case *CondExpr:
+			walkExpr(e.Cond)
+			walkExpr(e.A)
+			walkExpr(e.B)
+		}
+	}
+	walkStmts = func(list []Stmt) {
+		for _, st := range list {
+			stmts = append(stmts, st)
+			switch s := st.(type) {
+			case *LetStmt:
+				walkExpr(s.Value)
+			case *AssignStmt:
+				walkExpr(s.Value)
+			case *DefStmt:
+				walkStmts(s.Body)
+			case *ValidatorStmt:
+				walkStmts(s.Body)
+			case *ExportStmt:
+				walkExpr(s.Value)
+			case *AssertStmt:
+				walkExpr(s.Cond)
+				walkExpr(s.Message)
+			case *IfStmt:
+				walkExpr(s.Cond)
+				walkStmts(s.Then)
+				walkStmts(s.Else)
+			case *ForStmt:
+				walkExpr(s.Seq)
+				walkStmts(s.Body)
+			case *ReturnStmt:
+				walkExpr(s.Value)
+			case *ExprStmt:
+				walkExpr(s.X)
+			}
+		}
+	}
+	walkStmts(mod.Stmts)
+	return stmts, exprs
+}
+
+// TestPositionRoundTrip parses a module exercising every node kind and
+// checks that each node's (start, end) range maps back onto the exact
+// source text it was parsed from.
+func TestPositionRoundTrip(t *testing.T) {
+	src := `import "lib/dep.cinc";
+schema Job extends Base {
+	1: string name;
+	2: i32 priority = 3 + 4;
+	3: list<string> tags = [];
+	4: map<string, i64> limits = {};
+}
+validator Job(c) {
+	assert(c.priority >= 0, "bad " + "priority");
+}
+let xs = [1, 2.5, "three", true, false, null];
+let m = {a: 1, "b": xs[0], c: -xs[1]};
+def mk(name, pri) {
+	if (pri > 5) {
+		return Job{name: name, priority: pri};
+	} else {
+		return Job{name: name};
+	}
+}
+let total = 0;
+for (i in range(3)) {
+	total = total + i;
+}
+let j = mk("x", 1 < 2 ? 9 : total);
+let j2 = j{priority: len(str(total))};
+export (j2);
+`
+	mod, err := Parse("round.cconf", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	lines := strings.Split(src, "\n")
+	stmts, exprs := collectNodes(mod)
+	if len(stmts) < 14 || len(exprs) < 40 {
+		t.Fatalf("walker found too few nodes: %d stmts, %d exprs", len(stmts), len(exprs))
+	}
+
+	checkRange := func(desc string, start, end Pos) (string, bool) {
+		if start.Line == 0 || end.Line == 0 {
+			t.Errorf("%s: missing position (start=%v end=%v)", desc, start, end)
+			return "", false
+		}
+		so, eo := offsetOf(t, lines, start), offsetOf(t, lines, end)
+		if so >= eo {
+			t.Errorf("%s: empty or inverted range %v..%v", desc, start, end)
+			return "", false
+		}
+		if eo > len(src) {
+			t.Errorf("%s: end %v beyond source", desc, end)
+			return "", false
+		}
+		return src[so:eo], true
+	}
+
+	for _, st := range stmts {
+		text, ok := checkRange(nodeDesc(st), StmtPos(st), StmtEnd(st))
+		if !ok {
+			continue
+		}
+		// Every statement's source text ends in ';' or a block '}'.
+		if last := text[len(text)-1]; last != ';' && last != '}' {
+			t.Errorf("stmt %T at %v: range %q does not end a statement", st, StmtPos(st), text)
+		}
+	}
+	for _, x := range exprs {
+		text, ok := checkRange(nodeDesc(x), ExprPos(x), ExprEnd(x))
+		if !ok {
+			continue
+		}
+		switch e := x.(type) {
+		case *IdentExpr:
+			if text != e.Name {
+				t.Errorf("ident at %v: range covers %q, want %q", e.Pos, text, e.Name)
+			}
+		case *ListExpr:
+			if text[0] != '[' || text[len(text)-1] != ']' {
+				t.Errorf("list at %v: range covers %q", e.Pos, text)
+			}
+		case *MapExpr:
+			if text[0] != '{' || text[len(text)-1] != '}' {
+				t.Errorf("map at %v: range covers %q", e.Pos, text)
+			}
+		case *StructExpr:
+			if !strings.HasPrefix(text, e.Type) || text[len(text)-1] != '}' {
+				t.Errorf("struct at %v: range covers %q", e.Pos, text)
+			}
+		case *CallExpr:
+			if text[len(text)-1] != ')' {
+				t.Errorf("call at %v: range covers %q", e.Pos, text)
+			}
+		case *IndexExpr:
+			if text[len(text)-1] != ']' {
+				t.Errorf("index at %v: range covers %q", e.Pos, text)
+			}
+		case *UpdateExpr:
+			if text[len(text)-1] != '}' {
+				t.Errorf("update at %v: range covers %q", e.Pos, text)
+			}
+		}
+	}
+
+	// BinaryExpr spans X start..Y end even though Pos is the operator.
+	for _, x := range exprs {
+		if b, ok := x.(*BinaryExpr); ok {
+			if ExprEnd(b) != ExprEnd(b.Y) {
+				t.Errorf("binary %q at %v: end %v != Y end %v", b.Op, b.Pos, ExprEnd(b), ExprEnd(b.Y))
+			}
+		}
+	}
+
+	// Schemas and fields carry ranges too.
+	for _, sd := range mod.Schemas {
+		if text, ok := checkRange("schema "+sd.Name, sd.Pos, sd.End); ok {
+			if !strings.HasPrefix(text, "schema ") || text[len(text)-1] != '}' {
+				t.Errorf("schema %s: range covers %q", sd.Name, text)
+			}
+		}
+		for _, f := range sd.Fields {
+			if text, ok := checkRange("field "+f.Name, f.Pos, f.End); ok {
+				if text[len(text)-1] != ';' {
+					t.Errorf("field %s: range covers %q", f.Name, text)
+				}
+			}
+		}
+	}
+
+	// Import statements expose the quoted path range.
+	for _, imp := range mod.Imports {
+		if text, ok := checkRange("import path", imp.PathPos, imp.PathEnd); ok {
+			if text != `"lib/dep.cinc"` {
+				t.Errorf("import path range covers %q", text)
+			}
+		}
+	}
+
+	// Let statements expose the bound-name range.
+	for _, st := range stmts {
+		if l, ok := st.(*LetStmt); ok {
+			if text, ok := checkRange("let name", l.NamePos, l.NameEnd); ok && text != l.Name {
+				t.Errorf("let %s: name range covers %q", l.Name, text)
+			}
+		}
+	}
+}
+
+func nodeDesc(n interface{}) string {
+	switch v := n.(type) {
+	case Stmt:
+		return StmtPos(v).String()
+	case Expr:
+		return ExprPos(v).String()
+	}
+	return "?"
+}

@@ -167,14 +167,29 @@ func (s *scanScope) resolves(name string) bool {
 // astCacheSafe reports whether the module's evaluated environment may be
 // shared across compiles.
 func astCacheSafe(mod *Module) bool {
-	top := newScanScope(nil, false)
-	return stmtsCacheSafe(mod.Stmts, top, false)
+	return len(ImpureAssignments(mod)) == 0
 }
 
-// stmtsCacheSafe walks a statement list inside the given scope. inDeferred
-// is true once the walk has entered a def or validator body (where
-// assignments execute after module evaluation).
-func stmtsCacheSafe(stmts []Stmt, scope *scanScope, inDeferred bool) bool {
+// ImpureAssignments returns every assignment statement that defeats module
+// memoization, in source order: an assignment inside a deferred body (def
+// or validator) that could bind to a scope existing at module-evaluation
+// time, or a top-level assignment to a name the module does not itself
+// define (a rebind of an imported name or a shared builtin). A module with
+// no impure assignments is cache-safe and its evaluated environment may be
+// shared across compiles; the configlint impure-construct analyzer
+// surfaces each returned site as a diagnostic.
+func ImpureAssignments(mod *Module) []*AssignStmt {
+	top := newScanScope(nil, false)
+	var sites []*AssignStmt
+	collectImpure(mod.Stmts, top, false, &sites)
+	return sites
+}
+
+// collectImpure walks a statement list inside the given scope, appending
+// unsafe assignments to sites. inDeferred is true once the walk has entered
+// a def or validator body (where assignments execute after module
+// evaluation).
+func collectImpure(stmts []Stmt, scope *scanScope, inDeferred bool, sites *[]*AssignStmt) {
 	for _, st := range stmts {
 		switch s := st.(type) {
 		case *LetStmt:
@@ -182,10 +197,10 @@ func stmtsCacheSafe(stmts []Stmt, scope *scanScope, inDeferred bool) bool {
 		case *AssignStmt:
 			if inDeferred {
 				if !scope.resolvesCallLocal(s.Name) {
-					return false
+					*sites = append(*sites, s)
 				}
 			} else if !scope.resolves(s.Name) {
-				return false
+				*sites = append(*sites, s)
 			}
 		case *DefStmt:
 			scope.names[s.Name] = true
@@ -193,33 +208,22 @@ func stmtsCacheSafe(stmts []Stmt, scope *scanScope, inDeferred bool) bool {
 			for _, p := range s.Params {
 				body.names[p] = true
 			}
-			if !stmtsCacheSafe(s.Body, body, true) {
-				return false
-			}
+			collectImpure(s.Body, body, true, sites)
 		case *ValidatorStmt:
 			body := newScanScope(scope, true)
 			body.names[s.Param] = true
-			if !stmtsCacheSafe(s.Body, body, true) {
-				return false
-			}
+			collectImpure(s.Body, body, true, sites)
 		case *IfStmt:
 			// Child blocks inherit call-locality from the enclosing scope:
 			// a block env inside a def is per-call, a top-level block env
 			// is created once at module evaluation and captured by any def
 			// defined inside it.
-			if !stmtsCacheSafe(s.Then, newScanScope(scope, scope.callLocal), inDeferred) {
-				return false
-			}
-			if !stmtsCacheSafe(s.Else, newScanScope(scope, scope.callLocal), inDeferred) {
-				return false
-			}
+			collectImpure(s.Then, newScanScope(scope, scope.callLocal), inDeferred, sites)
+			collectImpure(s.Else, newScanScope(scope, scope.callLocal), inDeferred, sites)
 		case *ForStmt:
 			body := newScanScope(scope, scope.callLocal)
 			body.names[s.Var] = true
-			if !stmtsCacheSafe(s.Body, body, inDeferred) {
-				return false
-			}
+			collectImpure(s.Body, body, inDeferred, sites)
 		}
 	}
-	return true
 }

@@ -66,6 +66,9 @@ type token struct {
 	kind tokenKind
 	text string
 	pos  Pos
+	// end is the position one past the token's last character (same line
+	// for every token kind: newlines never appear inside a token).
+	end Pos
 	// literal payloads
 	intVal   int64
 	floatVal float64
@@ -139,8 +142,21 @@ func (l *lexer) skipSpaceAndComments() {
 func isIdentStart(c rune) bool { return c == '_' || unicode.IsLetter(c) }
 func isIdentPart(c rune) bool  { return c == '_' || unicode.IsLetter(c) || unicode.IsDigit(c) }
 
-// next returns the next token or an error.
+// next returns the next token or an error. The token carries both its
+// start position and its end position (one past the last character), so
+// downstream consumers — the parser and the diagnostics it feeds — can
+// report precise source ranges.
 func (l *lexer) next() (token, error) {
+	t, err := l.lex()
+	if err != nil {
+		return t, err
+	}
+	t.end = l.pos()
+	return t, nil
+}
+
+// lex scans one token; next() stamps the end position afterwards.
+func (l *lexer) lex() (token, error) {
 	l.skipSpaceAndComments()
 	pos := l.pos()
 	if l.off >= len(l.src) {

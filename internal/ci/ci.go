@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"configerator/internal/cdl"
+	"configerator/internal/cdl/analysis"
 )
 
 // ChangeSet is the proposed config artifacts, path → JSON content.
@@ -27,6 +28,12 @@ type ChangeSet map[string][]byte
 // sandbox's first gate, run before any synthetic test. It returns an error
 // when an artifact does not match what the compiler produces.
 type CompileChecker func(cs ChangeSet) error
+
+// LintChecker statically analyzes the sources behind a change set and
+// returns the diagnostics. The sandbox blocks the change when any
+// diagnostic is Error severity; warnings surface in the logs without
+// failing the run.
+type LintChecker func(cs ChangeSet) []analysis.Diagnostic
 
 // Test is one synthetic integration test.
 type Test struct {
@@ -55,6 +62,10 @@ type Sandbox struct {
 	// the compiler before the test suite runs (cost 0: the engine's
 	// result cache makes the double-compile nearly free).
 	Compile CompileChecker
+	// Lint, when set, runs static analysis before the compile check and
+	// the test suite; Error diagnostics fail the run (the engine's parse
+	// cache makes the re-lint nearly free).
+	Lint LintChecker
 
 	// Runs counts sandbox executions.
 	Runs int
@@ -75,6 +86,21 @@ func (s *Sandbox) TestCount() int { return len(s.tests) }
 func (s *Sandbox) Run(cs ChangeSet) Result {
 	s.Runs++
 	res := Result{Passed: true, Duration: s.SetupCost}
+	if s.Lint != nil {
+		diags := s.Lint(cs)
+		for _, d := range diags {
+			res.Logs = append(res.Logs, "LINT "+d.String())
+		}
+		if analysis.HasErrors(diags) {
+			res.Passed = false
+			errs := analysis.Filter(diags, analysis.Error)
+			res.Failures = append(res.Failures, fmt.Sprintf("lint: %s (first: %s)",
+				analysis.Summary(errs), errs[0]))
+			res.Logs = append(res.Logs, "FAIL lint")
+		} else {
+			res.Logs = append(res.Logs, "PASS lint")
+		}
+	}
 	if s.Compile != nil {
 		if err := s.Compile(cs); err != nil {
 			res.Passed = false
@@ -103,6 +129,34 @@ func (s *Sandbox) Run(cs ChangeSet) Result {
 // are skipped. Because the pipeline compiled the same sources moments
 // earlier through the same engine, this re-verification is served almost
 // entirely from the result cache.
+// LintCheck returns a LintChecker that statically analyzes the source of
+// every artifact in the change set through the shared engine's parse
+// cache. sources maps artifact path → source path; artifacts without a
+// mapping (raw configs) are skipped.
+func LintCheck(eng *cdl.Engine, fs cdl.FileSystem, sources map[string]string) LintChecker {
+	return func(cs ChangeSet) []analysis.Diagnostic {
+		var roots []string
+		for artifact := range cs {
+			if src, ok := sources[artifact]; ok {
+				roots = append(roots, src)
+			}
+		}
+		if len(roots) == 0 {
+			return nil
+		}
+		sort.Strings(roots)
+		diags, err := analysis.NewDriver(eng, fs).Run(roots)
+		if err != nil {
+			p := cdl.Pos{File: roots[0], Line: 1, Col: 1}
+			return []analysis.Diagnostic{{
+				Pos: p, End: p, Severity: analysis.Error,
+				Analyzer: "driver", Message: err.Error(),
+			}}
+		}
+		return diags
+	}
+}
+
 func RecompileCheck(eng *cdl.Engine, fs cdl.FileSystem, sources map[string]string) CompileChecker {
 	return func(cs ChangeSet) error {
 		var paths []string

@@ -1,0 +1,83 @@
+package ci
+
+import (
+	"strings"
+	"testing"
+
+	"configerator/internal/cdl"
+)
+
+// TestSandboxLintBlocksErrors asserts the sandbox's lint gate: a change
+// whose source carries an Error diagnostic fails the run before any test
+// executes, while warnings pass through as log lines only.
+func TestSandboxLintBlocksErrors(t *testing.T) {
+	fs := cdl.MapFS{
+		// The bad branch never evaluates, so this compiles — only static
+		// analysis sees the undefined reference.
+		"svc/bad.cconf": `
+			let enabled = false;
+			if (enabled) {
+				let x = missing_name;
+			}
+			export {on: enabled};
+		`,
+		"svc/good.cconf": `export {on: true};`,
+	}
+	eng := cdl.NewEngine()
+	sources := map[string]string{
+		"svc/bad.json":  "svc/bad.cconf",
+		"svc/good.json": "svc/good.cconf",
+	}
+
+	sb := NewSandbox(0)
+	sb.Lint = LintCheck(eng, fs, sources)
+
+	res := sb.Run(ChangeSet{"svc/bad.json": []byte(`{}`)})
+	if res.Passed {
+		t.Fatal("sandbox passed a change with a lint error")
+	}
+	if len(res.Failures) == 0 || !strings.Contains(res.Failures[0], "lint") {
+		t.Fatalf("failure should name lint, got %v", res.Failures)
+	}
+	if !strings.Contains(strings.Join(res.Failures, " "), "missing_name") {
+		t.Fatalf("failure should carry the diagnostic, got %v", res.Failures)
+	}
+
+	res = sb.Run(ChangeSet{"svc/good.json": []byte(`{}`)})
+	if !res.Passed {
+		t.Fatalf("clean change failed lint: %v", res.Failures)
+	}
+	found := false
+	for _, l := range res.Logs {
+		if l == "PASS lint" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("logs should record the lint pass, got %v", res.Logs)
+	}
+}
+
+// TestSandboxLintWarningsDoNotBlock: Warn-severity diagnostics surface in
+// the logs but never fail the run.
+func TestSandboxLintWarningsDoNotBlock(t *testing.T) {
+	fs := cdl.MapFS{
+		"svc/warn.cconf": "import \"svc/lib.cinc\";\nexport {a: 1};\n",
+		"svc/lib.cinc":   "let UNUSED = 1;\n",
+	}
+	sb := NewSandbox(0)
+	sb.Lint = LintCheck(cdl.NewEngine(), fs, map[string]string{"svc/warn.json": "svc/warn.cconf"})
+	res := sb.Run(ChangeSet{"svc/warn.json": []byte(`{}`)})
+	if !res.Passed {
+		t.Fatalf("warnings must not block: %v", res.Failures)
+	}
+	warned := false
+	for _, l := range res.Logs {
+		if strings.Contains(l, "unused-import") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("warning should appear in logs, got %v", res.Logs)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"configerator/internal/canary"
 	"configerator/internal/cdl"
+	"configerator/internal/cdl/analysis"
 	"configerator/internal/ci"
 	"configerator/internal/cluster"
 	"configerator/internal/depgraph"
@@ -71,6 +72,9 @@ type Pipeline struct {
 	// work, implemented): it learns from every landed change and posts
 	// findings onto review diffs without blocking them.
 	Risk *riskadvisor.Advisor
+	// DeprecatedSitevars configures the deprecated-sitevar analyzer:
+	// sitevar name → replacement note.
+	DeprecatedSitevars map[string]string
 
 	strips map[*vcs.Repository]*landingstrip.Strip
 	clock  *vclock.Virtual // standalone clock when no fleet
@@ -107,6 +111,7 @@ func New(opts Options) *Pipeline {
 	}
 	for _, repo := range p.Repos.Repos() {
 		p.strips[repo] = landingstrip.New(repo, p.Cost)
+		p.strips[repo].Gate = p.lintGate()
 	}
 	if p.Fleet != nil {
 		p.Canary = canary.NewRunner(p.Fleet.Net, p.Fleet)
@@ -222,6 +227,10 @@ type ChangeRequest struct {
 // ChangeReport is the pipeline's account of one change.
 type ChangeReport struct {
 	DiffID int
+	// Lint holds every static-analysis diagnostic over the change's
+	// affected set (changed sources plus their transitive importers).
+	// Error diagnostics fail stage 1; warnings ride along for the review.
+	Lint []analysis.Diagnostic
 	// Compiled maps artifact path -> canonical JSON.
 	Compiled map[string][]byte
 	// Recompiled lists dependent sources rebuilt because an import
@@ -255,10 +264,77 @@ func (r *ChangeReport) OK() bool { return r.Err == nil && len(r.Landed) > 0 }
 
 // Errors for pipeline stages.
 var (
+	ErrLintFailed   = errors.New("core: static analysis found errors")
 	ErrCIFailed     = errors.New("core: continuous integration tests failed")
 	ErrCanaryFailed = errors.New("core: canary aborted the rollout")
 	ErrEmptyChange  = errors.New("core: change contains no edits")
 )
+
+// lintAffected runs the configlint analyzer suite over the changed
+// sources plus every transitive importer, through the shared engine's
+// parse cache. The dependency graph supplies the affected set before its
+// edges are rewritten, so a .cinc edit lints every .cconf it can break.
+func (p *Pipeline) lintAffected(fs cdl.FileSystem, changed []string, deleted map[string]bool) []analysis.Diagnostic {
+	roots := append([]string(nil), changed...)
+	roots = append(roots, p.Deps.Dependents(changed...)...)
+	live := roots[:0]
+	seen := make(map[string]bool, len(roots))
+	for _, r := range roots {
+		if !deleted[r] && !seen[r] {
+			seen[r] = true
+			live = append(live, r)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	sort.Strings(live)
+	d := analysis.NewDriver(p.Engine, fs)
+	d.DeprecatedSitevars = p.DeprecatedSitevars
+	diags, err := d.Run(live)
+	if err != nil {
+		pos := cdl.Pos{File: live[0], Line: 1, Col: 1}
+		return []analysis.Diagnostic{{
+			Pos: pos, End: pos, Severity: analysis.Error,
+			Analyzer: "driver", Message: err.Error(),
+		}}
+	}
+	return diags
+}
+
+// lintGate adapts lintAffected into the landing strip's pre-land hook: a
+// diff whose post-apply affected set has any Error diagnostic is refused
+// before it touches the repository. This catches changes submitted to the
+// strip directly, bypassing pipeline stages 1–3.
+func (p *Pipeline) lintGate() func(*vcs.Diff) error {
+	return func(d *vcs.Diff) error {
+		overlay := make(map[string][]byte)
+		deleted := make(map[string]bool)
+		var changed []string
+		for _, ch := range d.Changes {
+			if !isSource(ch.Path) {
+				continue
+			}
+			if ch.Delete {
+				deleted[ch.Path] = true
+				continue
+			}
+			overlay[ch.Path] = ch.Content
+			changed = append(changed, ch.Path)
+		}
+		if len(changed) == 0 {
+			return nil
+		}
+		fs := &overlayFS{repos: p.Repos, overlay: overlay, deleted: deleted}
+		diags := p.lintAffected(fs, changed, deleted)
+		if analysis.HasErrors(diags) {
+			errs := analysis.Filter(diags, analysis.Error)
+			return fmt.Errorf("%w at the landing strip: %s (first: %s)",
+				ErrLintFailed, analysis.Summary(errs), errs[0])
+		}
+		return nil
+	}
+}
 
 // Submit drives a change through every stage. With a fleet attached, the
 // virtual clock advances through canary soak times, commit costs, and
@@ -289,6 +365,17 @@ func (p *Pipeline) Submit(req *ChangeRequest) *ChangeReport {
 	var changedSources []string
 	for path := range req.Sources {
 		changedSources = append(changedSources, path)
+	}
+	sort.Strings(changedSources)
+	// Static analysis gates the stage before any evaluation: the affected
+	// set (changed sources + transitive importers) is linted through the
+	// engine's parse cache, so the compile below re-parses nothing.
+	report.Lint = p.lintAffected(fs, changedSources, fs.deleted)
+	report.Timings["lint"] = p.Now().Sub(start)
+	if analysis.HasErrors(report.Lint) {
+		errs := analysis.Filter(report.Lint, analysis.Error)
+		return fail("lint", fmt.Errorf("%w: %s (first: %s)",
+			ErrLintFailed, analysis.Summary(errs), errs[0]))
 	}
 	toCompile := p.Deps.RecompileSet(changedSources, isTopLevel)
 	live := toCompile[:0]
@@ -321,6 +408,7 @@ func (p *Pipeline) Submit(req *ChangeRequest) *ChangeReport {
 		return fail("compile", cerr)
 	}
 	p.Sandbox.Compile = ci.RecompileCheck(p.Engine, fs, srcForArtifact)
+	p.Sandbox.Lint = ci.LintCheck(p.Engine, fs, srcForArtifact)
 	report.Timings["compile"] = p.Now().Sub(start)
 
 	// ---- Stage 2: review + Sandcastle CI ----
@@ -403,6 +491,7 @@ func (p *Pipeline) Submit(req *ChangeRequest) *ChangeReport {
 		strip := p.strips[repo]
 		if strip == nil { // repo added after pipeline construction
 			strip = landingstrip.New(repo, p.Cost)
+			strip.Gate = p.lintGate()
 			p.strips[repo] = strip
 		}
 		res := strip.Submit(shard, p.Now())

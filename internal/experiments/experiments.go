@@ -97,5 +97,6 @@ func All(opts Options) []Result {
 		AblationMobileDelta(opts),
 		ExtensionRiskAdvisor(opts),
 		CompileEngine(opts),
+		Lint(opts),
 	}
 }

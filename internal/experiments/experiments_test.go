@@ -192,7 +192,7 @@ func TestAllRuns(t *testing.T) {
 		t.Skip("runs every experiment")
 	}
 	results := All(opts)
-	if len(results) != 22 {
+	if len(results) != 23 {
 		t.Fatalf("All returned %d results", len(results))
 	}
 	seen := make(map[string]bool)
@@ -240,5 +240,34 @@ func TestCompileEngine(t *testing.T) {
 	}
 	if !strings.Contains(r.Text, "result.hit") {
 		t.Error("counter table missing from Text")
+	}
+}
+
+func TestLint(t *testing.T) {
+	r := Lint(opts)
+	roots := r.Metrics["roots"]
+	// The corpus has three library files beyond the roots (shared.cinc,
+	// consts.cinc, old_flag.cinc); a cold lint parses each distinct
+	// source exactly once despite the fan-out on shared.cinc.
+	if got := r.Metrics["cold_parse_miss"]; got != roots+3 {
+		t.Errorf("cold_parse_miss = %v, want %v", got, roots+3)
+	}
+	// A warm lint is pure parse-cache hits, and compiling afterwards
+	// with the same engine re-parses nothing the lint already read.
+	if got := r.Metrics["warm_parse_miss_delta"]; got != 0 {
+		t.Errorf("warm_parse_miss_delta = %v, want 0", got)
+	}
+	if got := r.Metrics["compile_parse_miss_delta"]; got != 0 {
+		t.Errorf("compile_parse_miss_delta = %v, want 0", got)
+	}
+	// The seeded dirty configs must yield the expected findings.
+	if got := r.Metrics["diag_errors"]; got != 1 {
+		t.Errorf("diag_errors = %v, want 1 (dead-branch undefined reference)", got)
+	}
+	if got := r.Metrics["diag_warnings"]; got < 2 {
+		t.Errorf("diag_warnings = %v, want >= 2 (unused import + deprecated sitevar)", got)
+	}
+	if !strings.Contains(r.Text, "diagnostics by analyzer") {
+		t.Error("analyzer breakdown missing from Text")
 	}
 }

@@ -1,0 +1,62 @@
+package landingstrip
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"configerator/internal/vcs"
+)
+
+var errGate = errors.New("gate: diff refused")
+
+// TestStripGateRefusesDiff: a gate error rejects the diff before it
+// touches the repository, and counts as a rejection.
+func TestStripGateRefusesDiff(t *testing.T) {
+	repo := vcs.NewRepository("shared")
+	strip := New(repo, vcs.DefaultCostModel())
+	strip.Gate = func(d *vcs.Diff) error {
+		for _, ch := range d.Changes {
+			if strings.Contains(ch.Path, "bad") {
+				return errGate
+			}
+		}
+		return nil
+	}
+
+	r := strip.Submit(mkDiff(repo, "alice", "svc/bad.cconf", "x"), t0)
+	if !errors.Is(r.Err, errGate) {
+		t.Fatalf("err = %v, want gate error", r.Err)
+	}
+	if repo.CommitCount() != 0 {
+		t.Errorf("refused diff reached the repository: %d commits", repo.CommitCount())
+	}
+	if strip.Rejected != 1 || strip.Landed != 0 {
+		t.Errorf("Rejected=%d Landed=%d, want 1/0", strip.Rejected, strip.Landed)
+	}
+
+	// A clean diff still lands through the same gate.
+	r = strip.Submit(mkDiff(repo, "bob", "svc/good.cconf", "y"), t0)
+	if r.Err != nil {
+		t.Fatalf("clean diff rejected: %v", r.Err)
+	}
+	if strip.Landed != 1 || repo.CommitCount() != 1 {
+		t.Errorf("Landed=%d commits=%d, want 1/1", strip.Landed, repo.CommitCount())
+	}
+}
+
+// TestStripGateRejectionCostsNoQueueTime: a refused diff does not occupy
+// the strip, so a diff behind it is not delayed.
+func TestStripGateRejectionCostsNoQueueTime(t *testing.T) {
+	repo := vcs.NewRepository("shared")
+	strip := New(repo, vcs.DefaultCostModel())
+	strip.Gate = func(d *vcs.Diff) error { return errGate }
+	r := strip.Submit(mkDiff(repo, "alice", "a", "1"), t0)
+	if r.Queued != 0 || r.Work != 0 {
+		t.Errorf("refused diff accounted time: queued=%v work=%v", r.Queued, r.Work)
+	}
+	strip.Gate = nil
+	if r := strip.Submit(mkDiff(repo, "bob", "b", "2"), t0); r.Queued != 0 {
+		t.Errorf("later diff queued %v behind a refused diff", r.Queued)
+	}
+}

@@ -39,6 +39,14 @@ type Strip struct {
 	// busyUntil is when the strip finishes its current queue.
 	busyUntil time.Time
 
+	// Gate, when set, is consulted before a diff lands. A non-nil error
+	// refuses the diff (counted in Rejected) without touching the
+	// repository — the pipeline wires this to the configlint static
+	// analyzer so that a change whose affected set lints dirty cannot
+	// land, even when submitted to the strip directly, bypassing the
+	// earlier pipeline stages.
+	Gate func(d *vcs.Diff) error
+
 	// Landed and Rejected count outcomes.
 	Landed   int
 	Rejected int
@@ -55,6 +63,12 @@ func (s *Strip) Repo() *vcs.Repository { return s.repo }
 // Submit lands one diff arriving at the given time. Queueing, the cost
 // model, and conflict rejection are all accounted.
 func (s *Strip) Submit(d *vcs.Diff, arrival time.Time) Result {
+	if s.Gate != nil {
+		if err := s.Gate(d); err != nil {
+			s.Rejected++
+			return Result{Err: err, Start: arrival, Finish: arrival}
+		}
+	}
 	start := arrival
 	if s.busyUntil.After(start) {
 		start = s.busyUntil
