@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet lint race bench-compile report
+.PHONY: build test check vet lint race bench-obs bench-compile report
 
 build:
 	$(GO) build ./...
@@ -9,9 +9,10 @@ test: build
 	$(GO) test ./...
 
 # check: the static-analysis gates (go vet for the Go code, configlint
-# for the CDL corpus) plus the race detector over the concurrent
-# packages (engine worker pool, pipeline, proxy, zeus, strip, canary).
-check: vet lint race
+# for the CDL corpus), the race detector over the concurrent packages
+# (engine worker pool, pipeline, proxy, zeus, strip, canary, obs), and
+# the obs smoke run that regenerates BENCH_obs.json.
+check: vet lint race bench-obs
 
 vet:
 	$(GO) vet ./...
@@ -22,7 +23,12 @@ lint:
 	$(GO) run ./cmd/configlint -C examples/configs -severity info
 
 race:
-	$(GO) test -race ./internal/cdl/... ./internal/core/... ./internal/proxy/... ./internal/zeus/... ./internal/landingstrip/... ./internal/canary/...
+	$(GO) test -race ./internal/obs/... ./internal/cdl/... ./internal/core/... ./internal/proxy/... ./internal/zeus/... ./internal/landingstrip/... ./internal/canary/...
+
+# bench-obs: smoke-run the observability experiment and leave its raw
+# registry dump (BENCH_obs.json) in the repo root.
+bench-obs:
+	$(GO) run ./cmd/benchreport -quick -only obs -o - > /dev/null
 
 # bench-compile: the shared-.cinc fan-out benchmarks behind BENCH_compile.json.
 bench-compile:

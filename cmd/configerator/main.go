@@ -9,6 +9,7 @@
 //	configerator check   [-root DIR] FILE.cconf   # compile + validators, report only
 //	configerator deps    [-root DIR] FILE.cconf   # print direct + transitive imports
 //	configerator eval    EXPR                     # evaluate a sitevar expression
+//	configerator trace   [COMMIT]                 # commit-scoped span tree from a demo fleet
 package main
 
 import (
@@ -101,6 +102,8 @@ func main() {
 			fatal("%v", err)
 		}
 		fmt.Println(js)
+	case "trace":
+		runTrace(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -129,5 +132,6 @@ configerator — config-as-code toolchain
   configerator check   [-root DIR] FILE.cconf   compile + run validators
   configerator deps    [-root DIR] FILE         print import edges
   configerator eval    EXPR                     evaluate a sitevar expression
+  configerator trace   [COMMIT]                 span tree of a change through a demo fleet
 `))
 }

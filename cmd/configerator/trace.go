@@ -1,0 +1,64 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"configerator/internal/cluster"
+	"configerator/internal/core"
+	"configerator/internal/obs"
+)
+
+// runTrace drives one canaried change through an instrumented demo fleet
+// and prints its commit-scoped span tree: the five pipeline stages plus
+// the Zeus push-tree hops (leader commit → observer apply → proxy
+// materialize) stitched in by path/zxid. With a COMMIT argument it
+// resolves that trace (landed-hash prefixes work) instead of the demo
+// change's own.
+func runTrace(args []string) {
+	if len(args) > 1 {
+		fatal("trace takes at most one COMMIT argument")
+	}
+	reg := obs.New()
+	cfg := cluster.SmallConfig(2, 7)
+	cfg.Obs = reg
+	fleet := cluster.New(cfg)
+	fleet.Net.RunFor(10 * time.Second)
+	p := core.New(core.Options{Fleet: fleet, CanaryPhase1: 2, CanaryPhase2: 4})
+
+	const path = "demo/trace.json"
+	fleet.SubscribeAll(core.ZeusPath(path))
+	rep := p.Submit(&core.ChangeRequest{
+		Author: "demo", Reviewer: "reviewer", Title: "trace demo",
+		Raws: map[string][]byte{path: []byte(`{"demo":true}`)},
+	})
+	if !rep.OK() {
+		fatal("demo change failed at %s: %v", rep.FailedStage, rep.Err)
+	}
+	key := ""
+	for _, h := range rep.Landed {
+		key = h.String()
+	}
+	if len(args) == 1 {
+		key = args[0]
+	}
+	tr := reg.TraceByKey(key)
+	if tr == nil {
+		fmt.Println("known trace keys:")
+		for _, t := range reg.Traces() {
+			fmt.Printf("  %s  (aliases %v)\n", t.Key, t.Aliases)
+		}
+		fatal("no trace for %q", key)
+	}
+
+	fmt.Print(tr.Render())
+	fmt.Println("\npush-tree latency across the demo fleet:")
+	for _, name := range []string{
+		obs.HistHopLeaderObserver, obs.HistHopObserverProxy,
+		obs.HistCommitToProxy, obs.HistCommitToRead,
+	} {
+		if h := reg.Histogram(name); h.Count() > 0 {
+			fmt.Printf("  %-24s %s\n", name, h.Summary())
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"configerator/internal/health"
+	"configerator/internal/obs"
 	"configerator/internal/simnet"
 )
 
@@ -134,6 +135,25 @@ type Runner struct {
 	Aborts int
 	// Passes counts canary runs that passed every phase.
 	Passes int
+
+	// Obs, when set, records each run's wall-clock time in the
+	// "canary.run" histogram and counts passes/aborts (nil = no
+	// instrumentation).
+	Obs *obs.Registry
+}
+
+// finish records a completed run's outcome and delivers the report.
+func (r *Runner) finish(report *Report, done func(Report)) {
+	report.Finished = r.net.Now()
+	if report.Passed {
+		r.Passes++
+		r.Obs.Add("canary.pass", 1)
+	} else {
+		r.Aborts++
+		r.Obs.Add("canary.abort", 1)
+	}
+	r.Obs.Observe("canary.run", report.Duration())
+	done(*report)
 }
 
 // NewRunner returns a canary runner over the deployment.
@@ -161,9 +181,7 @@ func (r *Runner) runPhase(spec Spec, data []byte, idx int, deployed map[simnet.N
 		// All phases passed: clear the temporary deploys; the real commit
 		// follows through the landing strip and reaches everyone.
 		r.dep.Rollback(deployedList(deployed), spec.ConfigPath)
-		report.Finished = r.net.Now()
-		r.Passes++
-		done(*report)
+		r.finish(report, done)
 		return
 	}
 	phase := spec.Phases[idx]
@@ -180,9 +198,7 @@ func (r *Runner) runPhase(spec Spec, data []byte, idx int, deployed map[simnet.N
 				FailedCheck: "spec targets cluster " + phase.Cluster + " but the deployment cannot enumerate clusters",
 			})
 			r.dep.Rollback(deployedList(deployed), spec.ConfigPath)
-			report.Finished = r.net.Now()
-			r.Aborts++
-			done(*report)
+			r.finish(report, done)
 			return
 		}
 		test = ct.ServersIn(phase.Cluster)
@@ -236,9 +252,7 @@ func (r *Runner) runPhase(spec Spec, data []byte, idx int, deployed map[simnet.N
 			// Abort: roll back every temporary deployment.
 			r.dep.Rollback(deployedList(deployed), spec.ConfigPath)
 			report.Passed = false
-			report.Finished = r.net.Now()
-			r.Aborts++
-			done(*report)
+			r.finish(report, done)
 			return
 		}
 		r.runPhase(spec, data, idx+1, deployed, report, done)

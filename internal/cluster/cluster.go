@@ -10,6 +10,7 @@ import (
 
 	"configerator/internal/confclient"
 	"configerator/internal/health"
+	"configerator/internal/obs"
 	"configerator/internal/proxy"
 	"configerator/internal/simnet"
 	"configerator/internal/zeus"
@@ -33,6 +34,15 @@ type Config struct {
 	ZeusMembers         int
 	ObserversPerCluster int
 	Seed                uint64
+
+	// Latency overrides the network latency model (DefaultLatency when
+	// nil). Calibrated propagation measurements use this with a 1-member
+	// ensemble: consensus timing constants assume datacenter latencies.
+	Latency *simnet.LatencyModel
+
+	// Obs, when set, instruments the whole fleet — Zeus commits, observer
+	// applies, proxy materializes, and client reads all report into it.
+	Obs *obs.Registry
 }
 
 // SmallConfig is a laptop-friendly topology: 2 regions x 2 clusters with
@@ -67,6 +77,9 @@ type Server struct {
 type Fleet struct {
 	Net      *simnet.Network
 	Ensemble *zeus.Ensemble
+	// Obs is the fleet-wide observability registry (nil when not
+	// configured); the pipeline inherits it unless given its own.
+	Obs *obs.Registry
 
 	servers   []*Server
 	byID      map[simnet.NodeID]*Server
@@ -83,9 +96,14 @@ type Fleet struct {
 
 // New builds the fleet on a fresh network and elects the Zeus leader.
 func New(cfg Config) *Fleet {
-	net := simnet.New(simnet.DefaultLatency(), cfg.Seed)
+	lat := simnet.DefaultLatency()
+	if cfg.Latency != nil {
+		lat = *cfg.Latency
+	}
+	net := simnet.New(lat, cfg.Seed)
 	f := &Fleet{
 		Net:       net,
+		Obs:       cfg.Obs,
 		byID:      make(map[simnet.NodeID]*Server),
 		byCluster: make(map[string][]*Server),
 		observers: make(map[string][]simnet.NodeID),
@@ -104,12 +122,13 @@ func New(cfg Config) *Fleet {
 		cfg.ZeusMembers = 5
 	}
 	f.Ensemble = zeus.StartEnsemble(net, cfg.ZeusMembers, zeusPlacements)
+	f.Ensemble.SetObs(cfg.Obs)
 
 	for _, r := range cfg.Regions {
 		for _, c := range r.Clusters {
 			place := simnet.Placement{Region: r.Name, Cluster: c.Name}
 			// Observers for this cluster.
-			var obs []simnet.NodeID
+			var obsIDs []simnet.NodeID
 			n := cfg.ObserversPerCluster
 			if n < 1 {
 				n = 2
@@ -117,14 +136,17 @@ func New(cfg Config) *Fleet {
 			for i := 0; i < n; i++ {
 				id := simnet.NodeID(fmt.Sprintf("obs-%s-%d", c.Name, i))
 				f.Ensemble.AddObserver(id, place)
-				obs = append(obs, id)
+				obsIDs = append(obsIDs, id)
 			}
-			f.observers[c.Name] = obs
+			f.observers[c.Name] = obsIDs
 			// Servers.
 			for i := 0; i < c.Servers; i++ {
 				id := simnet.NodeID(fmt.Sprintf("srv-%s-%d", c.Name, i))
-				px := proxy.New(net, id, place, obs, nil)
-				s := &Server{ID: id, Placement: place, Proxy: px, Client: confclient.New(px)}
+				px := proxy.New(net, id, place, obsIDs, nil)
+				px.Obs = cfg.Obs
+				cl := confclient.New(px)
+				cl.Obs = cfg.Obs
+				s := &Server{ID: id, Placement: place, Proxy: px, Client: cl}
 				f.servers = append(f.servers, s)
 				f.byID[id] = s
 				f.byCluster[c.Name] = append(f.byCluster[c.Name], s)

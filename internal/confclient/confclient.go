@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"configerator/internal/obs"
 	"configerator/internal/proxy"
 )
 
@@ -100,6 +101,11 @@ func (c *Config) Has(field string) bool {
 // Client is an application's handle to its local proxy.
 type Client struct {
 	proxy *proxy.Proxy
+
+	// Obs, when set, counts application read outcomes; commit-to-read
+	// latency is recorded by the proxy underneath (nil = no
+	// instrumentation).
+	Obs *obs.Registry
 }
 
 // New returns a client bound to the local proxy.
@@ -120,11 +126,14 @@ func (c *Client) Want(paths ...string) {
 func (c *Client) Current(path string) (*Config, error) {
 	e, ok := c.proxy.Get(path)
 	if !ok {
+		c.Obs.Add("confclient.read.miss", 1)
 		return nil, fmt.Errorf("confclient: %s not available (never fetched on this server)", path)
 	}
 	if !e.Exists {
+		c.Obs.Add("confclient.read.deleted", 1)
 		return nil, fmt.Errorf("confclient: %s deleted", path)
 	}
+	c.Obs.Add("confclient.read.hit", 1)
 	return parseConfig(e)
 }
 

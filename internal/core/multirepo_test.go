@@ -111,3 +111,32 @@ func TestConcurrentShardsNoContention(t *testing.T) {
 		t.Fatal("shards share a strip")
 	}
 }
+
+// TestCrossRepoLandOrder pins the shard landing order: the shard
+// providing a cross-repo import must land before the shard importing it —
+// even when repository name order says otherwise — or the importer's
+// landing-strip lint cannot resolve the still-unlanded provider. (This
+// was a map-iteration-order flake before orderShards existed.)
+func TestCrossRepoLandOrder(t *testing.T) {
+	repos := vcs.NewRepoSet("configerator")
+	repos.AddRepo("aaa") // importer sorts first...
+	repos.AddRepo("zzz") // ...provider sorts last
+	p := New(Options{Repos: repos})
+	rep := p.Submit(&ChangeRequest{
+		Author: "alice", Reviewer: "bob", Title: "provider lands first",
+		Sources: map[string][]byte{
+			"zzz/base.cinc": []byte(`let LIMIT = 7;`),
+			"aaa/top.cconf": []byte(`
+				import "zzz/base.cinc";
+				export {limit: LIMIT};
+			`),
+		},
+		SkipCanary: true,
+	})
+	if !rep.OK() {
+		t.Fatalf("cross-repo change failed at %s: %v", rep.FailedStage, rep.Err)
+	}
+	if len(rep.Landed) != 2 {
+		t.Fatalf("Landed = %v, want 2 shards", rep.Landed)
+	}
+}

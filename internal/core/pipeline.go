@@ -23,6 +23,7 @@ import (
 	"configerator/internal/cluster"
 	"configerator/internal/depgraph"
 	"configerator/internal/landingstrip"
+	"configerator/internal/obs"
 	"configerator/internal/review"
 	"configerator/internal/riskadvisor"
 	"configerator/internal/simnet"
@@ -51,6 +52,10 @@ type Options struct {
 	CanaryPhase2 int
 	// SandboxSetup is Sandcastle's provisioning cost.
 	SandboxSetup time.Duration
+	// Obs receives traces, histograms, and counters for every change.
+	// When nil, the fleet's registry is used (if any); nil overall means
+	// zero-overhead no-op instrumentation.
+	Obs *obs.Registry
 }
 
 // Pipeline is the assembled Configerator deployment.
@@ -75,6 +80,11 @@ type Pipeline struct {
 	// DeprecatedSitevars configures the deprecated-sitevar analyzer:
 	// sitevar name → replacement note.
 	DeprecatedSitevars map[string]string
+	// Obs is the observability registry every stage reports into. Each
+	// Submit opens a commit-scoped trace here; per-stage latencies land in
+	// "stage.<name>" histograms, and the fleet components stitch
+	// distribution hops into the same trace.
+	Obs *obs.Registry
 
 	strips map[*vcs.Repository]*landingstrip.Strip
 	clock  *vclock.Virtual // standalone clock when no fleet
@@ -103,6 +113,10 @@ func New(opts Options) *Pipeline {
 		phase2:      opts.CanaryPhase2,
 		canarySpecs: make(map[string]canary.Spec),
 	}
+	p.Obs = opts.Obs
+	if p.Obs == nil && opts.Fleet != nil {
+		p.Obs = opts.Fleet.Obs
+	}
 	if p.Repos == nil {
 		p.Repos = vcs.NewRepoSet("configerator")
 	}
@@ -112,9 +126,11 @@ func New(opts Options) *Pipeline {
 	for _, repo := range p.Repos.Repos() {
 		p.strips[repo] = landingstrip.New(repo, p.Cost)
 		p.strips[repo].Gate = p.lintGate()
+		p.strips[repo].Obs = p.Obs
 	}
 	if p.Fleet != nil {
 		p.Canary = canary.NewRunner(p.Fleet.Net, p.Fleet)
+		p.Canary.Obs = p.Obs
 		if p.phase1 == 0 {
 			p.phase1 = 20
 		}
@@ -126,6 +142,7 @@ func New(opts Options) *Pipeline {
 			tl := tailer.New(p.Fleet.Net, id,
 				simnet.Placement{Region: "us-west", Cluster: "ctrl"},
 				repo, p.Fleet.Ensemble.Members, ZeusPrefix)
+			tl.Obs = p.Obs
 			p.Tailers = append(p.Tailers, tl)
 		}
 	} else {
@@ -336,6 +353,86 @@ func (p *Pipeline) lintGate() func(*vcs.Diff) error {
 	}
 }
 
+// orderShards fixes the landing order of a cross-repo change: repository
+// name order, except that a shard providing a source imported by another
+// shard lands first. Each strip's gate lints its shard against the
+// already-landed repositories, so the provider must be committed before
+// the importer's shard reaches its strip. Import cycles between shards
+// fall back to plain name order.
+func orderShards(shards map[*vcs.Repository]*vcs.Diff) []*vcs.Repository {
+	repos := make([]*vcs.Repository, 0, len(shards))
+	for repo := range shards {
+		repos = append(repos, repo)
+	}
+	sort.Slice(repos, func(i, j int) bool { return repos[i].Name < repos[j].Name })
+	if len(repos) < 2 {
+		return repos
+	}
+	// Which shard provides each changed source path.
+	provider := make(map[string]*vcs.Repository)
+	for repo, shard := range shards {
+		for _, ch := range shard.Changes {
+			if isSource(ch.Path) && !ch.Delete {
+				provider[ch.Path] = repo
+			}
+		}
+	}
+	// deps[A] = shards whose sources A's sources directly import.
+	deps := make(map[*vcs.Repository]map[*vcs.Repository]bool)
+	for repo, shard := range shards {
+		for _, ch := range shard.Changes {
+			if !isSource(ch.Path) || ch.Delete {
+				continue
+			}
+			imports, err := cdl.ListImports(ch.Path, ch.Content)
+			if err != nil {
+				continue // the strip's lint gate reports it
+			}
+			for _, imp := range imports {
+				if from := provider[imp]; from != nil && from != repo {
+					if deps[repo] == nil {
+						deps[repo] = make(map[*vcs.Repository]bool)
+					}
+					deps[repo][from] = true
+				}
+			}
+		}
+	}
+	// Kahn's algorithm over the name-sorted list keeps the order
+	// deterministic; any leftover cycle lands in name order.
+	var out []*vcs.Repository
+	placed := make(map[*vcs.Repository]bool)
+	for len(out) < len(repos) {
+		progressed := false
+		for _, repo := range repos {
+			if placed[repo] {
+				continue
+			}
+			ready := true
+			for dep := range deps[repo] {
+				if !placed[dep] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				out = append(out, repo)
+				placed[repo] = true
+				progressed = true
+			}
+		}
+		if !progressed {
+			for _, repo := range repos {
+				if !placed[repo] {
+					out = append(out, repo)
+					placed[repo] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
 // Submit drives a change through every stage. With a fleet attached, the
 // virtual clock advances through canary soak times, commit costs, and
 // propagation.
@@ -346,10 +443,17 @@ func (p *Pipeline) Submit(req *ChangeRequest) *ChangeReport {
 		Timings:   make(map[string]time.Duration),
 		Submitted: p.Now(),
 	}
+	tr := p.Obs.StartTrace("", p.Now())
+	tr.Annotate("author", req.Author)
+	tr.Annotate("title", req.Title)
 	fail := func(stage string, err error) *ChangeReport {
 		report.FailedStage = stage
 		report.Err = err
 		report.Finished = p.Now()
+		tr.Annotate("failed_stage", stage)
+		tr.EndAt(p.Now())
+		p.Obs.Add("pipeline.failed", 1)
+		p.observeStageTimings(report)
 		return report
 	}
 	if len(req.Sources) == 0 && len(req.Raws) == 0 && len(req.Deletes) == 0 {
@@ -358,6 +462,8 @@ func (p *Pipeline) Submit(req *ChangeRequest) *ChangeReport {
 
 	// ---- Stage 1: compile + validate (Configerator compiler) ----
 	start := p.Now()
+	spLint := tr.Span(StageLint, start)
+	spCompile := tr.Span(StageCompile, start)
 	fs := &overlayFS{repos: p.Repos, overlay: req.Sources, deleted: make(map[string]bool)}
 	for _, d := range req.Deletes {
 		fs.deleted[d] = true
@@ -371,7 +477,9 @@ func (p *Pipeline) Submit(req *ChangeRequest) *ChangeReport {
 	// set (changed sources + transitive importers) is linted through the
 	// engine's parse cache, so the compile below re-parses nothing.
 	report.Lint = p.lintAffected(fs, changedSources, fs.deleted)
-	report.Timings["lint"] = p.Now().Sub(start)
+	report.Timings[StageLint] = p.Now().Sub(start)
+	spLint.Attr("diagnostics", len(report.Lint))
+	spLint.End(p.Now())
 	if analysis.HasErrors(report.Lint) {
 		errs := analysis.Filter(report.Lint, analysis.Error)
 		return fail("lint", fmt.Errorf("%w: %s (first: %s)",
@@ -409,10 +517,13 @@ func (p *Pipeline) Submit(req *ChangeRequest) *ChangeReport {
 	}
 	p.Sandbox.Compile = ci.RecompileCheck(p.Engine, fs, srcForArtifact)
 	p.Sandbox.Lint = ci.LintCheck(p.Engine, fs, srcForArtifact)
-	report.Timings["compile"] = p.Now().Sub(start)
+	report.Timings[StageCompile] = p.Now().Sub(start)
+	spCompile.Attr("artifacts", len(report.Compiled))
+	spCompile.End(p.Now())
 
 	// ---- Stage 2: review + Sandcastle CI ----
 	start = p.Now()
+	spReview := tr.Span(StageReviewCI, start)
 	diff := p.Review.Submit(req.Author, req.Title, p.Now())
 	report.DiffID = diff.ID
 	changeSet := ci.ChangeSet{}
@@ -440,11 +551,14 @@ func (p *Pipeline) Submit(req *ChangeRequest) *ChangeReport {
 	if err := p.Review.Approve(diff.ID, reviewerFor(req), p.Now()); err != nil {
 		return fail("review", err)
 	}
-	report.Timings["review+ci"] = p.Now().Sub(start)
+	report.Timings[StageReviewCI] = p.Now().Sub(start)
+	spReview.Attr("diff", report.DiffID)
+	spReview.End(p.Now())
 
 	// ---- Stage 3: automated canary ----
 	if p.Canary != nil && !req.SkipCanary {
 		start = p.Now()
+		spCanary := tr.Span(StageCanary, start)
 		for _, artifact := range sortedKeys(changeSet) {
 			data := changeSet[artifact]
 			spec := p.canarySpecFor(artifact)
@@ -464,11 +578,23 @@ func (p *Pipeline) Submit(req *ChangeRequest) *ChangeReport {
 					cres.Phases[len(cres.Phases)-1].FailedCheck))
 			}
 		}
-		report.Timings["canary"] = p.Now().Sub(start)
+		report.Timings[StageCanary] = p.Now().Sub(start)
+		spCanary.Attr("artifacts", len(report.Canaries))
+		spCanary.End(p.Now())
 	}
 
 	// ---- Stage 4: land through the strip(s) ----
 	start = p.Now()
+	spCommit := tr.Span(StageCommit, start)
+	// Bind the change's Zeus paths to this trace before anything lands, so
+	// distribution events stitched during the commit advance (the tailer
+	// can poll mid-advance) and stage 5 attach to the right trace.
+	for path := range report.Compiled {
+		p.Obs.BindPath(ZeusPath(path), tr)
+	}
+	for path := range req.Raws {
+		p.Obs.BindPath(ZeusPath(path), tr)
+	}
 	var changes []vcs.Change
 	for path, data := range req.Sources {
 		changes = append(changes, vcs.Change{Path: path, Content: data})
@@ -487,11 +613,13 @@ func (p *Pipeline) Submit(req *ChangeRequest) *ChangeReport {
 	}
 	shards := p.Repos.SplitDiff(&vcs.Diff{Author: req.Author, Message: req.Title, Changes: changes})
 	var worst time.Duration
-	for repo, shard := range shards {
+	for _, repo := range orderShards(shards) {
+		shard := shards[repo]
 		strip := p.strips[repo]
 		if strip == nil { // repo added after pipeline construction
 			strip = landingstrip.New(repo, p.Cost)
 			strip.Gate = p.lintGate()
+			strip.Obs = p.Obs
 			p.strips[repo] = strip
 		}
 		res := strip.Submit(shard, p.Now())
@@ -504,7 +632,13 @@ func (p *Pipeline) Submit(req *ChangeRequest) *ChangeReport {
 		}
 	}
 	p.advance(worst)
-	report.Timings["commit"] = p.Now().Sub(start)
+	report.Timings[StageCommit] = p.Now().Sub(start)
+	// The landed commit hashes become lookup aliases, so the trace resolves
+	// by (prefix of) commit hash as well as by its change-N key.
+	for _, h := range report.Landed {
+		p.Obs.Alias(tr, h.String())
+	}
+	spCommit.End(p.Now())
 
 	// Evict engine cache entries whose closures touch the landed change.
 	// The affected set — changed files plus their transitive importers —
@@ -541,11 +675,30 @@ func (p *Pipeline) Submit(req *ChangeRequest) *ChangeReport {
 	// ---- Stage 5: tail + distribute ----
 	if p.Fleet != nil {
 		start = p.Now()
+		spProp := tr.Span(StagePropagate, start)
+		tr.SetDistParent(spProp)
 		p.Fleet.Net.RunFor(tailer.PollInterval + 10*time.Second)
-		report.Timings["propagate"] = p.Now().Sub(start)
+		report.Timings[StagePropagate] = p.Now().Sub(start)
+		spProp.End(p.Now())
 	}
 	report.Finished = p.Now()
+	tr.EndAt(p.Now())
+	p.Obs.Add("pipeline.landed", 1)
+	p.observeStageTimings(report)
 	return report
+}
+
+// observeStageTimings folds a report's per-stage durations into the
+// registry's "stage.<name>" histograms.
+func (p *Pipeline) observeStageTimings(report *ChangeReport) {
+	if p.Obs == nil {
+		return
+	}
+	for _, name := range StageNames {
+		if d, ok := report.Timings[name]; ok {
+			p.Obs.Observe("stage."+name, d)
+		}
+	}
 }
 
 func reviewerFor(req *ChangeRequest) string {

@@ -29,6 +29,11 @@ type Result struct {
 	// PaperValues are the corresponding published numbers, keyed like
 	// Metrics, where the paper states one.
 	PaperValues map[string]float64
+	// ArtifactName and Artifact, when set, are a raw data file the
+	// experiment wants written next to the report (e.g. the obs
+	// experiment's full registry dump as BENCH_obs.json).
+	ArtifactName string
+	Artifact     []byte
 }
 
 // metric registers a measured value with its paper counterpart (NaN-free;
@@ -72,31 +77,72 @@ type Options struct {
 	Quick bool
 }
 
+// Experiment pairs an experiment's Result.ID with its constructor
+// (TestAllRuns pins the two in sync).
+type Experiment struct {
+	ID  string
+	Run func(Options) Result
+}
+
+// Catalog lists every experiment in paper order.
+func Catalog() []Experiment {
+	return []Experiment{
+		{"fig7", Fig7ConfigGrowth},
+		{"fig8", Fig8ConfigSizes},
+		{"fig9", Fig9Freshness},
+		{"fig10", Fig10AgeAtUpdate},
+		{"table1", Table1UpdatesPerConfig},
+		{"table2", Table2LineChanges},
+		{"table3", Table3CoAuthors},
+		{"fig11", Fig11DailyCommits},
+		{"fig12", Fig12HourlyCommits},
+		{"fig13", Fig13CommitThroughput},
+		{"fig14", Fig14PropagationLatency},
+		{"fig15", Fig15GatekeeperChecks},
+		{"sec6.4", Sec64ConfigErrors},
+		{"packagevessel", PackageVesselDelivery},
+		{"ablation-push-pull", AblationPushVsPull},
+		{"ablation-landing-strip", AblationLandingStrip},
+		{"ablation-multirepo", AblationMultiRepo},
+		{"ablation-p2p", AblationP2PvsCentral},
+		{"ablation-gk-optimizer", AblationGatekeeperOptimizer},
+		{"ablation-mobile-delta", AblationMobileDelta},
+		{"ext-riskadvisor", ExtensionRiskAdvisor},
+		{"engine", CompileEngine},
+		{"configlint", Lint},
+		{"obs", Obs},
+	}
+}
+
 // All runs every experiment in paper order.
 func All(opts Options) []Result {
-	return []Result{
-		Fig7ConfigGrowth(opts),
-		Fig8ConfigSizes(opts),
-		Fig9Freshness(opts),
-		Fig10AgeAtUpdate(opts),
-		Table1UpdatesPerConfig(opts),
-		Table2LineChanges(opts),
-		Table3CoAuthors(opts),
-		Fig11DailyCommits(opts),
-		Fig12HourlyCommits(opts),
-		Fig13CommitThroughput(opts),
-		Fig14PropagationLatency(opts),
-		Fig15GatekeeperChecks(opts),
-		Sec64ConfigErrors(opts),
-		PackageVesselDelivery(opts),
-		AblationPushVsPull(opts),
-		AblationLandingStrip(opts),
-		AblationMultiRepo(opts),
-		AblationP2PvsCentral(opts),
-		AblationGatekeeperOptimizer(opts),
-		AblationMobileDelta(opts),
-		ExtensionRiskAdvisor(opts),
-		CompileEngine(opts),
-		Lint(opts),
+	entries := Catalog()
+	out := make([]Result, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.Run(opts))
 	}
+	return out
+}
+
+// Run executes only the experiments whose IDs are listed, in catalog
+// order; an empty list means all. Unknown IDs are an error.
+func Run(opts Options, ids []string) ([]Result, error) {
+	if len(ids) == 0 {
+		return All(opts), nil
+	}
+	want := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	var out []Result
+	for _, e := range Catalog() {
+		if want[e.ID] {
+			out = append(out, e.Run(opts))
+			delete(want, e.ID)
+		}
+	}
+	for id := range want {
+		return nil, fmt.Errorf("experiments: unknown id %q", id)
+	}
+	return out, nil
 }

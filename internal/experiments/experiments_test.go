@@ -192,8 +192,15 @@ func TestAllRuns(t *testing.T) {
 		t.Skip("runs every experiment")
 	}
 	results := All(opts)
-	if len(results) != 23 {
+	if len(results) != 24 {
 		t.Fatalf("All returned %d results", len(results))
+	}
+	// The catalog keys must match what each experiment actually reports,
+	// or `benchreport -only` silently diverges from the result IDs.
+	for i, e := range Catalog() {
+		if results[i].ID != e.ID {
+			t.Errorf("catalog[%d] = %q but result ID = %q", i, e.ID, results[i].ID)
+		}
 	}
 	seen := make(map[string]bool)
 	for _, r := range results {

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"configerator/internal/cluster"
+	"configerator/internal/core"
+	"configerator/internal/obs"
+	"configerator/internal/proxy"
+	"configerator/internal/simnet"
+	"configerator/internal/stats"
+	"configerator/internal/zeus"
+)
+
+// Obs exercises the commit-scoped observability layer end to end and
+// reports the two distributions DESIGN.md §8 documents:
+//
+//  1. Per-stage pipeline latency (p50/p90/p99) from a small fleet running
+//     a mix of canaried and fast-lane commits under the default
+//     datacenter latency model.
+//  2. Per-hop push-tree latency from the calibrated wide-area topology
+//     (single-member ensemble, second-scale links), where the
+//     leader→observer→proxy chain must total the paper's ~4.5 s tree
+//     propagation (§6.3).
+//
+// The full registry of the fleet run — counters, histograms, and span
+// trees — is attached as the BENCH_obs.json artifact so the raw
+// distributions land next to EXPERIMENTS.md.
+func Obs(opts Options) Result {
+	r := Result{ID: "obs", Title: "Commit-scoped tracing: stage latency and push-tree hops"}
+
+	// ---- Part 1: per-stage latency over an instrumented fleet ----
+	reg := obs.New()
+	cfg := cluster.SmallConfig(3, opts.Seed)
+	cfg.Obs = reg
+	fleet := cluster.New(cfg)
+	fleet.Net.RunFor(10 * time.Second)
+	p := core.New(core.Options{Fleet: fleet, CanaryPhase1: 2, CanaryPhase2: 4})
+
+	commits := 6
+	if opts.Quick {
+		commits = 3
+	}
+	landed := 0
+	for i := 0; i < commits; i++ {
+		path := fmt.Sprintf("obs/cfg-%d.json", i)
+		fleet.SubscribeAll(core.ZeusPath(path))
+		rep := p.Submit(&core.ChangeRequest{
+			Author: "obs-bot", Reviewer: "reviewer", Title: fmt.Sprintf("probe %d", i),
+			Raws: map[string][]byte{path: []byte(fmt.Sprintf(`{"probe":%d}`, i))},
+			// Alternate the fast lane and the full canary path so both
+			// stage mixes appear in the histograms.
+			SkipCanary: i%2 == 1,
+		})
+		if rep.OK() {
+			landed++
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet run: %d commits (%d landed), %d servers\n\n",
+		commits, landed, len(fleet.AllServers()))
+	tb := stats.NewTable("per-stage pipeline latency", "stage", "n", "p50", "p90", "p99", "max")
+	for _, name := range core.StageNames {
+		h := reg.Histogram("stage." + name)
+		if h.Count() == 0 {
+			continue
+		}
+		tb.AddRow(name, fmt.Sprint(h.Count()),
+			h.Quantile(0.50).Round(time.Millisecond).String(),
+			h.Quantile(0.90).Round(time.Millisecond).String(),
+			h.Quantile(0.99).Round(time.Millisecond).String(),
+			h.Max().Round(time.Millisecond).String())
+		r.metric("stage_"+name+"_p50_s", h.Quantile(0.50).Seconds(), 0, false)
+		r.metric("stage_"+name+"_p99_s", h.Quantile(0.99).Seconds(), 0, false)
+	}
+	b.WriteString(tb.String())
+	r.metric("commits_landed", float64(landed), 0, false)
+	r.metric("traces_recorded", float64(len(reg.Traces())), 0, false)
+
+	// ---- Part 2: per-hop distribution on the calibrated topology ----
+	// Same rig as proxy.TestPushTreeLatencyMatchesLinkModel: the link
+	// latencies are inflated to seconds so the hops dominate, which only a
+	// single-member ensemble tolerates (quorum = 1 self-elects at any
+	// latency). Leader alone in "us"; observer and proxy share an "eu"
+	// cluster: one 4 s cross-region hop plus one 500 ms in-cluster hop.
+	lat := simnet.LatencyModel{
+		SameCluster: 500 * time.Millisecond,
+		SameRegion:  2 * time.Second,
+		CrossRegion: 4 * time.Second,
+		Jitter:      0,
+	}
+	net := simnet.New(lat, opts.Seed)
+	hopReg := obs.New()
+	ens := zeus.StartEnsemble(net, 1, []simnet.Placement{{Region: "us", Cluster: "zk"}})
+	ens.SetObs(hopReg)
+	euPlace := simnet.Placement{Region: "eu", Cluster: "c1"}
+	ens.AddObserver("obs-eu", euPlace)
+	px := proxy.New(net, "srv-eu", euPlace, []simnet.NodeID{"obs-eu"}, nil)
+	px.Obs = hopReg
+	cl := zeus.NewClient("writer", ens.Members)
+	net.AddNode("writer", simnet.Placement{Region: "us", Cluster: "zk"}, cl)
+	net.RunFor(20 * time.Second)
+
+	const calibPath = "/configs/obs-calib.json"
+	write := func(data string) {
+		done := false
+		net.After(0, func() {
+			ctx := simnet.MakeContext(net, "writer")
+			cl.Write(&ctx, calibPath, []byte(data), func(zeus.WriteResult) { done = true })
+		})
+		for i := 0; i < 100 && !done; i++ {
+			net.RunFor(time.Second)
+		}
+	}
+
+	// Warm the watch first so every measured delivery is a pure push.
+	write(`{"v":0}`)
+	px.Want(calibPath)
+	net.RunFor(20 * time.Second)
+
+	pushes := 5
+	if opts.Quick {
+		pushes = 3
+	}
+	for i := 1; i <= pushes; i++ {
+		tr := hopReg.StartTrace(fmt.Sprintf("calib-%d", i), net.Now())
+		hopReg.BindPath(calibPath, tr)
+		write(fmt.Sprintf(`{"v":%d}`, i))
+		// Poll the application read once per simulated second: the first
+		// read after delivery records the commit-to-read latency.
+		for j := 0; j < 20; j++ {
+			net.RunFor(time.Second)
+			px.Get(calibPath)
+		}
+		tr.EndAt(net.Now())
+	}
+
+	b.WriteString("\ncalibrated push tree (1-member ensemble, us → eu):\n")
+	hb := stats.NewTable("push-tree hops", "hop", "n", "p50", "max")
+	for _, name := range []string{
+		obs.HistHopLeaderObserver, obs.HistHopObserverProxy,
+		obs.HistCommitToProxy, obs.HistCommitToRead,
+	} {
+		h := hopReg.Histogram(name)
+		hb.AddRow(name, fmt.Sprint(h.Count()),
+			h.Quantile(0.50).Round(time.Millisecond).String(),
+			h.Max().Round(time.Millisecond).String())
+	}
+	b.WriteString(hb.String())
+	r.metric("hop_leader_to_observer_s",
+		hopReg.Histogram(obs.HistHopLeaderObserver).Quantile(0.50).Seconds(), 0, false)
+	r.metric("hop_observer_to_proxy_s",
+		hopReg.Histogram(obs.HistHopObserverProxy).Quantile(0.50).Seconds(), 0, false)
+	// The paper's headline number: commit-to-proxy over the Zeus tree.
+	r.metric("tree_propagation_total_s",
+		hopReg.Histogram(obs.HistCommitToProxy).Quantile(0.50).Seconds(), 4.5, true)
+	r.metric("commit_to_read_s",
+		hopReg.Histogram(obs.HistCommitToRead).Quantile(0.50).Seconds(), 0, false)
+
+	// One rendered span tree from the calibrated run, as the trace
+	// subcommand would print it.
+	if tr := hopReg.TraceByKey(fmt.Sprintf("calib-%d", pushes)); tr != nil {
+		b.WriteString("\nsample trace:\n")
+		b.WriteString(tr.Render())
+	}
+
+	r.Text = b.String()
+	r.ArtifactName = "BENCH_obs.json"
+	r.Artifact = reg.JSON()
+	return r
+}

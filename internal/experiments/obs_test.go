@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestObs holds the observability experiment to the ISSUE acceptance
+// criteria: per-stage p50/p99 for every pipeline stage, a per-hop
+// push-tree distribution whose total matches the paper's ~4.5 s tree
+// propagation, and a parseable registry artifact.
+func TestObs(t *testing.T) {
+	r := Obs(opts)
+
+	for _, stage := range []string{"lint", "compile", "review+ci", "canary", "commit", "propagate"} {
+		if _, ok := r.Metrics["stage_"+stage+"_p50_s"]; !ok {
+			t.Errorf("missing stage_%s_p50_s", stage)
+		}
+		if _, ok := r.Metrics["stage_"+stage+"_p99_s"]; !ok {
+			t.Errorf("missing stage_%s_p99_s", stage)
+		}
+	}
+	if got := r.Metrics["commits_landed"]; got < 3 {
+		t.Errorf("commits_landed = %v, want >= 3", got)
+	}
+
+	// Calibrated hop chain: 4 s + 0.5 s = 4.5 s, within histogram
+	// bucket resolution.
+	if got := r.Metrics["tree_propagation_total_s"]; got < 4.4 || got > 4.6 {
+		t.Errorf("tree_propagation_total_s = %v, want ~4.5", got)
+	}
+	if paper := r.PaperValues["tree_propagation_total_s"]; paper != 4.5 {
+		t.Errorf("paper value = %v, want 4.5", paper)
+	}
+	if got := r.Metrics["hop_leader_to_observer_s"]; got < 3.9 || got > 4.1 {
+		t.Errorf("hop_leader_to_observer_s = %v, want ~4.0", got)
+	}
+	if got := r.Metrics["hop_observer_to_proxy_s"]; got < 0.45 || got > 0.55 {
+		t.Errorf("hop_observer_to_proxy_s = %v, want ~0.5", got)
+	}
+	if got := r.Metrics["commit_to_read_s"]; got < 4.4 || got > 7 {
+		t.Errorf("commit_to_read_s = %v, want ~5 (tree propagation + 1 s read-poll grain)", got)
+	}
+
+	// The rendered text includes the sample span tree with the full chain.
+	for _, want := range []string{"zeus.commit", "observer obs-eu", "proxy srv-eu"} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("experiment text missing %q", want)
+		}
+	}
+
+	// The artifact is the fleet registry dump, valid JSON with the
+	// expected top-level shape.
+	if r.ArtifactName != "BENCH_obs.json" {
+		t.Errorf("ArtifactName = %q", r.ArtifactName)
+	}
+	var dump struct {
+		Counters   map[string]int64           `json:"counters"`
+		Histograms map[string]json.RawMessage `json:"histograms"`
+		Traces     []json.RawMessage          `json:"traces"`
+	}
+	if err := json.Unmarshal(r.Artifact, &dump); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if len(dump.Histograms) == 0 || len(dump.Traces) == 0 {
+		t.Errorf("artifact missing histograms/traces: %d/%d",
+			len(dump.Histograms), len(dump.Traces))
+	}
+	if dump.Counters["pipeline.landed"] == 0 {
+		t.Error("artifact counters missing pipeline.landed")
+	}
+}

@@ -14,6 +14,7 @@ package proxy
 import (
 	"time"
 
+	"configerator/internal/obs"
 	"configerator/internal/simnet"
 	"configerator/internal/zeus"
 )
@@ -89,6 +90,14 @@ type Proxy struct {
 	Fetches     uint64
 	WatchEvents uint64
 	Failovers   uint64
+
+	// Obs, when set, receives a materialize event each time the proxy
+	// caches a new config version, and a read event the first time the
+	// local applications read each version (nil = no instrumentation).
+	Obs *obs.Registry
+	// readZxid tracks the newest zxid already read per path, so only the
+	// first application read of each version is recorded.
+	readZxid map[string]int64
 }
 
 // New creates a proxy on the network at the placement, connected to the
@@ -108,6 +117,7 @@ func New(net *simnet.Network, id simnet.NodeID, placement simnet.Placement, obse
 		subs:      make(map[string][]UpdateFunc),
 		inflight:  make(map[int64]string),
 		byPath:    make(map[string]int64),
+		readZxid:  make(map[string]int64),
 	}
 	if len(observers) > 0 {
 		p.current = int(net.RNG().Intn(len(observers)))
@@ -137,6 +147,7 @@ func (p *Proxy) Restart() {
 	p.override = make(map[string]Entry)
 	p.inflight = make(map[int64]string)
 	p.byPath = make(map[string]int64)
+	p.readZxid = make(map[string]int64)
 	p.net.Recover(p.id)
 }
 
@@ -256,6 +267,13 @@ func (p *Proxy) Get(path string) (Entry, bool) {
 	}
 	if !p.down {
 		if e, ok := p.cache[path]; ok {
+			if e.Zxid > p.readZxid[path] {
+				p.readZxid[path] = e.Zxid
+				p.Obs.PathEvent(path, obs.PropEvent{
+					Stage: obs.EvClientRead, Node: string(p.id),
+					Zxid: e.Zxid, At: p.net.Now(),
+				})
+			}
 			return e, ok
 		}
 		p.Want(path) // warm it for next time
@@ -291,14 +309,14 @@ func (p *Proxy) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg simne
 		delete(p.inflight, m.ReqID)
 		delete(p.byPath, path)
 		p.apply(ctx, Entry{Path: m.Path, Exists: m.Exists, Data: m.Data,
-			Version: m.Version, Zxid: m.Zxid, Fetched: ctx.Now()})
+			Version: m.Version, Zxid: m.Zxid, Fetched: ctx.Now()}, from)
 	case zeus.MsgWatchEvent:
 		if from != p.observer() {
 			return // stale watch from a previous observer
 		}
 		p.WatchEvents++
 		p.apply(ctx, Entry{Path: m.Path, Exists: m.Exists, Data: m.Data,
-			Version: m.Version, Zxid: m.Zxid, Fetched: ctx.Now()})
+			Version: m.Version, Zxid: m.Zxid, Fetched: ctx.Now()}, from)
 	case msgFetchTimeout:
 		if path, ok := p.inflight[m.ReqID]; ok {
 			delete(p.inflight, m.ReqID)
@@ -322,8 +340,9 @@ func (p *Proxy) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg simne
 	}
 }
 
-// apply integrates a new entry if it is not older than what we have.
-func (p *Proxy) apply(ctx *simnet.Context, e Entry) {
+// apply integrates a new entry if it is not older than what we have. via
+// is the observer that delivered it (the upstream hop in the push tree).
+func (p *Proxy) apply(ctx *simnet.Context, e Entry, via simnet.NodeID) {
 	if old, ok := p.cache[e.Path]; ok && e.Zxid < old.Zxid {
 		return
 	}
@@ -334,6 +353,10 @@ func (p *Proxy) apply(ctx *simnet.Context, e Entry) {
 	p.cache[e.Path] = e
 	p.disk.Store(e)
 	if changed {
+		p.Obs.PathEvent(e.Path, obs.PropEvent{
+			Stage: obs.EvProxyMaterialize, Node: string(p.id), Via: string(via),
+			Zxid: e.Zxid, At: ctx.Now(),
+		})
 		for _, fn := range p.subs[e.Path] {
 			fn(e)
 		}

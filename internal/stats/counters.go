@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -54,17 +56,42 @@ func (c *Counters) Snapshot() map[string]int64 {
 }
 
 // Table renders the counters as an aligned two-column table, sorted by
-// name for deterministic output.
+// name for deterministic output, with a trailing total row.
 func (c *Counters) Table(title string) string {
 	snap := c.Snapshot()
 	names := make([]string, 0, len(snap))
-	for n := range snap {
+	var total int64
+	for n, v := range snap {
 		names = append(names, n)
+		total += v
 	}
 	sort.Strings(names)
 	t := NewTable(title, "counter", "value")
 	for _, n := range names {
 		t.AddRawRow(n, snap[n])
 	}
+	t.AddRawRow("total", total)
 	return t.String()
+}
+
+// JSON returns the counters as a JSON object with keys in sorted order, so
+// two runs with the same counts produce byte-identical output (benchreport
+// artifacts are diffed across runs).
+func (c *Counters) JSON() []byte {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q:%d", n, snap[n])
+	}
+	b.WriteByte('}')
+	return []byte(b.String())
 }

@@ -30,6 +30,30 @@ func TestCountersBasics(t *testing.T) {
 	if strings.Index(tbl, "parse.hit") > strings.Index(tbl, "parse.miss") {
 		t.Error("Table rows not sorted by counter name")
 	}
+	// Total row trails the sorted counters: 15 + 1 at snapshot+10 time.
+	if !strings.Contains(tbl, "total") || strings.Index(tbl, "total") < strings.Index(tbl, "parse.miss") {
+		t.Errorf("Table missing trailing total row: %q", tbl)
+	}
+	if !strings.Contains(tbl, "16") {
+		t.Errorf("Table total should be 16: %q", tbl)
+	}
+}
+
+func TestCountersJSON(t *testing.T) {
+	c := NewCounters()
+	c.Add("b", 2)
+	c.Add("a", 1)
+	c.Add("c", 3)
+	if got := string(c.JSON()); got != `{"a":1,"b":2,"c":3}` {
+		t.Errorf("JSON = %s", got)
+	}
+	if got := string(NewCounters().JSON()); got != "{}" {
+		t.Errorf("empty JSON = %s", got)
+	}
+	var nilC *Counters
+	if got := string(nilC.JSON()); got != "{}" {
+		t.Errorf("nil JSON = %s", got)
+	}
 }
 
 func TestCountersNilSafe(t *testing.T) {

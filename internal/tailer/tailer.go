@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"configerator/internal/obs"
 	"configerator/internal/simnet"
 	"configerator/internal/vcs"
 	"configerator/internal/zeus"
@@ -38,6 +39,10 @@ type Tailer struct {
 	WritesIssued int
 	// onDelivered, if set, fires when a write commits in Zeus.
 	onDelivered func(path string, zxid int64)
+
+	// Obs, when set, records the round-trip of each Zeus write in the
+	// "tailer.write_rtt" histogram (nil = no instrumentation).
+	Obs *obs.Registry
 }
 
 // New creates a tailer node on the network.
@@ -114,23 +119,22 @@ func (t *Tailer) poll(ctx *simnet.Context) {
 		changed := changedPaths(parentTree, tree)
 		for _, p := range changed {
 			zpath := t.prefix + p
+			issued := ctx.Now()
+			done := func(path string) func(zeus.WriteResult) {
+				return func(r zeus.WriteResult) {
+					t.Obs.Observe("tailer.write_rtt", t.net.Now().Sub(issued))
+					if t.onDelivered != nil {
+						t.onDelivered(path, r.Zxid)
+					}
+				}
+			}
 			if h, ok := tree[p]; ok {
 				data, _ := store.Blob(h)
 				t.WritesIssued++
-				path := zpath
-				t.client.Write(ctx, path, data, func(r zeus.WriteResult) {
-					if t.onDelivered != nil {
-						t.onDelivered(path, r.Zxid)
-					}
-				})
+				t.client.Write(ctx, zpath, data, done(zpath))
 			} else {
 				t.WritesIssued++
-				path := zpath
-				t.client.Delete(ctx, path, func(r zeus.WriteResult) {
-					if t.onDelivered != nil {
-						t.onDelivered(path, r.Zxid)
-					}
-				})
+				t.client.Delete(ctx, zpath, done(zpath))
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package zeus
 import (
 	"fmt"
 
+	"configerator/internal/obs"
 	"configerator/internal/simnet"
 )
 
@@ -13,6 +14,22 @@ type Ensemble struct {
 	Members   []simnet.NodeID
 	Servers   map[simnet.NodeID]*Server
 	Observers map[simnet.NodeID]*Observer
+
+	// Obs instruments commit and apply events ensemble-wide; set it with
+	// SetObs before driving traffic.
+	Obs *obs.Registry
+}
+
+// SetObs attaches an observability registry to every current member and
+// observer; observers added later inherit it.
+func (e *Ensemble) SetObs(r *obs.Registry) {
+	e.Obs = r
+	for _, s := range e.Servers {
+		s.Obs = r
+	}
+	for _, o := range e.Observers {
+		o.Obs = r
+	}
 }
 
 // StartEnsemble creates n members placed round-robin over the given
@@ -46,6 +63,7 @@ func StartEnsemble(net *simnet.Network, n int, placements []simnet.Placement) *E
 // AddObserver creates an observer at the placement and arms its timers.
 func (e *Ensemble) AddObserver(id simnet.NodeID, p simnet.Placement) *Observer {
 	o := NewObserver(id, e.Members)
+	o.Obs = e.Obs
 	e.Observers[id] = o
 	e.Net.AddNode(id, p, o)
 	e.Net.SetTimer(id, 0, msgTickObserver{})

@@ -1,6 +1,7 @@
 package zeus
 
 import (
+	"configerator/internal/obs"
 	"configerator/internal/simnet"
 )
 
@@ -18,6 +19,10 @@ type Observer struct {
 
 	// Notified counts watch events pushed (observability for benches).
 	Notified uint64
+
+	// Obs, when set, receives a propagation event for every op this
+	// observer applies (nil = no instrumentation).
+	Obs *obs.Registry
 }
 
 // NewObserver constructs an observer attached to the given ensemble
@@ -81,6 +86,9 @@ func (o *Observer) apply(ctx *simnet.Context, op WriteOp) {
 	if !o.tree.Apply(op) {
 		return // duplicate or stale
 	}
+	o.Obs.PathEvent(op.Path, obs.PropEvent{
+		Stage: obs.EvObserverApply, Node: string(o.id), Zxid: op.Zxid, At: ctx.Now(),
+	})
 	rec := o.tree.Get(op.Path)
 	ev := MsgWatchEvent{Path: op.Path, Zxid: op.Zxid}
 	if rec != nil {

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"configerator/internal/obs"
 	"configerator/internal/simnet"
 )
 
@@ -72,6 +73,10 @@ type Server struct {
 	needSync bool
 
 	started bool
+
+	// Obs, when set, receives a propagation event for every write this
+	// member commits as leader (nil = no instrumentation).
+	Obs *obs.Registry
 }
 
 // NewServer constructs an ensemble member; register it on the network and
@@ -381,11 +386,14 @@ func (s *Server) maybeCommit(ctx *simnet.Context) {
 		}
 		// Commit.
 		s.tree.Apply(p.op)
+		s.Obs.PathEvent(p.op.Path, obs.PropEvent{
+			Stage: obs.EvZeusCommit, Node: string(s.id), Zxid: zxid, At: ctx.Now(),
+		})
 		s.othersDo(ctx, func(peer simnet.NodeID) {
 			ctx.Send(peer, msgCommit{Epoch: s.epoch, Zxid: zxid})
 		})
-		for obs := range s.observers {
-			ctx.SendSized(obs, msgObserverPush{Epoch: s.epoch, Op: p.op}, len(p.op.Data))
+		for ob := range s.observers {
+			ctx.SendSized(ob, msgObserverPush{Epoch: s.epoch, Op: p.op}, len(p.op.Data))
 		}
 		if p.client != "" {
 			ctx.Send(p.client, MsgWriteReply{ReqID: p.reqID, OK: true, Zxid: zxid, Version: p.op.Version})
