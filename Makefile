@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet lint race bench-obs bench-compile report
+.PHONY: build test check vet lint race bench-obs bench-compile bench-distribution report
 
 build:
 	$(GO) build ./...
@@ -10,9 +10,11 @@ test: build
 
 # check: the static-analysis gates (go vet for the Go code, configlint
 # for the CDL corpus), the race detector over the concurrent packages
-# (engine worker pool, pipeline, proxy, zeus, strip, canary, obs), and
-# the obs smoke run that regenerates BENCH_obs.json.
-check: vet lint race bench-obs
+# (engine worker pool, pipeline, proxy, zeus, strip, canary, obs — zeus
+# and proxy run the batched, delta-encoded distribution plane), the obs
+# smoke run that regenerates BENCH_obs.json, and the distribution-plane
+# smoke that regenerates and asserts BENCH_distribution.json.
+check: vet lint race bench-obs bench-distribution
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +31,14 @@ race:
 # registry dump (BENCH_obs.json) in the repo root.
 bench-obs:
 	$(GO) run ./cmd/benchreport -quick -only obs -o - > /dev/null
+
+# bench-distribution: smoke-run the distribution-plane experiment (leaves
+# BENCH_distribution.json in the repo root) and assert the artifact's
+# schema and headline claims — group-commit speedup, delta bytes a small
+# fraction of full-snapshot bytes, propagation p99 no worse.
+bench-distribution:
+	$(GO) run ./cmd/benchreport -quick -only distribution -o - > /dev/null
+	$(GO) test -run TestDistributionArtifact ./internal/experiments/
 
 # bench-compile: the shared-.cinc fan-out benchmarks behind BENCH_compile.json.
 bench-compile:

@@ -101,6 +101,7 @@ func New(cfg Config) *Fleet {
 		lat = *cfg.Latency
 	}
 	net := simnet.New(lat, cfg.Seed)
+	net.SetObs(cfg.Obs)
 	f := &Fleet{
 		Net:       net,
 		Obs:       cfg.Obs,

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"configerator/internal/obs"
+	"configerator/internal/proxy"
+	"configerator/internal/simnet"
+	"configerator/internal/zeus"
+)
+
+// DistributionReport is the BENCH_distribution.json schema: the batched,
+// delta-encoded distribution plane against its naive baselines on the same
+// workload.
+type DistributionReport struct {
+	Throughput struct {
+		Writers           int     `json:"writers"`
+		Ops               int     `json:"ops"`
+		BatchedOpsPerSec  float64 `json:"batched_ops_per_sec"`
+		BaselineOpsPerSec float64 `json:"baseline_ops_per_sec"`
+		Speedup           float64 `json:"speedup"`
+		BatchedWaves      int64   `json:"batched_waves"`
+		BaselineWaves     int64   `json:"baseline_waves"`
+	} `json:"throughput"`
+	Bytes struct {
+		ConfigBytes int     `json:"config_bytes"`
+		Edits       int     `json:"edits"`
+		DeltaBytes  uint64  `json:"delta_bytes"`
+		FullBytes   uint64  `json:"full_bytes"`
+		Ratio       float64 `json:"ratio"`
+		DeltaPushes int64   `json:"delta_pushes"`
+		FullPushes  int64   `json:"full_pushes"`
+	} `json:"bytes"`
+	Propagation struct {
+		DeltaP50Ms float64 `json:"delta_p50_ms"`
+		DeltaP99Ms float64 `json:"delta_p99_ms"`
+		FullP50Ms  float64 `json:"full_p50_ms"`
+		FullP99Ms  float64 `json:"full_p99_ms"`
+	} `json:"propagation"`
+}
+
+// distBytesBody is the steady-state content of the Part 2 watched config
+// (~32 KB; each measured edit only bumps the rev header).
+const distBytesLine = "tier.web.option = \"steady-state-value\"\n"
+const distBytesLines = 840
+
+// distThroughput drives concurrent writers (each issuing sequential writes
+// to its own paths) against a same-cluster 3-member ensemble and measures
+// committed writes per second of virtual time. The only knob that differs
+// between the two calls is group commit: off is the one-proposal-per-write
+// baseline, where every write pays its own durable log write; on, writes
+// arriving while a wave is in flight coalesce and the log cost is paid
+// once per wave.
+func distThroughput(seed uint64, writers, perWriter int, groupCommit bool) (opsPerSec float64, waves int64) {
+	net := simnet.New(simnet.DefaultLatency(), seed)
+	reg := obs.New()
+	place := simnet.Placement{Region: "us", Cluster: "zk"}
+	ens := zeus.StartEnsemble(net, 3, []simnet.Placement{place})
+	ens.SetObs(reg)
+	ens.SetGroupCommit(groupCommit)
+	net.RunFor(10 * time.Second)
+
+	total := writers * perWriter
+	committed := 0
+	payload := []byte(`{"knob":"value","rollout_percent":100,"ttl_seconds":300}`)
+	start := net.Now()
+	last := start
+	for w := 0; w < writers; w++ {
+		w := w
+		id := simnet.NodeID(fmt.Sprintf("writer-%d", w))
+		cl := zeus.NewClient(id, ens.Members)
+		net.AddNode(id, place, cl)
+		var step func(k int)
+		step = func(k int) {
+			if k == perWriter {
+				return
+			}
+			ctx := simnet.MakeContext(net, id)
+			cl.Write(&ctx, fmt.Sprintf("/dist/w%02d/cfg-%d", w, k), payload, func(zeus.WriteResult) {
+				committed++
+				last = net.Now()
+				step(k + 1)
+			})
+		}
+		net.After(0, func() { step(0) })
+	}
+	for i := 0; i < 400 && committed < total; i++ {
+		net.RunFor(500 * time.Millisecond)
+	}
+	elapsed := last.Sub(start).Seconds()
+	if committed == 0 || elapsed <= 0 {
+		return 0, 0
+	}
+	return float64(committed) / elapsed, reg.Counters().Get("zeus.propose.waves")
+}
+
+// distBytes warms a watched ~32 KB config on a proxy and then pushes small
+// sequential edits through the leader→observer→proxy plane, counting every
+// payload byte simnet carries. The deltas knob toggles hash-advertised
+// delta encoding end to end; off, every hop re-ships the full config. The
+// propagation histogram (commit→proxy materialize) is measured on the same
+// runs via commit-scoped traces. A single-member ensemble isolates the
+// distribution plane (observer pushes, watch events, fetches) from
+// replication traffic.
+func distBytes(seed uint64, edits int, deltas bool) (editBytes uint64, deltaPushes, fullPushes int64, p50, p99 time.Duration) {
+	net := simnet.New(simnet.DefaultLatency(), seed)
+	reg := obs.New()
+	net.SetObs(reg)
+	zkPlace := simnet.Placement{Region: "us", Cluster: "zk"}
+	ens := zeus.StartEnsemble(net, 1, []simnet.Placement{zkPlace})
+	ens.SetObs(reg)
+	ens.SetDeltaEncoding(deltas)
+	clPlace := simnet.Placement{Region: "us", Cluster: "c1"}
+	ens.AddObserver("obs-1", clPlace)
+	px := proxy.New(net, "srv-1", clPlace, []simnet.NodeID{"obs-1"}, nil)
+	px.Obs = reg
+	px.DeltaEncoding = deltas
+	writer := zeus.NewClient("writer", ens.Members)
+	net.AddNode("writer", zkPlace, writer)
+	net.RunFor(10 * time.Second)
+
+	const path = "/dist/bytes/app.json"
+	body := strings.Repeat(distBytesLine, distBytesLines)
+	render := func(rev int) []byte {
+		return []byte(fmt.Sprintf("rev = %06d\n%s", rev, body))
+	}
+	write := func(data []byte) {
+		done := false
+		net.After(0, func() {
+			ctx := simnet.MakeContext(net, "writer")
+			writer.Write(&ctx, path, data, func(zeus.WriteResult) { done = true })
+		})
+		for i := 0; i < 40 && !done; i++ {
+			net.RunFor(500 * time.Millisecond)
+		}
+	}
+
+	// Warm: land the config and let the proxy fetch it with a watch, so
+	// every measured edit is a pure push.
+	write(render(0))
+	px.Want(path)
+	net.RunFor(10 * time.Second)
+
+	// Push-plane bytes: the leader→observer and observer→proxy links. The
+	// writer's own upload of the new content is the same in both modes and
+	// is not part of the distribution plane.
+	pushPlane := func() uint64 {
+		leader := ens.Leader()
+		return net.LinkBytes(leader, "obs-1") + net.LinkBytes("obs-1", "srv-1")
+	}
+	before := pushPlane()
+	for i := 1; i <= edits; i++ {
+		tr := reg.StartTrace(fmt.Sprintf("edit-%d", i), net.Now())
+		reg.BindPath(path, tr)
+		write(render(i))
+		net.RunFor(2 * time.Second)
+		tr.EndAt(net.Now())
+	}
+	editBytes = pushPlane() - before
+	h := reg.Histogram(obs.HistCommitToProxy)
+	return editBytes, reg.Counters().Get("zeus.push.delta"), reg.Counters().Get("zeus.push.full"),
+		h.Quantile(0.50), h.Quantile(0.99)
+}
+
+// Distribution benchmarks the batched, delta-encoded distribution plane
+// (DESIGN.md §9) against its naive baselines:
+//
+//  1. Commit throughput under 32 concurrent writers, group commit on vs
+//     one-proposal-per-write. The win is durable-log amortization: one
+//     fsync-equivalent per wave instead of per write (the group-commit and
+//     pipelining levers FRAPPÉ applies to the same problem shape).
+//  2. Bytes on wire for small edits to a watched ~32 KB config, delta
+//     encoding on vs full snapshots, with commit→proxy propagation
+//     latency measured on the same runs to show deltas don't cost
+//     freshness.
+//
+// The raw numbers land as BENCH_distribution.json.
+func Distribution(opts Options) Result {
+	r := Result{ID: "distribution", Title: "Distribution plane: group commit, deltas, bytes on wire"}
+
+	writers, perWriter, edits := 32, 8, 10
+	if opts.Quick {
+		perWriter, edits = 4, 6
+	}
+
+	var rep DistributionReport
+
+	batched, batchedWaves := distThroughput(opts.Seed, writers, perWriter, true)
+	baseline, baselineWaves := distThroughput(opts.Seed, writers, perWriter, false)
+	rep.Throughput.Writers = writers
+	rep.Throughput.Ops = writers * perWriter
+	rep.Throughput.BatchedOpsPerSec = batched
+	rep.Throughput.BaselineOpsPerSec = baseline
+	rep.Throughput.BatchedWaves = batchedWaves
+	rep.Throughput.BaselineWaves = baselineWaves
+	if baseline > 0 {
+		rep.Throughput.Speedup = batched / baseline
+	}
+
+	deltaBytes, deltaPushes, _, dp50, dp99 := distBytes(opts.Seed, edits, true)
+	fullBytes, _, fullPushes, fp50, fp99 := distBytes(opts.Seed, edits, false)
+	rep.Bytes.ConfigBytes = len("rev = 000000\n") + distBytesLines*len(distBytesLine)
+	rep.Bytes.Edits = edits
+	rep.Bytes.DeltaBytes = deltaBytes
+	rep.Bytes.FullBytes = fullBytes
+	rep.Bytes.DeltaPushes = deltaPushes
+	rep.Bytes.FullPushes = fullPushes
+	if fullBytes > 0 {
+		rep.Bytes.Ratio = float64(deltaBytes) / float64(fullBytes)
+	}
+	rep.Propagation.DeltaP50Ms = dp50.Seconds() * 1e3
+	rep.Propagation.DeltaP99Ms = dp99.Seconds() * 1e3
+	rep.Propagation.FullP50Ms = fp50.Seconds() * 1e3
+	rep.Propagation.FullP99Ms = fp99.Seconds() * 1e3
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "group commit, %d writers x %d writes:\n", writers, perWriter)
+	fmt.Fprintf(&b, "  batched   %8.0f ops/s  (%d waves)\n", batched, batchedWaves)
+	fmt.Fprintf(&b, "  baseline  %8.0f ops/s  (%d waves)\n", baseline, baselineWaves)
+	fmt.Fprintf(&b, "  speedup   %.1fx\n\n", rep.Throughput.Speedup)
+	fmt.Fprintf(&b, "delta encoding, %d small edits to a %d-byte watched config:\n",
+		edits, rep.Bytes.ConfigBytes)
+	fmt.Fprintf(&b, "  deltas on   %8d bytes on wire  (p50 %s, p99 %s to proxy)\n",
+		deltaBytes, dp50.Round(time.Microsecond), dp99.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  deltas off  %8d bytes on wire  (p50 %s, p99 %s to proxy)\n",
+		fullBytes, fp50.Round(time.Microsecond), fp99.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  ratio       %.3f\n", rep.Bytes.Ratio)
+	r.Text = b.String()
+
+	r.metric("throughput_speedup_x", rep.Throughput.Speedup, 0, false)
+	r.metric("batched_ops_per_sec", batched, 0, false)
+	r.metric("baseline_ops_per_sec", baseline, 0, false)
+	r.metric("delta_bytes_ratio", rep.Bytes.Ratio, 0, false)
+	r.metric("delta_propagation_p99_ms", rep.Propagation.DeltaP99Ms, 0, false)
+	r.metric("full_propagation_p99_ms", rep.Propagation.FullP99Ms, 0, false)
+
+	art, _ := json.MarshalIndent(rep, "", "  ")
+	r.ArtifactName = "BENCH_distribution.json"
+	r.Artifact = art
+	return r
+}

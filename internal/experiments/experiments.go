@@ -111,6 +111,7 @@ func Catalog() []Experiment {
 		{"engine", CompileEngine},
 		{"configlint", Lint},
 		{"obs", Obs},
+		{"distribution", Distribution},
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -192,7 +193,7 @@ func TestAllRuns(t *testing.T) {
 		t.Skip("runs every experiment")
 	}
 	results := All(opts)
-	if len(results) != 24 {
+	if len(results) != 25 {
 		t.Fatalf("All returned %d results", len(results))
 	}
 	// The catalog keys must match what each experiment actually reports,
@@ -214,6 +215,50 @@ func TestAllRuns(t *testing.T) {
 		if !strings.Contains(r.Summary(), r.ID) {
 			t.Errorf("summary missing id")
 		}
+	}
+}
+
+func TestDistributionArtifact(t *testing.T) {
+	r := Distribution(opts)
+	if r.ArtifactName != "BENCH_distribution.json" {
+		t.Fatalf("artifact name = %q", r.ArtifactName)
+	}
+	var rep DistributionReport
+	if err := json.Unmarshal(r.Artifact, &rep); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	// ISSUE acceptance: group commit must buy >= 3x commit throughput
+	// under 32 concurrent writers vs one-proposal-per-write.
+	if rep.Throughput.Writers != 32 {
+		t.Errorf("writers = %d, want 32", rep.Throughput.Writers)
+	}
+	if rep.Throughput.Speedup < 3 {
+		t.Errorf("group-commit speedup = %.2fx, want >= 3x", rep.Throughput.Speedup)
+	}
+	if rep.Throughput.BatchedWaves <= 0 || rep.Throughput.BaselineWaves <= 0 ||
+		rep.Throughput.BatchedWaves >= rep.Throughput.BaselineWaves {
+		t.Errorf("waves batched=%d baseline=%d: batching must use fewer proposal waves",
+			rep.Throughput.BatchedWaves, rep.Throughput.BaselineWaves)
+	}
+	// ISSUE acceptance: small-edit pushes with deltas on must ship <= 25%
+	// of the full-snapshot bytes.
+	if rep.Bytes.DeltaBytes == 0 || rep.Bytes.FullBytes == 0 {
+		t.Fatalf("byte counters empty: %+v", rep.Bytes)
+	}
+	if rep.Bytes.Ratio > 0.25 {
+		t.Errorf("delta/full bytes ratio = %.3f, want <= 0.25", rep.Bytes.Ratio)
+	}
+	if rep.Bytes.DeltaPushes < int64(rep.Bytes.Edits) {
+		t.Errorf("delta pushes = %d, want >= %d", rep.Bytes.DeltaPushes, rep.Bytes.Edits)
+	}
+	// Propagation must not regress: deltas ship less, so commit->proxy p99
+	// stays at or below the full-snapshot run (small slack for jitter).
+	if rep.Propagation.DeltaP99Ms > rep.Propagation.FullP99Ms*1.2 {
+		t.Errorf("delta p99 = %.3fms vs full p99 = %.3fms: propagation regressed",
+			rep.Propagation.DeltaP99Ms, rep.Propagation.FullP99Ms)
+	}
+	if rep.Propagation.DeltaP50Ms <= 0 || rep.Propagation.FullP50Ms <= 0 {
+		t.Errorf("propagation histogram empty: %+v", rep.Propagation)
 	}
 }
 

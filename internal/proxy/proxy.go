@@ -16,6 +16,7 @@ import (
 
 	"configerator/internal/obs"
 	"configerator/internal/simnet"
+	"configerator/internal/vcs"
 	"configerator/internal/zeus"
 )
 
@@ -42,12 +43,20 @@ func NewDiskCache() *DiskCache {
 	return &DiskCache{entries: make(map[string]Entry)}
 }
 
-// Store persists an entry.
-func (d *DiskCache) Store(e Entry) { d.entries[e.Path] = e }
+// Store persists an entry. The data is copied: a caller mutating its slice
+// afterwards cannot corrupt the cache.
+func (d *DiskCache) Store(e Entry) {
+	e.Data = append([]byte(nil), e.Data...)
+	d.entries[e.Path] = e
+}
 
-// Load returns the entry for path.
+// Load returns the entry for path. The data is a copy: a subscriber
+// mutating the returned bytes cannot corrupt the cache.
 func (d *DiskCache) Load(path string) (Entry, bool) {
 	e, ok := d.entries[path]
+	if ok {
+		e.Data = append([]byte(nil), e.Data...)
+	}
 	return e, ok
 }
 
@@ -66,6 +75,15 @@ const (
 type msgTickPing struct{}
 type msgFetchTimeout struct{ ReqID int64 }
 
+// fetchState is one outstanding fetch: the path, and the base entry whose
+// hash we advertised (so a "not modified" or delta reply can be
+// materialized against it).
+type fetchState struct {
+	path     string
+	base     Entry
+	haveBase bool
+}
+
 // Proxy is the per-server config proxy. It is a simnet node; the local
 // applications call its methods directly (they share the server).
 type Proxy struct {
@@ -79,12 +97,16 @@ type Proxy struct {
 	override map[string]Entry // canary temporary deployments win over cache
 	watched  map[string]bool
 	subs     map[string][]UpdateFunc
-	inflight map[int64]string // reqID -> path
-	byPath   map[string]int64 // path -> outstanding reqID
+	inflight map[int64]fetchState // reqID -> outstanding fetch
+	byPath   map[string]int64     // path -> outstanding reqID (single-flight)
 	nextReq  int64
 
 	pingOutstanding int
 	down            bool // proxy process crashed (fallback testing)
+
+	// DeltaEncoding, when true (the default), advertises content hashes on
+	// fetches so observers may reply "not modified" or with a delta.
+	DeltaEncoding bool
 
 	// Stats.
 	Fetches     uint64
@@ -107,17 +129,18 @@ func New(net *simnet.Network, id simnet.NodeID, placement simnet.Placement, obse
 		disk = NewDiskCache()
 	}
 	p := &Proxy{
-		id:        id,
-		net:       net,
-		observers: observers,
-		disk:      disk,
-		cache:     make(map[string]Entry),
-		override:  make(map[string]Entry),
-		watched:   make(map[string]bool),
-		subs:      make(map[string][]UpdateFunc),
-		inflight:  make(map[int64]string),
-		byPath:    make(map[string]int64),
-		readZxid:  make(map[string]int64),
+		id:            id,
+		net:           net,
+		observers:     observers,
+		disk:          disk,
+		cache:         make(map[string]Entry),
+		override:      make(map[string]Entry),
+		watched:       make(map[string]bool),
+		subs:          make(map[string][]UpdateFunc),
+		inflight:      make(map[int64]fetchState),
+		byPath:        make(map[string]int64),
+		readZxid:      make(map[string]int64),
+		DeltaEncoding: true,
 	}
 	if len(observers) > 0 {
 		p.current = int(net.RNG().Intn(len(observers)))
@@ -145,7 +168,7 @@ func (p *Proxy) Restart() {
 	p.down = false
 	p.cache = make(map[string]Entry)
 	p.override = make(map[string]Entry)
-	p.inflight = make(map[int64]string)
+	p.inflight = make(map[int64]fetchState)
 	p.byPath = make(map[string]int64)
 	p.readZxid = make(map[string]int64)
 	p.net.Recover(p.id)
@@ -154,7 +177,9 @@ func (p *Proxy) Restart() {
 // OnRestart implements simnet.Restarter.
 func (p *Proxy) OnRestart(ctx *simnet.Context) {
 	ctx.SetTimer(pingInterval, msgTickPing{})
-	// Re-fetch everything the applications subscribed to.
+	// Re-fetch everything the applications subscribed to. The in-memory
+	// cache is cold, so hashes are advertised from the disk cache; a delta
+	// that no longer applies falls back to a full snapshot.
 	for path := range p.watched {
 		p.sendFetch(ctx, path)
 	}
@@ -172,7 +197,8 @@ func (p *Proxy) observer() simnet.NodeID {
 
 // failover rotates to another observer and re-establishes fetches+watches,
 // exactly the "if the observer fails, the proxy connects to another
-// observer" behaviour.
+// observer" behaviour. Re-fetches bypass the single-flight guard: the old
+// observer may never answer the outstanding requests.
 func (p *Proxy) failover(ctx *simnet.Context) {
 	if len(p.observers) <= 1 {
 		return
@@ -181,7 +207,7 @@ func (p *Proxy) failover(ctx *simnet.Context) {
 	p.Failovers++
 	p.pingOutstanding = 0
 	for path := range p.watched {
-		p.sendFetch(ctx, path)
+		p.forceFetch(ctx, path, true)
 	}
 }
 
@@ -282,19 +308,52 @@ func (p *Proxy) Get(path string) (Entry, bool) {
 	return p.disk.Load(path)
 }
 
+// sendFetch issues a fetch unless one is already in flight for the path
+// (single-flight: a second Want before the reply arrives must not send a
+// second MsgFetch).
 func (p *Proxy) sendFetch(ctx *simnet.Context, path string) {
+	if _, ok := p.byPath[path]; ok {
+		p.Obs.Add("proxy.fetch.singleflight", 1)
+		return
+	}
+	p.doFetch(ctx, path, true)
+}
+
+// forceFetch abandons any outstanding fetch for the path and issues a new
+// one (failover, or delta fallback with advertise=false to demand a full
+// snapshot).
+func (p *Proxy) forceFetch(ctx *simnet.Context, path string, advertise bool) {
 	if prev, ok := p.byPath[path]; ok {
 		delete(p.inflight, prev)
+		delete(p.byPath, path)
 	}
+	p.doFetch(ctx, path, advertise)
+}
+
+func (p *Proxy) doFetch(ctx *simnet.Context, path string, advertise bool) {
 	p.nextReq++
-	p.inflight[p.nextReq] = path
+	st := fetchState{path: path}
+	if advertise && p.DeltaEncoding {
+		if e, ok := p.cache[path]; ok && e.Exists {
+			st.base, st.haveBase = e, true
+		} else if e, ok := p.disk.Load(path); ok && e.Exists {
+			st.base, st.haveBase = e, true
+		}
+	}
+	p.inflight[p.nextReq] = st
 	p.byPath[path] = p.nextReq
 	p.Fetches++
+	p.Obs.Add("proxy.fetch.sent", 1)
 	obs := p.observer()
 	if obs == "" {
 		return
 	}
-	ctx.Send(obs, zeus.MsgFetch{ReqID: p.nextReq, Path: path, Watch: true})
+	m := zeus.MsgFetch{ReqID: p.nextReq, Path: path, Watch: true}
+	if st.haveBase {
+		m.Have = true
+		m.HaveHash = vcs.HashBytes(st.base.Data)
+	}
+	ctx.Send(obs, m)
 	ctx.SetTimer(fetchTimeout, msgFetchTimeout{ReqID: p.nextReq})
 }
 
@@ -302,27 +361,19 @@ func (p *Proxy) sendFetch(ctx *simnet.Context, path string) {
 func (p *Proxy) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
 	switch m := msg.(type) {
 	case zeus.MsgFetchReply:
-		path, ok := p.inflight[m.ReqID]
-		if !ok {
-			return
-		}
-		delete(p.inflight, m.ReqID)
-		delete(p.byPath, path)
-		p.apply(ctx, Entry{Path: m.Path, Exists: m.Exists, Data: m.Data,
-			Version: m.Version, Zxid: m.Zxid, Fetched: ctx.Now()}, from)
+		p.onFetchReply(ctx, from, m)
 	case zeus.MsgWatchEvent:
 		if from != p.observer() {
 			return // stale watch from a previous observer
 		}
 		p.WatchEvents++
-		p.apply(ctx, Entry{Path: m.Path, Exists: m.Exists, Data: m.Data,
-			Version: m.Version, Zxid: m.Zxid, Fetched: ctx.Now()}, from)
+		p.onWatchEvent(ctx, from, m)
 	case msgFetchTimeout:
-		if path, ok := p.inflight[m.ReqID]; ok {
+		if st, ok := p.inflight[m.ReqID]; ok {
 			delete(p.inflight, m.ReqID)
-			delete(p.byPath, path)
+			delete(p.byPath, st.path)
 			p.failover(ctx)
-			p.sendFetch(ctx, path)
+			p.sendFetch(ctx, st.path)
 		}
 	case msgTickPing:
 		ctx.SetTimer(pingInterval, msgTickPing{})
@@ -338,6 +389,67 @@ func (p *Proxy) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg simne
 			p.pingOutstanding = 0
 		}
 	}
+}
+
+func (p *Proxy) onFetchReply(ctx *simnet.Context, from simnet.NodeID, m zeus.MsgFetchReply) {
+	st, ok := p.inflight[m.ReqID]
+	if !ok {
+		return
+	}
+	delete(p.inflight, m.ReqID)
+	delete(p.byPath, st.path)
+	if !m.Exists {
+		p.apply(ctx, Entry{Path: m.Path, Fetched: ctx.Now()}, from)
+		return
+	}
+	if m.NotModified {
+		if !st.haveBase {
+			// The observer claims our copy is current but we advertised
+			// nothing — protocol confusion; demand the full snapshot.
+			p.Obs.Add("proxy.delta.fallback", 1)
+			p.forceFetch(ctx, m.Path, false)
+			return
+		}
+		e := st.base
+		e.Exists = true
+		e.Version, e.Zxid, e.Fetched = m.Version, m.Zxid, ctx.Now()
+		p.apply(ctx, e, from)
+		return
+	}
+	data, err := m.Payload.Resolve(st.base.Data)
+	if err != nil {
+		// Hash miss (e.g. our disk-cache base predates what the observer
+		// delta'd against): fall back to a full snapshot.
+		p.Obs.Add("proxy.delta.fallback", 1)
+		p.forceFetch(ctx, m.Path, false)
+		return
+	}
+	p.apply(ctx, Entry{Path: m.Path, Exists: true, Data: data,
+		Version: m.Version, Zxid: m.Zxid, Fetched: ctx.Now()}, from)
+}
+
+func (p *Proxy) onWatchEvent(ctx *simnet.Context, from simnet.NodeID, m zeus.MsgWatchEvent) {
+	if old, ok := p.cache[m.Path]; ok && m.Zxid <= old.Zxid {
+		return // already current (or newer) — nothing to resolve
+	}
+	if m.Delete {
+		p.apply(ctx, Entry{Path: m.Path, Fetched: ctx.Now()}, from)
+		return
+	}
+	var base []byte
+	if e, ok := p.cache[m.Path]; ok && e.Exists {
+		base = e.Data
+	}
+	data, err := m.Payload.Resolve(base)
+	if err != nil {
+		// The delta was made against a version we never saw (missed event,
+		// restart): recover via full-snapshot fetch.
+		p.Obs.Add("proxy.delta.fallback", 1)
+		p.forceFetch(ctx, m.Path, false)
+		return
+	}
+	p.apply(ctx, Entry{Path: m.Path, Exists: true, Data: data,
+		Version: m.Version, Zxid: m.Zxid, Fetched: ctx.Now()}, from)
 }
 
 // apply integrates a new entry if it is not older than what we have. via

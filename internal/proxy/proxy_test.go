@@ -5,7 +5,9 @@ import (
 	"testing"
 	"time"
 
+	"configerator/internal/obs"
 	"configerator/internal/simnet"
+	"configerator/internal/vcs"
 	"configerator/internal/zeus"
 )
 
@@ -181,5 +183,125 @@ func TestDiskCache(t *testing.T) {
 	}
 	if d.Len() != 1 {
 		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+// TestDiskCacheCopies is the aliasing regression test: neither a caller
+// mutating the slice it Stored nor a subscriber mutating the slice Load
+// returned may corrupt the cached entry.
+func TestDiskCacheCopies(t *testing.T) {
+	d := NewDiskCache()
+	data := []byte("original")
+	d.Store(Entry{Path: "/a", Exists: true, Data: data, Version: 1})
+	copy(data, "CLOBBER!") // caller reuses its buffer after Store
+
+	e, _ := d.Load("/a")
+	if string(e.Data) != "original" {
+		t.Fatalf("Store aliased caller buffer: cache = %q", e.Data)
+	}
+	copy(e.Data, "SCRIBBLE") // subscriber scribbles on what Load returned
+
+	e2, _ := d.Load("/a")
+	if string(e2.Data) != "original" {
+		t.Fatalf("Load aliased cache buffer: cache = %q", e2.Data)
+	}
+}
+
+// TestFetchSingleFlight asserts the single-flight guard: two Wants for the
+// same path before the reply arrives send exactly one MsgFetch.
+func TestFetchSingleFlight(t *testing.T) {
+	r := newRig(t, 8)
+	reg := obs.New()
+	r.proxy.Obs = reg
+	r.write(t, "/configs/app", `v1`)
+
+	// Back-to-back, with no network progress in between: the second Want
+	// must coalesce onto the outstanding fetch.
+	r.proxy.Want("/configs/app")
+	r.proxy.Want("/configs/app")
+	if sent := reg.Counters().Get("proxy.fetch.sent"); sent != 1 {
+		t.Errorf("proxy.fetch.sent = %d, want 1", sent)
+	}
+	if sf := reg.Counters().Get("proxy.fetch.singleflight"); sf != 1 {
+		t.Errorf("proxy.fetch.singleflight = %d, want 1", sf)
+	}
+	if r.proxy.Fetches != 1 {
+		t.Errorf("Fetches = %d, want 1", r.proxy.Fetches)
+	}
+	r.net.RunFor(2 * time.Second)
+	e, ok := r.proxy.Get("/configs/app")
+	if !ok || string(e.Data) != "v1" {
+		t.Fatalf("after coalesced fetch, Get = %+v, %v", e, ok)
+	}
+}
+
+// TestProxyRestartMidDeltaFallback restarts a proxy after the config moved
+// two versions: the restarted proxy advertises its stale disk-cache hash,
+// which matches neither the observer's current content nor its previous
+// version, so the observer must serve a full snapshot and the proxy must
+// recover the latest value from it.
+func TestProxyRestartMidDeltaFallback(t *testing.T) {
+	r := newRig(t, 9)
+	reg := obs.New()
+	r.ens.SetObs(reg)
+	r.proxy.Obs = reg
+	r.proxy.Subscribe("/configs/app", func(Entry) {})
+	r.write(t, "/configs/app", `v1`)
+	r.net.RunFor(2 * time.Second)
+
+	r.proxy.Crash()
+	// Two versions land while the proxy is down, so the observer's
+	// previous-version delta base (v2) doesn't match the proxy's disk
+	// cache (v1) either.
+	r.write(t, "/configs/app", `v2`)
+	r.write(t, "/configs/app", `v3`)
+	fullBefore := reg.Counters().Get("zeus.fetch.full")
+	r.proxy.Restart()
+	r.net.RunFor(5 * time.Second)
+
+	e, ok := r.proxy.Get("/configs/app")
+	if !ok || string(e.Data) != "v3" {
+		t.Fatalf("after restart, cache = %+v, %v", e, ok)
+	}
+	if full := reg.Counters().Get("zeus.fetch.full"); full <= fullBefore {
+		t.Errorf("zeus.fetch.full = %d (was %d), want a full-snapshot reply", full, fullBefore)
+	}
+}
+
+// TestWatchDeltaMissFallsBackToFetch injects a watch event whose delta was
+// made against a version this proxy never saw; the proxy must not apply
+// it, must count a fallback, and must recover via a full fetch.
+func TestWatchDeltaMissFallsBackToFetch(t *testing.T) {
+	r := newRig(t, 10)
+	reg := obs.New()
+	r.proxy.Obs = reg
+	r.write(t, "/configs/app", `v1`)
+	r.proxy.Want("/configs/app")
+	r.net.RunFor(2 * time.Second)
+
+	e, _ := r.proxy.Get("/configs/app")
+	phantom := []byte("a version this proxy never saw")
+	forged := zeus.MsgWatchEvent{Update: zeus.Update{
+		Path: "/configs/app", Version: e.Version + 1, Zxid: e.Zxid + 100,
+		Payload: zeus.Payload{
+			IsDelta:  true,
+			Delta:    []byte("garbage"),
+			BaseHash: vcs.HashBytes(phantom),
+			NewHash:  vcs.HashBytes(phantom),
+		},
+	}}
+	from := r.proxy.observer() // watch events from elsewhere are dropped
+	r.net.After(0, func() {
+		ctx := simnet.MakeContext(r.net, from)
+		ctx.Send("proxy-1", forged)
+	})
+	r.net.RunFor(5 * time.Second)
+
+	if fb := reg.Counters().Get("proxy.delta.fallback"); fb != 1 {
+		t.Errorf("proxy.delta.fallback = %d, want 1", fb)
+	}
+	got, ok := r.proxy.Get("/configs/app")
+	if !ok || string(got.Data) != "v1" {
+		t.Fatalf("after bad delta, cache = %+v, %v", got, ok)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"time"
 
+	"configerator/internal/obs"
 	"configerator/internal/stats"
 	"configerator/internal/vclock"
 )
@@ -55,6 +56,11 @@ type LatencyModel struct {
 	SameRegion  time.Duration // cluster-to-cluster within a region
 	CrossRegion time.Duration // intercontinental hop
 	Jitter      float64       // fractional uniform jitter, e.g. 0.2
+	// SerializePerKB is the CPU cost of encoding + decoding one KB of
+	// payload (added to a sized message's delivery latency, on top of link
+	// occupancy). It is what makes shipping a full config cost measurably
+	// more time than shipping a small delta.
+	SerializePerKB time.Duration
 }
 
 // DefaultLatency approximates the data-center environment described in the
@@ -62,10 +68,11 @@ type LatencyModel struct {
 // region, and ~75 ms between continents.
 func DefaultLatency() LatencyModel {
 	return LatencyModel{
-		SameCluster: 500 * time.Microsecond,
-		SameRegion:  2 * time.Millisecond,
-		CrossRegion: 75 * time.Millisecond,
-		Jitter:      0.2,
+		SameCluster:    500 * time.Microsecond,
+		SameRegion:     2 * time.Millisecond,
+		CrossRegion:    75 * time.Millisecond,
+		Jitter:         0.2,
+		SerializePerKB: time.Microsecond,
 	}
 }
 
@@ -98,6 +105,10 @@ type node struct {
 	downBps    float64
 	upFreeAt   time.Time
 	downFreeAt time.Time
+
+	// Per-node wire accounting (payload bytes).
+	bytesOut uint64
+	bytesIn  uint64
 }
 
 type eventKind int
@@ -164,6 +175,13 @@ type Network struct {
 	// same endpoints. Protocols like Zeus's commit stream rely on this.
 	lastArrival map[pair]time.Time
 
+	// linkBytes accumulates payload bytes per directed link (from, to).
+	linkBytes map[pair]uint64
+
+	// obs, when set, receives per-message byte counters and a payload-size
+	// histogram (see SetObs).
+	obs *obs.Registry
+
 	// Stats observed by tests and benches.
 	Delivered uint64
 	Dropped   uint64
@@ -184,8 +202,25 @@ func New(latency LatencyModel, seed uint64) *Network {
 		partitioned: make(map[pair]bool),
 		lossRate:    make(map[pair]float64),
 		lastArrival: make(map[pair]time.Time),
+		linkBytes:   make(map[pair]uint64),
 	}
 }
+
+// SetObs attaches an observability registry: every sized send then feeds
+// the "net.bytes" counter, a per-distance-class counter
+// ("net.bytes.same_cluster" / "net.bytes.same_region" /
+// "net.bytes.cross_region"), and the "net.msg.bytes" payload-size
+// histogram (recorded on the 1 byte = 1 ns convention).
+func (n *Network) SetObs(r *obs.Registry) { n.obs = r }
+
+// LinkBytes reports payload bytes sent on the directed link from→to.
+func (n *Network) LinkBytes(from, to NodeID) uint64 { return n.linkBytes[pair{from, to}] }
+
+// NodeBytesOut reports total payload bytes the node has sent.
+func (n *Network) NodeBytesOut(id NodeID) uint64 { return n.mustNode(id).bytesOut }
+
+// NodeBytesIn reports total payload bytes the node has received.
+func (n *Network) NodeBytesIn(id NodeID) uint64 { return n.mustNode(id).bytesIn }
 
 // Clock exposes the shared virtual clock.
 func (n *Network) Clock() *vclock.Virtual { return n.clock }
@@ -311,7 +346,29 @@ func (n *Network) SendSized(from, to NodeID, msg Message, size int) {
 		}
 		arrive = arrive.Add(recv)
 		dst.downFreeAt = arrive
+		// Encode + decode CPU cost: pure latency proportional to payload
+		// size (it delays this message but does not occupy the links).
+		if n.latency.SerializePerKB > 0 {
+			arrive = arrive.Add(time.Duration(float64(n.latency.SerializePerKB) * float64(size) / 1024))
+		}
 		n.BytesSent += uint64(size)
+		n.linkBytes[pair{from, to}] += uint64(size)
+		src.bytesOut += uint64(size)
+		dst.bytesIn += uint64(size)
+		if n.obs != nil {
+			n.obs.Add("net.bytes", int64(size))
+			n.obs.Add("net.msgs.sized", 1)
+			switch {
+			case src.placement.Region == dst.placement.Region && src.placement.Cluster == dst.placement.Cluster:
+				n.obs.Add("net.bytes.same_cluster", int64(size))
+			case src.placement.Region == dst.placement.Region:
+				n.obs.Add("net.bytes.same_region", int64(size))
+			default:
+				n.obs.Add("net.bytes.cross_region", int64(size))
+			}
+			// Payload-size histogram on the 1 byte = 1 ns convention.
+			n.obs.Observe("net.msg.bytes", time.Duration(size))
+		}
 	}
 	link := pair{from, to}
 	if last := n.lastArrival[link]; arrive.Before(last) {

@@ -1,6 +1,9 @@
 package zeus
 
-import "configerator/internal/simnet"
+import (
+	"configerator/internal/simnet"
+	"configerator/internal/vcs"
+)
 
 // ---- Ensemble protocol messages ----
 
@@ -49,22 +52,34 @@ type msgSyncReply struct {
 	Ops   []WriteOp
 }
 
-// msgPropose carries a proposed (uncommitted) write to followers.
-type msgPropose struct {
+// msgProposeBatch carries one proposal wave — a group-committed batch of
+// writes — to followers. One wave costs one durable log write and one ack
+// round at each follower, however many writes it coalesces.
+type msgProposeBatch struct {
 	Epoch int64
-	Op    WriteOp
+	Ops   []WriteOp
 }
 
-// msgAck acknowledges a proposal.
-type msgAck struct {
+// msgAckBatch acknowledges every proposal in a wave at once.
+type msgAckBatch struct {
 	Epoch int64
-	Zxid  int64
+	Zxids []int64
 }
 
-// msgCommit tells followers to apply a proposal.
-type msgCommit struct {
+// msgCommitBatch tells followers to apply a run of committed proposals, in
+// zxid order.
+type msgCommitBatch struct {
 	Epoch int64
-	Zxid  int64
+	Zxids []int64
+}
+
+// msgLogDone is the self-timer that fires when a proposal wave's durable
+// log write completes; only then may the server acknowledge the wave
+// (leader: count its own ack; follower: send msgAckBatch).
+type msgLogDone struct {
+	Epoch  int64
+	Leader simnet.NodeID
+	Zxids  []int64
 }
 
 // ---- Client protocol ----
@@ -88,23 +103,118 @@ type MsgWriteReply struct {
 	Redirect simnet.NodeID
 }
 
+// ---- Delta-encoded distribution payloads ----
+
+// payloadHeaderBytes is the on-wire framing charged for every payload: two
+// content hashes, a length, and flags.
+const payloadHeaderBytes = 24
+
+// updateHeaderBytes is the per-update framing beyond the payload: version,
+// zxid, and the path-length prefix (the path itself is charged separately).
+const updateHeaderBytes = 16
+
+// Payload carries a record's content either as a full snapshot or as a
+// delta against a base version the receiver is believed to hold. The
+// receiver verifies both hashes; any mismatch is a hash miss and the
+// receiver falls back to a full-snapshot fetch or resync.
+type Payload struct {
+	Full     []byte // the complete content (when IsDelta is false)
+	Delta    []byte // vcs.MakeDelta output (when IsDelta is true)
+	BaseHash uint64 // content hash of the base the delta applies to
+	NewHash  uint64 // content hash of the resulting content
+	IsDelta  bool
+}
+
+// WireSize is the bytes this payload occupies on the wire.
+func (p Payload) WireSize() int {
+	if p.IsDelta {
+		return len(p.Delta) + payloadHeaderBytes
+	}
+	return len(p.Full) + payloadHeaderBytes
+}
+
+// Resolve materializes the payload's content given the receiver's current
+// bytes for the path. It returns ErrBadDelta (wrapped by vcs) on any hash
+// miss, which callers must treat as "request a full snapshot".
+func (p Payload) Resolve(old []byte) ([]byte, error) {
+	if !p.IsDelta {
+		return p.Full, nil
+	}
+	if vcs.HashBytes(old) != p.BaseHash {
+		return nil, vcs.ErrBadDelta
+	}
+	out, err := vcs.ApplyDelta(old, p.Delta)
+	if err != nil {
+		return nil, err
+	}
+	if vcs.HashBytes(out) != p.NewHash {
+		return nil, vcs.ErrBadDelta
+	}
+	return out, nil
+}
+
+// MakePayload builds the cheapest payload that turns old into new: a delta
+// when one beats shipping the full content (and delta encoding is on), else
+// a full snapshot.
+func MakePayload(old, new []byte, delta bool) Payload {
+	if delta {
+		if d := vcs.MakeDelta(old, new); d != nil {
+			return Payload{Delta: d, BaseHash: vcs.HashBytes(old),
+				NewHash: vcs.HashBytes(new), IsDelta: true}
+		}
+	}
+	return Payload{Full: new, NewHash: vcs.HashBytes(new)}
+}
+
+// Update is one record change shipped down the distribution tree
+// (leader→observer pushes and observer→proxy watch events).
+type Update struct {
+	Path    string
+	Version int64
+	Zxid    int64
+	Delete  bool
+	Payload Payload
+}
+
+// WireSize is the bytes this update occupies on the wire.
+func (u Update) WireSize() int {
+	size := len(u.Path) + updateHeaderBytes
+	if !u.Delete {
+		size += u.Payload.WireSize()
+	}
+	return size
+}
+
+// updatesWireSize sums a batch's wire size.
+func updatesWireSize(updates []Update) int {
+	size := 0
+	for _, u := range updates {
+		size += u.WireSize()
+	}
+	return size
+}
+
 // ---- Observer protocol ----
 
 // msgObserverRegister subscribes an observer to the leader's commit stream.
+// It doubles as the hash-miss fallback: an observer that cannot apply a
+// delta re-registers with its last zxid and the leader replies with full
+// snapshots of everything after it.
 type msgObserverRegister struct {
 	LastZxid int64
 }
 
-// msgObserverSync carries catch-up ops to an observer.
+// msgObserverSync carries catch-up ops (full snapshots) to an observer.
 type msgObserverSync struct {
 	Epoch int64
 	Ops   []WriteOp
 }
 
-// msgObserverPush streams one committed write to an observer.
-type msgObserverPush struct {
-	Epoch int64
-	Op    WriteOp
+// msgObserverBatch streams one commit run — delta-encoded where possible —
+// to an observer.
+type msgObserverBatch struct {
+	Epoch   int64
+	Updates []Update
 }
 
 // msgTickObserver fires the observer's periodic re-register timer.
@@ -113,31 +223,44 @@ type msgTickObserver struct{}
 // ---- Proxy-facing protocol (served by observers) ----
 
 // MsgFetch asks an observer for a path's current record, optionally
-// leaving a watch.
+// leaving a watch. Have/HaveHash advertise the content the proxy already
+// holds (from memory or its disk cache) so the observer can answer with
+// "not modified" or a delta instead of the full config.
 type MsgFetch struct {
-	ReqID int64
-	Path  string
-	Watch bool
+	ReqID    int64
+	Path     string
+	Watch    bool
+	Have     bool
+	HaveHash uint64
 }
 
-// MsgFetchReply answers a fetch.
+// MsgFetchReply answers a fetch. Exactly one of three shapes: NotModified
+// (the proxy's copy is current; no payload), a delta payload against the
+// advertised hash, or a full snapshot.
 type MsgFetchReply struct {
-	ReqID   int64
-	Path    string
-	Exists  bool
-	Data    []byte
-	Version int64
-	Zxid    int64
+	ReqID       int64
+	Path        string
+	Exists      bool
+	Version     int64
+	Zxid        int64
+	NotModified bool
+	Payload     Payload
 }
 
-// MsgWatchEvent notifies a watching proxy that a path changed. The new data
-// rides along (push model: no extra round trip).
+// WireSize is the bytes this reply occupies on the wire.
+func (m MsgFetchReply) WireSize() int {
+	size := len(m.Path) + updateHeaderBytes
+	if m.Exists && !m.NotModified {
+		size += m.Payload.WireSize()
+	}
+	return size
+}
+
+// MsgWatchEvent notifies a watching proxy that a path changed. The new
+// content rides along (push model: no extra round trip), delta-encoded
+// against the previously notified version when possible.
 type MsgWatchEvent struct {
-	Path    string
-	Exists  bool
-	Data    []byte
-	Version int64
-	Zxid    int64
+	Update
 }
 
 // MsgUnwatch removes a proxy's watch on a path.

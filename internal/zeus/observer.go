@@ -3,6 +3,7 @@ package zeus
 import (
 	"configerator/internal/obs"
 	"configerator/internal/simnet"
+	"configerator/internal/vcs"
 )
 
 // Observer keeps a fully replicated read-only copy of the leader's data
@@ -16,6 +17,12 @@ type Observer struct {
 	tree    *DataTree
 	// watches maps path -> the set of proxies to notify on change.
 	watches map[string]map[simnet.NodeID]bool
+	// prev holds each path's content as of the version before the current
+	// one: the base a proxy that is exactly one version behind advertises,
+	// and therefore the base worth delta-encoding fetch replies against.
+	prev map[string][]byte
+
+	deltaEncoding bool
 
 	// Notified counts watch events pushed (observability for benches).
 	Notified uint64
@@ -29,10 +36,12 @@ type Observer struct {
 // member list.
 func NewObserver(id simnet.NodeID, members []simnet.NodeID) *Observer {
 	return &Observer{
-		id:      id,
-		members: members,
-		tree:    NewDataTree(),
-		watches: make(map[string]map[simnet.NodeID]bool),
+		id:            id,
+		members:       members,
+		tree:          NewDataTree(),
+		watches:       make(map[string]map[simnet.NodeID]bool),
+		prev:          make(map[string][]byte),
+		deltaEncoding: true,
 	}
 }
 
@@ -41,6 +50,9 @@ func (o *Observer) Tree() *DataTree { return o.tree }
 
 // WatchCount reports how many proxies watch the given path.
 func (o *Observer) WatchCount(path string) int { return len(o.watches[path]) }
+
+// SetDeltaEncoding toggles delta-encoded watch events and fetch replies.
+func (o *Observer) SetDeltaEncoding(on bool) { o.deltaEncoding = on }
 
 // OnRestart implements simnet.Restarter: a recovered observer immediately
 // re-registers (requesting catch-up from its last zxid) and re-arms its
@@ -53,6 +65,8 @@ func (o *Observer) OnRestart(ctx *simnet.Context) {
 // register broadcasts a registration to all ensemble members; only the
 // current leader responds and adds us to its push set. Broadcasting keeps
 // the observer attached across leader failover without tracking epochs.
+// It doubles as the delta hash-miss fallback: re-registering with our last
+// zxid makes the leader re-ship everything after it as full snapshots.
 func (o *Observer) register(ctx *simnet.Context) {
 	for _, m := range o.members {
 		ctx.Send(m, msgObserverRegister{LastZxid: o.tree.LastZxid()})
@@ -66,11 +80,18 @@ func (o *Observer) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg si
 		o.register(ctx)
 		ctx.SetTimer(observerRegisterGap, msgTickObserver{})
 	case msgObserverSync:
-		for _, op := range m.Ops {
-			o.apply(ctx, op)
+		// Catch-up ops arrive as full snapshots; run them through the same
+		// coalescing apply path as live pushes.
+		updates := make([]Update, len(m.Ops))
+		for i, op := range m.Ops {
+			updates[i] = Update{Path: op.Path, Version: op.Version, Zxid: op.Zxid, Delete: op.Delete}
+			if !op.Delete {
+				updates[i].Payload = Payload{Full: op.Data, NewHash: vcs.HashBytes(op.Data)}
+			}
 		}
-	case msgObserverPush:
-		o.apply(ctx, m.Op)
+		o.applyBatch(ctx, updates)
+	case msgObserverBatch:
+		o.applyBatch(ctx, m.Updates)
 	case MsgFetch:
 		o.onFetch(ctx, from, m)
 	case MsgUnwatch:
@@ -82,26 +103,73 @@ func (o *Observer) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg si
 	}
 }
 
-func (o *Observer) apply(ctx *simnet.Context, op WriteOp) {
-	if !o.tree.Apply(op) {
-		return // duplicate or stale
+// applyBatch applies one commit run in zxid order and then notifies
+// watchers once per touched path — rapid successive writes to one path
+// coalesce into a single watch event carrying the final version. A delta
+// that fails to apply (hash miss: this observer's base diverged, e.g. it
+// restarted mid-stream) aborts the batch and falls back to a full-snapshot
+// resync via re-registration.
+func (o *Observer) applyBatch(ctx *simnet.Context, updates []Update) {
+	// base holds each touched path's content before this batch — the
+	// version watchers last saw, hence the delta base for their event.
+	base := make(map[string][]byte)
+	final := make(map[string]Update)
+	var order []string
+	for _, u := range updates {
+		if u.Zxid <= o.tree.LastZxid() {
+			continue // duplicate or stale (e.g. overlapping sync)
+		}
+		var oldData []byte
+		if old := o.tree.Get(u.Path); old != nil {
+			oldData = old.Data
+		}
+		var newData []byte
+		if !u.Delete {
+			var err error
+			newData, err = u.Payload.Resolve(oldData)
+			if err != nil {
+				o.Obs.Add("zeus.observer.delta_miss", 1)
+				o.register(ctx)
+				break // resync re-ships this zxid onward as full snapshots
+			}
+		}
+		if !o.tree.Apply(WriteOp{Zxid: u.Zxid, Path: u.Path, Data: newData, Version: u.Version, Delete: u.Delete}) {
+			continue
+		}
+		o.prev[u.Path] = oldData
+		o.Obs.PathEvent(u.Path, obs.PropEvent{
+			Stage: obs.EvObserverApply, Node: string(o.id), Zxid: u.Zxid, At: ctx.Now(),
+		})
+		if _, seen := final[u.Path]; !seen {
+			base[u.Path] = oldData
+			order = append(order, u.Path)
+		} else {
+			o.Obs.Add("zeus.observer.coalesced", 1)
+		}
+		final[u.Path] = u
 	}
-	o.Obs.PathEvent(op.Path, obs.PropEvent{
-		Stage: obs.EvObserverApply, Node: string(o.id), Zxid: op.Zxid, At: ctx.Now(),
-	})
-	rec := o.tree.Get(op.Path)
-	ev := MsgWatchEvent{Path: op.Path, Zxid: op.Zxid}
-	if rec != nil {
-		ev.Exists = true
-		ev.Data = rec.Data
-		ev.Version = rec.Version
-	}
-	for proxy := range o.watches[op.Path] {
-		ctx.SendSized(proxy, ev, len(ev.Data))
-		o.Notified++
+	for _, path := range order {
+		watchers := o.watches[path]
+		if len(watchers) == 0 {
+			continue
+		}
+		u := final[path]
+		ev := MsgWatchEvent{Update: Update{Path: path, Version: u.Version, Zxid: u.Zxid, Delete: u.Delete}}
+		if !u.Delete {
+			rec := o.tree.Get(path)
+			ev.Payload = MakePayload(base[path], rec.Data, o.deltaEncoding && base[path] != nil)
+		}
+		size := ev.Update.WireSize()
+		for proxy := range watchers {
+			ctx.SendSized(proxy, ev, size)
+			o.Notified++
+		}
 	}
 }
 
+// onFetch answers a proxy's pull. The proxy advertises the hash of the
+// content it already holds, so the reply is the cheapest of: "not
+// modified", a delta against the previous version, or a full snapshot.
 func (o *Observer) onFetch(ctx *simnet.Context, from simnet.NodeID, m MsgFetch) {
 	if m.Watch {
 		set, ok := o.watches[m.Path]
@@ -114,9 +182,23 @@ func (o *Observer) onFetch(ctx *simnet.Context, from simnet.NodeID, m MsgFetch) 
 	reply := MsgFetchReply{ReqID: m.ReqID, Path: m.Path}
 	if rec := o.tree.Get(m.Path); rec != nil {
 		reply.Exists = true
-		reply.Data = rec.Data
 		reply.Version = rec.Version
 		reply.Zxid = rec.Zxid
+		switch {
+		case m.Have && m.HaveHash == vcs.HashBytes(rec.Data):
+			reply.NotModified = true
+			o.Obs.Add("zeus.fetch.not_modified", 1)
+		case m.Have && o.deltaEncoding && o.prev[m.Path] != nil && m.HaveHash == vcs.HashBytes(o.prev[m.Path]):
+			reply.Payload = MakePayload(o.prev[m.Path], rec.Data, true)
+			if reply.Payload.IsDelta {
+				o.Obs.Add("zeus.fetch.delta", 1)
+			} else {
+				o.Obs.Add("zeus.fetch.full", 1)
+			}
+		default:
+			reply.Payload = MakePayload(nil, rec.Data, false)
+			o.Obs.Add("zeus.fetch.full", 1)
+		}
 	}
-	ctx.SendSized(from, reply, len(reply.Data))
+	ctx.SendSized(from, reply, reply.WireSize())
 }

@@ -29,6 +29,20 @@ const (
 	observerRegisterGap = 2 * time.Second
 )
 
+// Group-commit tuning. Every proposal wave costs one durable log write
+// (logSyncDelay) at the leader and at each follower before it may be
+// acknowledged — the disk force that makes a commit survive a crash. Group
+// commit amortizes that cost: writes arriving while a wave is in flight
+// coalesce into the next wave, so one log write and one ack round commit N
+// writes. A solitary write proposes immediately (no added latency); up to
+// maxInflightWaves waves pipeline so the next batch proposes while the
+// previous one commits.
+const (
+	logSyncDelay     = 10 * time.Millisecond
+	maxInflightWaves = 2
+	maxWaveOps       = 128
+)
+
 // zxidEpochShift packs the epoch into the high bits of the zxid so that a
 // new leader's transactions always order after every prior epoch's.
 const zxidEpochShift = 32
@@ -59,6 +73,17 @@ type Server struct {
 	observers   map[simnet.NodeID]bool
 	pendingZxid []int64 // sorted pending zxids for in-order commit
 
+	// Group-commit state (leader).
+	batchBuf      []*proposal // writes waiting for the next proposal wave
+	waveEnds      []int64     // highest zxid of each in-flight wave, in order
+	inflightWaves int
+	groupCommit   bool // coalesce writes into multi-op waves (default on)
+	deltaEncoding bool // delta-encode observer pushes (default on)
+
+	// logBusyUntil models the single durable log device: wave log writes
+	// serialize behind each other at logSyncDelay apiece.
+	logBusyUntil time.Time
+
 	// Follower state.
 	lastLeaderContact time.Time
 	uncommitted       map[int64]WriteOp
@@ -83,14 +108,16 @@ type Server struct {
 // then call Start via the ensemble helper.
 func NewServer(id simnet.NodeID, index int, members []simnet.NodeID) *Server {
 	return &Server{
-		id:          id,
-		index:       index,
-		members:     members,
-		tree:        NewDataTree(),
-		pending:     make(map[int64]*proposal),
-		versionSeq:  make(map[string]int64),
-		observers:   make(map[simnet.NodeID]bool),
-		uncommitted: make(map[int64]WriteOp),
+		id:            id,
+		index:         index,
+		members:       members,
+		tree:          NewDataTree(),
+		pending:       make(map[int64]*proposal),
+		versionSeq:    make(map[string]int64),
+		observers:     make(map[simnet.NodeID]bool),
+		uncommitted:   make(map[int64]WriteOp),
+		groupCommit:   true,
+		deltaEncoding: true,
 	}
 }
 
@@ -105,6 +132,15 @@ func (s *Server) Epoch() int64 { return s.epoch }
 
 // LeaderID reports who this server believes leads ("" if unknown).
 func (s *Server) LeaderID() simnet.NodeID { return s.leaderID }
+
+// SetGroupCommit toggles write coalescing. Off, every write proposes its
+// own single-op wave immediately — the one-proposal-per-write baseline the
+// distribution benchmark compares against.
+func (s *Server) SetGroupCommit(on bool) { s.groupCommit = on }
+
+// SetDeltaEncoding toggles delta-encoded observer pushes (full snapshots
+// when off — the bytes-on-wire baseline).
+func (s *Server) SetDeltaEncoding(on bool) { s.deltaEncoding = on }
 
 func (s *Server) quorum() int { return len(s.members)/2 + 1 }
 
@@ -149,12 +185,14 @@ func (s *Server) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg simn
 		s.onSyncReply(ctx, from, m)
 	case MsgWrite:
 		s.onWrite(ctx, from, m)
-	case msgPropose:
-		s.onPropose(ctx, from, m)
-	case msgAck:
-		s.onAck(ctx, from, m)
-	case msgCommit:
-		s.onCommit(ctx, from, m)
+	case msgProposeBatch:
+		s.onProposeBatch(ctx, from, m)
+	case msgLogDone:
+		s.onLogDone(ctx, m)
+	case msgAckBatch:
+		s.onAckBatch(ctx, from, m)
+	case msgCommitBatch:
+		s.onCommitBatch(ctx, from, m)
 	case msgObserverRegister:
 		s.onObserverRegister(ctx, from, m)
 	}
@@ -166,11 +204,22 @@ func (s *Server) OnRestart(ctx *simnet.Context) {
 	s.role = RoleFollower
 	s.lastLeaderContact = ctx.Now()
 	s.uncommitted = make(map[int64]WriteOp)
+	s.resetWaves()
 	s.needSync = true
 	if s.leaderID != "" && s.leaderID != s.id {
 		ctx.Send(s.leaderID, msgSyncRequest{LastZxid: s.tree.LastZxid()})
 	}
 	ctx.SetTimer(s.electionTimeout()/2, msgTickFollower{})
+}
+
+// resetWaves drops all leader-side batching state (deposed, restarted, or
+// newly elected). Buffered writes are lost — their clients time out and
+// retry, the standard at-least-once contract.
+func (s *Server) resetWaves() {
+	s.batchBuf = nil
+	s.waveEnds = nil
+	s.inflightWaves = 0
+	s.logBusyUntil = time.Time{}
 }
 
 // ---- Follower / election ----
@@ -262,6 +311,7 @@ func (s *Server) becomeLeader(ctx *simnet.Context, term int64) {
 	s.versionSeq = make(map[string]int64)
 	s.observers = make(map[simnet.NodeID]bool)
 	s.uncommitted = make(map[int64]WriteOp)
+	s.resetWaves()
 	s.othersDo(ctx, func(peer simnet.NodeID) {
 		ctx.Send(peer, msgNewLeader{Term: term, LastZxid: s.tree.LastZxid()})
 	})
@@ -277,6 +327,7 @@ func (s *Server) onNewLeader(ctx *simnet.Context, from simnet.NodeID, m msgNewLe
 	s.leaderID = from
 	s.lastLeaderContact = ctx.Now()
 	s.uncommitted = make(map[int64]WriteOp)
+	s.resetWaves()
 	ctx.Send(from, msgSyncRequest{LastZxid: s.tree.LastZxid()})
 }
 
@@ -341,30 +392,118 @@ func (s *Server) onWrite(ctx *simnet.Context, from simnet.NodeID, m MsgWrite) {
 	}
 	s.versionSeq[m.Path] = version
 	op := WriteOp{Zxid: zxid, Path: m.Path, Data: m.Data, Version: version, Delete: m.Delete}
-	p := &proposal{op: op, acks: map[simnet.NodeID]bool{s.id: true}, client: from, reqID: m.ReqID}
+	p := &proposal{op: op, acks: make(map[simnet.NodeID]bool), client: from, reqID: m.ReqID}
 	s.pending[zxid] = p
 	s.pendingZxid = append(s.pendingZxid, zxid)
-	s.othersDo(ctx, func(peer simnet.NodeID) {
-		ctx.SendSized(peer, msgPropose{Epoch: s.epoch, Op: op}, len(op.Data))
-	})
-	s.maybeCommit(ctx)
+	s.batchBuf = append(s.batchBuf, p)
+	s.maybePropose(ctx)
 }
 
-func (s *Server) onPropose(ctx *simnet.Context, from simnet.NodeID, m msgPropose) {
+// maybePropose drains the write buffer into proposal waves. With group
+// commit on, the buffer rides as one wave and at most maxInflightWaves
+// pipeline; off, every buffered write goes out as its own wave.
+func (s *Server) maybePropose(ctx *simnet.Context) {
+	if s.role != RoleLeader || len(s.batchBuf) == 0 {
+		return
+	}
+	if !s.groupCommit {
+		for _, p := range s.batchBuf {
+			s.proposeWave(ctx, []*proposal{p})
+		}
+		s.batchBuf = nil
+		return
+	}
+	for len(s.batchBuf) > 0 && s.inflightWaves < maxInflightWaves {
+		n := len(s.batchBuf)
+		if n > maxWaveOps {
+			n = maxWaveOps
+		}
+		wave := s.batchBuf[:n:n]
+		s.batchBuf = append([]*proposal(nil), s.batchBuf[n:]...)
+		s.proposeWave(ctx, wave)
+	}
+}
+
+// proposeWave sends one multi-op proposal to every follower and starts the
+// leader's own durable log write for it.
+func (s *Server) proposeWave(ctx *simnet.Context, wave []*proposal) {
+	ops := make([]WriteOp, len(wave))
+	zxids := make([]int64, len(wave))
+	size := 0
+	for i, p := range wave {
+		ops[i] = p.op
+		zxids[i] = p.op.Zxid
+		size += len(p.op.Path) + updateHeaderBytes + len(p.op.Data)
+	}
+	s.inflightWaves++
+	s.waveEnds = append(s.waveEnds, zxids[len(zxids)-1])
+	s.Obs.Add("zeus.propose.waves", 1)
+	s.Obs.Add("zeus.propose.ops", int64(len(ops)))
+	s.othersDo(ctx, func(peer simnet.NodeID) {
+		ctx.SendSized(peer, msgProposeBatch{Epoch: s.epoch, Ops: ops}, size)
+	})
+	s.scheduleLog(ctx, s.epoch, s.id, zxids)
+}
+
+// scheduleLog queues one durable log write for a wave on this server's log
+// device; waves serialize behind each other at logSyncDelay apiece, which
+// is exactly the cost group commit amortizes.
+func (s *Server) scheduleLog(ctx *simnet.Context, epoch int64, leader simnet.NodeID, zxids []int64) {
+	now := ctx.Now()
+	if s.logBusyUntil.Before(now) {
+		s.logBusyUntil = now
+	}
+	s.logBusyUntil = s.logBusyUntil.Add(logSyncDelay)
+	ctx.SetTimer(s.logBusyUntil.Sub(now), msgLogDone{Epoch: epoch, Leader: leader, Zxids: zxids})
+}
+
+// onLogDone fires when a wave's log write is durable: the leader counts its
+// own ack, a follower acknowledges the whole wave to the leader.
+func (s *Server) onLogDone(ctx *simnet.Context, m msgLogDone) {
+	if m.Epoch != s.epoch {
+		return // logged under a superseded leadership
+	}
+	if m.Leader == s.id {
+		if s.role != RoleLeader {
+			return
+		}
+		for _, zxid := range m.Zxids {
+			if p := s.pending[zxid]; p != nil {
+				p.acks[s.id] = true
+			}
+		}
+		s.maybeCommit(ctx)
+		return
+	}
+	if m.Leader != s.leaderID {
+		return
+	}
+	ctx.Send(m.Leader, msgAckBatch{Epoch: m.Epoch, Zxids: m.Zxids})
+}
+
+func (s *Server) onProposeBatch(ctx *simnet.Context, from simnet.NodeID, m msgProposeBatch) {
 	if m.Epoch < s.epoch || from != s.leaderID {
 		return
 	}
 	s.lastLeaderContact = ctx.Now()
-	s.uncommitted[m.Op.Zxid] = m.Op
-	ctx.Send(from, msgAck{Epoch: m.Epoch, Zxid: m.Op.Zxid})
+	zxids := make([]int64, len(m.Ops))
+	for i, op := range m.Ops {
+		s.uncommitted[op.Zxid] = op
+		zxids[i] = op.Zxid
+	}
+	// Ack only once the wave is durably logged (one log write per wave,
+	// not per op).
+	s.scheduleLog(ctx, m.Epoch, from, zxids)
 }
 
-func (s *Server) onAck(ctx *simnet.Context, from simnet.NodeID, m msgAck) {
+func (s *Server) onAckBatch(ctx *simnet.Context, from simnet.NodeID, m msgAckBatch) {
 	if s.role != RoleLeader || m.Epoch != s.epoch {
 		return
 	}
-	if p, ok := s.pending[m.Zxid]; ok {
-		p.acks[from] = true
+	for _, zxid := range m.Zxids {
+		if p, ok := s.pending[zxid]; ok {
+			p.acks[from] = true
+		}
 	}
 	s.maybeCommit(ctx)
 }
@@ -372,8 +511,12 @@ func (s *Server) onAck(ctx *simnet.Context, from simnet.NodeID, m msgAck) {
 // maybeCommit commits pending proposals in strict zxid order: a proposal
 // only commits when it has quorum AND every earlier proposal has committed.
 // This preserves the in-order delivery guarantee of the commit log (§3.4).
+// The whole committed run fans out as ONE commit message to followers and
+// ONE delta-encoded batch per observer.
 func (s *Server) maybeCommit(ctx *simnet.Context) {
 	sort.Slice(s.pendingZxid, func(i, j int) bool { return s.pendingZxid[i] < s.pendingZxid[j] })
+	var committed []int64
+	var updates []Update
 	for len(s.pendingZxid) > 0 {
 		zxid := s.pendingZxid[0]
 		p := s.pending[zxid]
@@ -382,40 +525,85 @@ func (s *Server) maybeCommit(ctx *simnet.Context) {
 			continue
 		}
 		if len(p.acks) < s.quorum() {
-			return
+			break
 		}
-		// Commit.
+		// Commit. Capture the outgoing record first: it is the delta base
+		// for this op's push down the tree.
+		var oldData []byte
+		if old := s.tree.Get(p.op.Path); old != nil {
+			oldData = old.Data
+		}
 		s.tree.Apply(p.op)
 		s.Obs.PathEvent(p.op.Path, obs.PropEvent{
 			Stage: obs.EvZeusCommit, Node: string(s.id), Zxid: zxid, At: ctx.Now(),
 		})
-		s.othersDo(ctx, func(peer simnet.NodeID) {
-			ctx.Send(peer, msgCommit{Epoch: s.epoch, Zxid: zxid})
-		})
-		for ob := range s.observers {
-			ctx.SendSized(ob, msgObserverPush{Epoch: s.epoch, Op: p.op}, len(p.op.Data))
-		}
+		updates = append(updates, s.makeUpdate(oldData, p.op))
 		if p.client != "" {
 			ctx.Send(p.client, MsgWriteReply{ReqID: p.reqID, OK: true, Zxid: zxid, Version: p.op.Version})
 		}
+		committed = append(committed, zxid)
 		delete(s.pending, zxid)
 		s.pendingZxid = s.pendingZxid[1:]
 	}
+	if len(committed) == 0 {
+		return
+	}
+	s.Obs.Add("zeus.commit.batches", 1)
+	s.Obs.Add("zeus.commit.ops", int64(len(committed)))
+	s.othersDo(ctx, func(peer simnet.NodeID) {
+		ctx.Send(peer, msgCommitBatch{Epoch: s.epoch, Zxids: committed})
+	})
+	size := updatesWireSize(updates)
+	s.Obs.Add("zeus.push.bytes", int64(size))
+	for ob := range s.observers {
+		ctx.SendSized(ob, msgObserverBatch{Epoch: s.epoch, Updates: updates}, size)
+	}
+	// Retire fully committed waves and let the next buffered wave propose.
+	last := committed[len(committed)-1]
+	for len(s.waveEnds) > 0 && s.waveEnds[0] <= last {
+		s.waveEnds = s.waveEnds[1:]
+		if s.inflightWaves > 0 {
+			s.inflightWaves--
+		}
+	}
+	s.maybePropose(ctx)
 }
 
-func (s *Server) onCommit(ctx *simnet.Context, from simnet.NodeID, m msgCommit) {
+// makeUpdate builds the distribution-tree update for a committed op:
+// delta-encoded against the record it replaces when that beats a full
+// snapshot.
+func (s *Server) makeUpdate(oldData []byte, op WriteOp) Update {
+	u := Update{Path: op.Path, Version: op.Version, Zxid: op.Zxid, Delete: op.Delete}
+	if op.Delete {
+		return u
+	}
+	u.Payload = MakePayload(oldData, op.Data, s.deltaEncoding && oldData != nil)
+	if u.Payload.IsDelta {
+		s.Obs.Add("zeus.push.delta", 1)
+	} else {
+		s.Obs.Add("zeus.push.full", 1)
+	}
+	return u
+}
+
+func (s *Server) onCommitBatch(ctx *simnet.Context, from simnet.NodeID, m msgCommitBatch) {
 	if from != s.leaderID {
 		return
 	}
 	s.lastLeaderContact = ctx.Now()
-	op, ok := s.uncommitted[m.Zxid]
-	if !ok {
-		// Missed the proposal (e.g. we were briefly down): resync.
-		ctx.Send(from, msgSyncRequest{LastZxid: s.tree.LastZxid()})
-		return
+	for _, zxid := range m.Zxids {
+		op, ok := s.uncommitted[zxid]
+		if !ok {
+			if s.tree.LastZxid() >= zxid {
+				continue // already applied (e.g. via sync)
+			}
+			// Missed the proposal (e.g. we were briefly down): resync.
+			ctx.Send(from, msgSyncRequest{LastZxid: s.tree.LastZxid()})
+			return
+		}
+		s.tree.Apply(op)
+		delete(s.uncommitted, zxid)
 	}
-	s.tree.Apply(op)
-	delete(s.uncommitted, m.Zxid)
 }
 
 // ---- Observers ----
@@ -431,7 +619,7 @@ func (s *Server) onObserverRegister(ctx *simnet.Context, from simnet.NodeID, m m
 	}
 	size := 0
 	for _, op := range ops {
-		size += len(op.Data)
+		size += len(op.Path) + updateHeaderBytes + len(op.Data)
 	}
 	ctx.SendSized(from, msgObserverSync{Epoch: s.epoch, Ops: ops}, size)
 }

@@ -259,16 +259,22 @@ func TestWatchNotification(t *testing.T) {
 		ctx.Send("obs-c1", MsgFetch{ReqID: 1, Path: "/configs/a", Watch: true})
 	})
 	net.RunFor(2 * time.Second)
-	if len(fetches) != 1 || !fetches[0].Exists || string(fetches[0].Data) != "v1" {
+	if len(fetches) != 1 || !fetches[0].Exists {
 		t.Fatalf("fetch reply = %+v", fetches)
+	}
+	if got, err := fetches[0].Payload.Resolve(nil); err != nil || string(got) != "v1" {
+		t.Fatalf("fetch payload = %q, %v", got, err)
 	}
 	if obs.WatchCount("/configs/a") != 1 {
 		t.Fatalf("WatchCount = %d", obs.WatchCount("/configs/a"))
 	}
 	write(t, net, c, "tailer", "/configs/a", "v2")
 	net.RunFor(3 * time.Second)
-	if len(events) != 1 || string(events[0].Data) != "v2" || events[0].Version != 2 {
+	if len(events) != 1 || events[0].Version != 2 {
 		t.Fatalf("watch events = %+v", events)
+	}
+	if got, err := events[0].Payload.Resolve([]byte("v1")); err != nil || string(got) != "v2" {
+		t.Fatalf("watch payload = %q, %v", got, err)
 	}
 	// Unwatch stops notifications.
 	net.After(0, func() {
