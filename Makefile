@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet lint race bench-obs bench-compile bench-distribution report
+.PHONY: build test check vet lint race bench-obs bench-compile bench-distribution bench-availability report
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,13 @@ test: build
 # check: the static-analysis gates (go vet for the Go code, configlint
 # for the CDL corpus), the race detector over the concurrent packages
 # (engine worker pool, pipeline, proxy, zeus, strip, canary, obs — zeus
-# and proxy run the batched, delta-encoded distribution plane), the obs
-# smoke run that regenerates BENCH_obs.json, and the distribution-plane
-# smoke that regenerates and asserts BENCH_distribution.json.
-check: vet lint race bench-obs bench-distribution
+# and proxy run the batched, delta-encoded distribution plane; simnet,
+# confclient and cluster run the fault plane and the degradation read
+# path), the obs smoke run that regenerates BENCH_obs.json, the
+# distribution-plane smoke that regenerates and asserts
+# BENCH_distribution.json, and the availability smoke that regenerates
+# and asserts BENCH_availability.json.
+check: vet lint race bench-obs bench-distribution bench-availability
 
 vet:
 	$(GO) vet ./...
@@ -25,7 +28,7 @@ lint:
 	$(GO) run ./cmd/configlint -C examples/configs -severity info
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/cdl/... ./internal/core/... ./internal/proxy/... ./internal/zeus/... ./internal/landingstrip/... ./internal/canary/...
+	$(GO) test -race ./internal/obs/... ./internal/cdl/... ./internal/core/... ./internal/proxy/... ./internal/zeus/... ./internal/landingstrip/... ./internal/canary/... ./internal/simnet/... ./internal/confclient/... ./internal/cluster/...
 
 # bench-obs: smoke-run the observability experiment and leave its raw
 # registry dump (BENCH_obs.json) in the repo root.
@@ -39,6 +42,16 @@ bench-obs:
 bench-distribution:
 	$(GO) run ./cmd/benchreport -quick -only distribution -o - > /dev/null
 	$(GO) test -run TestDistributionArtifact ./internal/experiments/
+
+# bench-availability: smoke-run the graceful-degradation experiment
+# (leaves BENCH_availability.json in the repo root) and assert the
+# artifact's headline claims — 100% read availability with stale-serve
+# on vs measurably lower off, staleness quantiles populated, bounded
+# convergence after heal, and every scripted fault mirrored into the
+# obs counters.
+bench-availability:
+	$(GO) run ./cmd/benchreport -quick -only availability -o - > /dev/null
+	$(GO) test -run TestAvailabilityArtifact ./internal/experiments/
 
 # bench-compile: the shared-.cinc fan-out benchmarks behind BENCH_compile.json.
 bench-compile:

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"time"
@@ -54,7 +55,7 @@ func main() {
 	printReport(rep)
 	fleet.Net.RunFor(20 * time.Second)
 	sample := fleet.AllServers()[0]
-	if cfg, err := sample.Client.Current(core.ZeusPath("feed/ranker.json")); err == nil {
+	if cfg, err := sample.Client.Get(context.Background(), core.ZeusPath("feed/ranker.json")); err == nil {
 		fmt.Printf("  %s now sees w_recency=%v (version %d)\n",
 			sample.ID, cfg.Float("w_recency", 0), cfg.Version)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -64,7 +65,7 @@ func main() {
 
 	// Every server now reads the config through its local proxy.
 	for _, server := range fleet.AllServers()[:3] {
-		cfg, err := server.Client.Current(zeusPath)
+		cfg, err := server.Client.Get(context.Background(), zeusPath)
 		if err != nil {
 			log.Fatalf("%s: %v", server.ID, err)
 		}
@@ -88,7 +89,7 @@ func main() {
 		log.Fatalf("update blocked: %v", report.Err)
 	}
 	fleet.Net.RunFor(15 * time.Second)
-	cfg, _ := fleet.AllServers()[0].Client.Current(zeusPath)
+	cfg, _ := fleet.AllServers()[0].Client.Get(context.Background(), zeusPath)
 	fmt.Printf("after live update: memory_mb=%d (config version %d)\n",
 		cfg.Int("memory_mb", 0), cfg.Version)
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -65,7 +66,7 @@ func TestFleetWideDistribution(t *testing.T) {
 	f.SubscribeAll("/configs/app.json")
 	writeZeus(t, f, "/configs/app.json", `{"v":1}`)
 	for _, s := range f.AllServers() {
-		cfg, err := s.Client.Current("/configs/app.json")
+		cfg, err := s.Client.Get(context.Background(), "/configs/app.json")
 		if err != nil {
 			t.Fatalf("%s: %v", s.ID, err)
 		}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -27,7 +28,7 @@ func TestLargeFleetConvergence(t *testing.T) {
 	writeZeus(t, f, "/configs/wide.json", `{"v":7}`)
 	var slowest time.Duration
 	for _, s := range f.AllServers() {
-		cfg, err := s.Client.Current("/configs/wide.json")
+		cfg, err := s.Client.Get(context.Background(), "/configs/wide.json")
 		if err != nil {
 			t.Fatalf("%s: %v", s.ID, err)
 		}
@@ -65,7 +66,7 @@ func TestObserverOutageClusterStillServes(t *testing.T) {
 	f.Net.RunFor(10 * time.Second)
 	// Cached reads still work in the darkened cluster.
 	for _, s := range f.Cluster(cluster) {
-		cfg, err := s.Client.Current("/configs/app.json")
+		cfg, err := s.Client.Get(context.Background(), "/configs/app.json")
 		if err != nil || cfg.Int("v", 0) != 1 {
 			t.Fatalf("%s lost cached config during observer outage: %v", s.ID, err)
 		}
@@ -78,7 +79,7 @@ func TestObserverOutageClusterStillServes(t *testing.T) {
 	}
 	f.Net.RunFor(30 * time.Second)
 	for _, s := range f.Cluster(cluster) {
-		cfg, err := s.Client.Current("/configs/app.json")
+		cfg, err := s.Client.Get(context.Background(), "/configs/app.json")
 		if err != nil {
 			t.Fatal(err)
 		}

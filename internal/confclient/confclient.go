@@ -1,27 +1,54 @@
 // Package confclient is the Configerator client library that applications
 // link in (§3.4): typed access to JSON configs served by the local proxy,
-// subscription callbacks, and the disk-cache fallback that keeps an
-// application running "even if all Configerator components fail".
+// change watches, and the disk-cache fallback that keeps an application
+// running "even if all Configerator components fail".
+//
+// The v2 API is context-aware: Get(ctx, path) returns a Value carrying
+// staleness metadata (version, source, age) so callers can tell a fresh
+// read from a degraded one, and Watch(ctx, path, fn) stops delivering —
+// and releases its proxy-side registration — once ctx is cancelled. The
+// v1 methods (Want/Current/Subscribe) remain as thin deprecated shims for
+// one release.
 package confclient
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"configerator/internal/obs"
 	"configerator/internal/proxy"
 )
 
-// Config is a parsed view of one JSON config artifact.
-type Config struct {
+// Value is a parsed view of one JSON config artifact, plus the staleness
+// metadata of the read that produced it.
+type Value struct {
 	Path    string
 	Version int64
 	Raw     []byte
-	fields  map[string]interface{}
+	// Source says which layer served this value: proxy.SourceFresh from
+	// memory with a healthy distribution plane, proxy.SourceCached from
+	// memory during a plane outage, proxy.SourceStale from the on-disk
+	// fallback.
+	Source proxy.Source
+	// Age is how long ago the local proxy last confirmed this value with
+	// an observer (0 for fresh pushes).
+	Age    time.Duration
+	fields map[string]interface{}
 }
 
-func parseConfig(e proxy.Entry) (*Config, error) {
-	c := &Config{Path: e.Path, Version: e.Version, Raw: e.Data}
+// Config is the v1 name for Value.
+//
+// Deprecated: use Value.
+type Config = Value
+
+// Fresh reports whether the value was served by a healthy distribution
+// plane (as opposed to a degraded cached/stale layer).
+func (c *Value) Fresh() bool { return c.Source == proxy.SourceFresh }
+
+func parseValue(e proxy.Entry) (*Value, error) {
+	c := &Value{Path: e.Path, Version: e.Version, Raw: e.Data}
 	if len(e.Data) == 0 {
 		c.fields = map[string]interface{}{}
 		return c, nil
@@ -38,7 +65,7 @@ func parseConfig(e proxy.Entry) (*Config, error) {
 }
 
 // Bool returns a boolean field, or def when absent or mistyped.
-func (c *Config) Bool(field string, def bool) bool {
+func (c *Value) Bool(field string, def bool) bool {
 	if v, ok := c.fields[field].(bool); ok {
 		return v
 	}
@@ -46,7 +73,7 @@ func (c *Config) Bool(field string, def bool) bool {
 }
 
 // Int returns an integer field, or def when absent or mistyped.
-func (c *Config) Int(field string, def int64) int64 {
+func (c *Value) Int(field string, def int64) int64 {
 	if v, ok := c.fields[field].(float64); ok {
 		return int64(v)
 	}
@@ -54,7 +81,7 @@ func (c *Config) Int(field string, def int64) int64 {
 }
 
 // Float returns a numeric field, or def when absent or mistyped.
-func (c *Config) Float(field string, def float64) float64 {
+func (c *Value) Float(field string, def float64) float64 {
 	if v, ok := c.fields[field].(float64); ok {
 		return v
 	}
@@ -62,7 +89,7 @@ func (c *Config) Float(field string, def float64) float64 {
 }
 
 // String returns a string field, or def when absent or mistyped.
-func (c *Config) String(field, def string) string {
+func (c *Value) String(field, def string) string {
 	if v, ok := c.fields[field].(string); ok {
 		return v
 	}
@@ -70,7 +97,7 @@ func (c *Config) String(field, def string) string {
 }
 
 // Strings returns a string-list field (nil when absent or mistyped).
-func (c *Config) Strings(field string) []string {
+func (c *Value) Strings(field string) []string {
 	raw, ok := c.fields[field].([]interface{})
 	if !ok {
 		return nil
@@ -85,7 +112,7 @@ func (c *Config) Strings(field string) []string {
 }
 
 // Map returns a nested object field (nil when absent or mistyped).
-func (c *Config) Map(field string) map[string]interface{} {
+func (c *Value) Map(field string) map[string]interface{} {
 	if v, ok := c.fields[field].(map[string]interface{}); ok {
 		return v
 	}
@@ -93,7 +120,7 @@ func (c *Config) Map(field string) map[string]interface{} {
 }
 
 // Has reports whether a field is present.
-func (c *Config) Has(field string) bool {
+func (c *Value) Has(field string) bool {
 	_, ok := c.fields[field]
 	return ok
 }
@@ -111,7 +138,65 @@ type Client struct {
 // New returns a client bound to the local proxy.
 func New(p *proxy.Proxy) *Client { return &Client{proxy: p} }
 
-// Want prefetches configs so later Current calls hit the warm cache. An
+// Get returns the latest locally known value of a config, annotated with
+// where it came from and how stale it may be. It never blocks:
+// distribution is push-based, so the local copy is fresh except in the
+// seconds after a change, and during a distribution-plane outage the
+// proxy degrades to cached/stale values (Source says which) rather than
+// failing. The error reports a cancelled context, or a config that has
+// never been seen on this server at all.
+func (c *Client) Get(ctx context.Context, path string) (*Value, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	r := c.proxy.Read(path)
+	if !r.OK {
+		c.Obs.Add("confclient.read.miss", 1)
+		return nil, fmt.Errorf("confclient: %s not available (never fetched on this server, or staleness refused)", path)
+	}
+	if !r.Exists {
+		c.Obs.Add("confclient.read.deleted", 1)
+		return nil, fmt.Errorf("confclient: %s deleted", path)
+	}
+	c.Obs.Add("confclient.read.hit", 1)
+	if r.Source != proxy.SourceFresh {
+		c.Obs.Add("confclient.read.degraded", 1)
+	}
+	v, err := parseValue(r.Entry)
+	if err != nil {
+		return nil, err
+	}
+	v.Source, v.Age = r.Source, r.Age
+	return v, nil
+}
+
+// Watch invokes fn with the parsed value on every change (and does an
+// initial fetch). Delivery stops — and the proxy-side registration is
+// released — once ctx is cancelled, so a watcher cannot leak across proxy
+// restarts. Unparseable payloads are delivered with empty fields so the
+// application can fall back to Raw.
+func (c *Client) Watch(ctx context.Context, path string, fn func(*Value)) {
+	if ctx.Err() != nil {
+		return
+	}
+	// Liveness is checked lazily at delivery time (not via a goroutine or
+	// AfterFunc) so the single-threaded simulation stays deterministic and
+	// race-free.
+	alive := func() bool { return ctx.Err() == nil }
+	c.proxy.SubscribeWhile(path, alive, func(e proxy.Entry) {
+		if !e.Exists {
+			return
+		}
+		v, err := parseValue(e)
+		if err != nil {
+			return
+		}
+		v.Source = proxy.SourceFresh
+		fn(v)
+	})
+}
+
+// Want prefetches configs so later Get calls hit the warm cache. An
 // application declares the configs it needs on startup.
 func (c *Client) Want(paths ...string) {
 	for _, p := range paths {
@@ -119,36 +204,16 @@ func (c *Client) Want(paths ...string) {
 	}
 }
 
-// Current returns the latest locally known value of a config. It never
-// blocks: distribution is push-based, so the local copy is fresh except in
-// the seconds after a change. The error reports a config that has never
-// been seen on this server at all.
-func (c *Client) Current(path string) (*Config, error) {
-	e, ok := c.proxy.Get(path)
-	if !ok {
-		c.Obs.Add("confclient.read.miss", 1)
-		return nil, fmt.Errorf("confclient: %s not available (never fetched on this server)", path)
-	}
-	if !e.Exists {
-		c.Obs.Add("confclient.read.deleted", 1)
-		return nil, fmt.Errorf("confclient: %s deleted", path)
-	}
-	c.Obs.Add("confclient.read.hit", 1)
-	return parseConfig(e)
+// Current returns the latest locally known value of a config.
+//
+// Deprecated: use Get, which is context-aware and reports staleness.
+func (c *Client) Current(path string) (*Value, error) {
+	return c.Get(context.Background(), path)
 }
 
-// Subscribe invokes fn with the parsed config on every change (and does an
-// initial fetch). Unparseable payloads are delivered with empty fields so
-// the application can fall back to Raw.
-func (c *Client) Subscribe(path string, fn func(*Config)) {
-	c.proxy.Subscribe(path, func(e proxy.Entry) {
-		if !e.Exists {
-			return
-		}
-		cfg, err := parseConfig(e)
-		if err != nil {
-			return
-		}
-		fn(cfg)
-	})
+// Subscribe invokes fn with the parsed config on every change.
+//
+// Deprecated: use Watch, whose context releases the registration.
+func (c *Client) Subscribe(path string, fn func(*Value)) {
+	c.Watch(context.Background(), path, fn)
 }

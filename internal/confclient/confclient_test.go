@@ -1,6 +1,7 @@
 package confclient
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -48,7 +49,7 @@ func TestTypedGetters(t *testing.T) {
 		`{"enabled":true,"batch":64,"rate":0.25,"name":"cache","hosts":["h1","h2"],"limits":{"mem":512}}`)
 	cl.Want("/configs/app")
 	net.RunFor(2 * time.Second)
-	cfg, err := cl.Current("/configs/app")
+	cfg, err := cl.Get(context.Background(), "/configs/app")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,18 +85,18 @@ func TestTypedGetters(t *testing.T) {
 	}
 }
 
-func TestCurrentUnknown(t *testing.T) {
+func TestGetUnknown(t *testing.T) {
 	_, _, cl, _ := newStack(t)
-	if _, err := cl.Current("/configs/unknown"); err == nil {
+	if _, err := cl.Get(context.Background(), "/configs/unknown"); err == nil {
 		t.Fatal("expected error for unknown config")
 	}
 }
 
-func TestSubscribeFiresOnChange(t *testing.T) {
+func TestWatchFiresOnChange(t *testing.T) {
 	net, wc, cl, _ := newStack(t)
 	write(t, net, wc, "/configs/app", `{"v":1}`)
 	var seen []int64
-	cl.Subscribe("/configs/app", func(c *Config) {
+	cl.Watch(context.Background(), "/configs/app", func(c *Value) {
 		seen = append(seen, c.Int("v", -1))
 	})
 	net.RunFor(2 * time.Second)
@@ -111,7 +112,7 @@ func TestNonObjectJSONDoesNotBreak(t *testing.T) {
 	write(t, net, wc, "/configs/arr", `[1,2,3]`)
 	cl.Want("/configs/arr")
 	net.RunFor(2 * time.Second)
-	cfg, err := cl.Current("/configs/arr")
+	cfg, err := cl.Get(context.Background(), "/configs/arr")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,14 +129,72 @@ func TestAvailabilityThroughDiskCache(t *testing.T) {
 	write(t, net, wc, "/configs/app", `{"v":1}`)
 	cl.Want("/configs/app")
 	net.RunFor(2 * time.Second)
-	// Everything dies: observer and proxy.
+
+	// A healthy read is marked fresh.
+	cfg, err := cl.Get(context.Background(), "/configs/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Fresh() || cfg.Source != proxy.SourceFresh {
+		t.Errorf("healthy read source = %q, want fresh", cfg.Source)
+	}
+
+	// Everything dies: observer and proxy. The deprecated v1 shim still
+	// reads through the disk cache.
 	net.Fail("obs-1")
 	px.Crash()
-	cfg, err := cl.Current("/configs/app")
+	net.RunFor(1 * time.Second)
+	cfg, err = cl.Current("/configs/app")
 	if err != nil {
 		t.Fatalf("disk-cache fallback failed: %v", err)
 	}
 	if cfg.Int("v", 0) != 1 {
 		t.Errorf("stale value = %d, want 1", cfg.Int("v", 0))
+	}
+	if cfg.Source != proxy.SourceStale {
+		t.Errorf("outage read source = %q, want stale", cfg.Source)
+	}
+	if cfg.Age <= 0 {
+		t.Errorf("outage read age = %v, want > 0", cfg.Age)
+	}
+}
+
+// TestGetCancelledContext: a cancelled context fails fast without touching
+// the proxy.
+func TestGetCancelledContext(t *testing.T) {
+	_, _, cl, _ := newStack(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cl.Get(ctx, "/configs/app"); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestWatchCancellation: after ctx is cancelled the callback stops firing
+// and the proxy-side registration is pruned — no leak across restarts.
+func TestWatchCancellation(t *testing.T) {
+	net, wc, cl, px := newStack(t)
+	write(t, net, wc, "/configs/app", `{"v":1}`)
+	ctx, cancel := context.WithCancel(context.Background())
+	fired := 0
+	cl.Watch(ctx, "/configs/app", func(*Value) { fired++ })
+	net.RunFor(2 * time.Second)
+	write(t, net, wc, "/configs/app", `{"v":2}`)
+	if fired < 2 {
+		t.Fatalf("watch fired %d times before cancel", fired)
+	}
+	cancel()
+	before := fired
+	write(t, net, wc, "/configs/app", `{"v":3}`)
+	if fired != before {
+		t.Errorf("watch fired after cancel (%d -> %d)", before, fired)
+	}
+	if n := px.SubCount("/configs/app"); n != 0 {
+		t.Errorf("proxy still holds %d subscriptions after cancel", n)
+	}
+	// A cancelled-context Watch never registers at all.
+	cl.Watch(ctx, "/configs/app", func(*Value) { fired++ })
+	if n := px.SubCount("/configs/app"); n != 0 {
+		t.Errorf("cancelled Watch registered a subscription (%d)", n)
 	}
 }

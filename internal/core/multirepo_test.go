@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -76,7 +77,7 @@ func TestPartitionedNamespacePipeline(t *testing.T) {
 	// And the updated artifact reaches the fleet through the tao tailer.
 	fleet.SubscribeAll(ZeusPath("tao/topology.json"))
 	fleet.Net.RunFor(20 * time.Second)
-	cfg, err := fleet.AllServers()[0].Client.Current(ZeusPath("tao/topology.json"))
+	cfg, err := fleet.AllServers()[0].Client.Get(context.Background(), ZeusPath("tao/topology.json"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -262,7 +263,7 @@ func TestEndToEndDistribution(t *testing.T) {
 	}
 	f.Net.RunFor(20 * time.Second)
 	for _, s := range f.AllServers() {
-		cfg, err := s.Client.Current("/configs/feed/ranker.json")
+		cfg, err := s.Client.Get(context.Background(), "/configs/feed/ranker.json")
 		if err != nil {
 			t.Fatalf("%s: %v", s.ID, err)
 		}

@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"configerator/internal/cluster"
+	"configerator/internal/obs"
+	"configerator/internal/proxy"
+	"configerator/internal/simnet"
+	"configerator/internal/zeus"
+)
+
+// AvailabilityReport is the BENCH_availability.json schema: continuous
+// reads under a scripted infrastructure outage (observer crashes, a region
+// partition, a crash-looping proxy), with stale-serve on vs off.
+type AvailabilityReport struct {
+	Workload struct {
+		Servers     int     `json:"servers"`
+		Writes      int     `json:"writes"`
+		ReadEveryMs int     `json:"read_every_ms"`
+		DurationSec float64 `json:"duration_sec"`
+	} `json:"workload"`
+	StaleServeOn  AvailabilitySide `json:"stale_serve_on"`
+	StaleServeOff AvailabilitySide `json:"stale_serve_off"`
+	Convergence   struct {
+		// AfterHealMs is how long after the last scripted heal every
+		// server served the final committed revision (stale-serve-on run).
+		AfterHealMs float64 `json:"after_heal_ms"`
+	} `json:"convergence"`
+	Faults struct {
+		Scripted int              `json:"scripted"`
+		Fired    int              `json:"fired"`
+		Counters map[string]int64 `json:"counters"`
+	} `json:"faults"`
+}
+
+// AvailabilitySide is one run's read outcomes.
+type AvailabilitySide struct {
+	Reads        int     `json:"reads"`
+	OK           int     `json:"ok"`
+	Availability float64 `json:"availability"`
+	// Staleness of reads served during the outage window: how far behind
+	// the latest committed revision the served value was.
+	StalenessP50Ms float64 `json:"staleness_p50_ms"`
+	StalenessP99Ms float64 `json:"staleness_p99_ms"`
+	DegradedReads  int64   `json:"degraded_reads"`
+	StaleReads     int64   `json:"stale_reads"`
+	RefusedReads   int64   `json:"refused_reads"`
+	PlaneDownSeen  int64   `json:"plane_down_transitions"`
+}
+
+// availOutcome carries one scenario run's raw measurements.
+type availOutcome struct {
+	side        AvailabilitySide
+	convergence time.Duration
+	scripted    int
+	fired       int
+	counters    map[string]int64
+}
+
+// availabilityScenario runs the scripted outage once. The fault timeline
+// (offsets from the start of the read workload):
+//
+//	 5s  both observers of cluster uw1 crash (that cluster's distribution
+//	     plane is gone until they restart)
+//	 8s  us-east is partitioned from us-west — east observers keep serving
+//	     their proxies, but stop receiving commits
+//	10s  one ue1 proxy starts crash-looping mid-watch (down 2s, up 3s, ×2)
+//	30s  the region partition heals (delta/full-snapshot catch-up)
+//	35s  the uw1 observers restart (session re-registration + catch-up)
+//
+// Writes land every 2s until t=28s; reads hit every server every 500ms for
+// 60s. Every scripted fault is asserted via the obs fault counters.
+func availabilityScenario(seed uint64, staleServe bool) availOutcome {
+	reg := obs.New()
+	cfg := cluster.SmallConfig(3, seed)
+	cfg.Obs = reg
+	f := cluster.New(cfg)
+	f.Net.RunFor(10 * time.Second) // elect
+	for _, s := range f.AllServers() {
+		s.Proxy.StaleServe = staleServe
+	}
+
+	const path = "/avail/knob.json"
+	writer := zeus.NewClient("avail-writer", f.Ensemble.Members)
+	f.Net.AddNode("avail-writer", simnet.Placement{Region: "us-west", Cluster: "ctrl"}, writer)
+
+	// Warm: land rev 0 and let every proxy fetch it with a watch.
+	landRev := func(rev int64, done func(time.Time)) {
+		f.Net.After(0, func() {
+			ctx := simnet.MakeContext(f.Net, "avail-writer")
+			data := []byte(fmt.Sprintf(`{"rev":%d}`, rev))
+			writer.Write(&ctx, path, data, func(zeus.WriteResult) { done(f.Net.Now()) })
+		})
+	}
+	warmed := false
+	landRev(0, func(time.Time) { warmed = true })
+	for i := 0; i < 40 && !warmed; i++ {
+		f.Net.RunFor(500 * time.Millisecond)
+	}
+	f.SubscribeAll(path)
+	f.Net.RunFor(5 * time.Second)
+
+	// The scripted fault plan.
+	east, west := groupByRegion(f)
+	uw1Obs := f.Observers("uw1")
+	looper := f.Cluster("ue1")[0].Proxy
+	opts := []simnet.PlanOption{
+		simnet.WithCrash(5*time.Second, uw1Obs[0]),
+		simnet.WithCrash(5*time.Second, uw1Obs[1]),
+		simnet.WithPartitionGroup(8*time.Second, east, west),
+		simnet.WithCall(10*time.Second, "proxy-crash", looper.Crash),
+		simnet.WithCall(12*time.Second, "proxy-restart", looper.Restart),
+		simnet.WithCall(15*time.Second, "proxy-crash", looper.Crash),
+		simnet.WithCall(17*time.Second, "proxy-restart", looper.Restart),
+		simnet.WithHealGroup(30*time.Second, east, west),
+		simnet.WithRestart(35*time.Second, uw1Obs[0]),
+		simnet.WithRestart(35*time.Second, uw1Obs[1]),
+	}
+	plan := simnet.NewFaultPlan(opts...)
+	plan.Apply(f.Net)
+
+	// Write workload: a new revision every 2s until t=28s.
+	commitAt := map[int64]time.Time{0: f.Net.Now()}
+	var lastRev int64
+	for i := int64(1); i <= 14; i++ {
+		rev := i
+		f.Net.After(time.Duration(rev)*2*time.Second, func() {
+			landRev(rev, func(at time.Time) {
+				commitAt[rev] = at
+				if rev > lastRev {
+					lastRev = rev
+				}
+			})
+		})
+	}
+
+	// Read workload: every server, every 500ms, for 60s of virtual time.
+	// Staleness is measured against the newest commit at read time during
+	// the outage window [5s, 35s].
+	var (
+		side        AvailabilitySide
+		staleness   []time.Duration
+		start       = f.Net.Now()
+		healAt      = start.Add(35 * time.Second)
+		convergence = time.Duration(-1)
+	)
+	latestCommitted := func(at time.Time) int64 {
+		best := int64(-1)
+		for rev, t := range commitAt {
+			if !t.After(at) && rev > best {
+				best = rev
+			}
+		}
+		return best
+	}
+	var pump func()
+	pump = func() {
+		now := f.Net.Now()
+		off := now.Sub(start)
+		if off >= 60*time.Second {
+			return
+		}
+		inOutage := off >= 5*time.Second && off <= 35*time.Second
+		afterHeal := off > 35*time.Second
+		sweepConverged := afterHeal
+		for _, s := range f.AllServers() {
+			side.Reads++
+			v, err := s.Client.Get(context.Background(), path)
+			if err != nil {
+				sweepConverged = false
+				continue
+			}
+			side.OK++
+			if afterHeal && v.Int("rev", -1) != lastRev {
+				sweepConverged = false
+			}
+			if v.Source != proxy.SourceFresh {
+				side.DegradedReads++
+			}
+			if v.Source == proxy.SourceStale {
+				side.StaleReads++
+			}
+			if inOutage {
+				rev := v.Int("rev", -1)
+				if cur := latestCommitted(now); cur > rev {
+					staleness = append(staleness, now.Sub(commitAt[rev+1]))
+				} else {
+					staleness = append(staleness, 0)
+				}
+			}
+		}
+		if sweepConverged && convergence < 0 {
+			convergence = now.Sub(healAt)
+		}
+		f.Net.After(500*time.Millisecond, pump)
+	}
+	f.Net.After(0, pump)
+	f.Net.RunFor(62 * time.Second)
+
+	// Convergence fallback: if the fleet had not yet converged when the
+	// read pump ended, keep stepping until every server serves the final
+	// committed revision.
+	for step := 0; convergence < 0 && step < 240; step++ {
+		all := true
+		for _, s := range f.AllServers() {
+			v, err := s.Client.Get(context.Background(), path)
+			if err != nil || v.Int("rev", -1) != lastRev {
+				all = false
+				break
+			}
+		}
+		if all {
+			convergence = f.Net.Now().Sub(healAt)
+			break
+		}
+		f.Net.RunFor(250 * time.Millisecond)
+	}
+
+	if side.Reads > 0 {
+		side.Availability = float64(side.OK) / float64(side.Reads)
+	}
+	side.RefusedReads = reg.Counters().Get("proxy.read.refused")
+	side.PlaneDownSeen = reg.Counters().Get("proxy.plane.down")
+	sort.Slice(staleness, func(i, j int) bool { return staleness[i] < staleness[j] })
+	if n := len(staleness); n > 0 {
+		side.StalenessP50Ms = staleness[n/2].Seconds() * 1e3
+		side.StalenessP99Ms = staleness[n*99/100].Seconds() * 1e3
+	}
+
+	counters := make(map[string]int64)
+	for _, k := range []string{
+		"fault.injected", "fault.crash", "fault.restart",
+		"fault.partition_group", "fault.heal_group", "fault.call",
+	} {
+		counters[k] = reg.Counters().Get(k)
+	}
+	return availOutcome{
+		side:        side,
+		convergence: convergence,
+		scripted:    plan.Len(),
+		fired:       plan.Fired(),
+		counters:    counters,
+	}
+}
+
+// groupByRegion splits every fleet node (servers, observers, ensemble
+// members) into us-east vs everything-else, for the region partition.
+func groupByRegion(f *cluster.Fleet) (east, west []simnet.NodeID) {
+	var ids []simnet.NodeID
+	ids = append(ids, f.Servers()...)
+	for _, c := range f.ClusterNames() {
+		ids = append(ids, f.Observers(c)...)
+	}
+	ids = append(ids, f.Ensemble.Members...)
+	for _, id := range ids {
+		if f.Net.Placement(id).Region == "us-east" {
+			east = append(east, id)
+		} else {
+			west = append(west, id)
+		}
+	}
+	return east, west
+}
+
+// Availability runs the graceful-degradation experiment (paper §4.1: "the
+// availability of the configuration management system should be higher
+// than that of the applications it supports"): continuous reads across the
+// fleet while observers crash, a region partitions, and a proxy
+// crash-loops — once with stale-serve on (the paper's choice: availability
+// over freshness) and once with it off. The raw numbers land as
+// BENCH_availability.json.
+func Availability(opts Options) Result {
+	r := Result{ID: "availability", Title: "Read availability under infrastructure faults (stale-serve on vs off)"}
+
+	on := availabilityScenario(opts.Seed, true)
+	off := availabilityScenario(opts.Seed, false)
+
+	var rep AvailabilityReport
+	rep.Workload.Servers = 12
+	rep.Workload.Writes = 15
+	rep.Workload.ReadEveryMs = 500
+	rep.Workload.DurationSec = 60
+	rep.StaleServeOn = on.side
+	rep.StaleServeOff = off.side
+	rep.Convergence.AfterHealMs = on.convergence.Seconds() * 1e3
+	rep.Faults.Scripted = on.scripted
+	rep.Faults.Fired = on.fired
+	rep.Faults.Counters = on.counters
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "scripted faults: %d (fired %d; fault.injected=%d)\n\n",
+		on.scripted, on.fired, on.counters["fault.injected"])
+	fmt.Fprintf(&b, "%-16s %10s %10s %14s %14s %10s\n",
+		"mode", "reads", "ok", "availability", "stale p99", "refused")
+	row := func(name string, s AvailabilitySide) {
+		fmt.Fprintf(&b, "%-16s %10d %10d %13.2f%% %12.0fms %10d\n",
+			name, s.Reads, s.OK, s.Availability*100, s.StalenessP99Ms, s.RefusedReads)
+	}
+	row("stale-serve on", on.side)
+	row("stale-serve off", off.side)
+	fmt.Fprintf(&b, "\nconvergence after heal: %s\n", on.convergence.Round(time.Millisecond))
+	r.Text = b.String()
+
+	r.metric("availability_stale_serve_on", on.side.Availability, 1.0, true)
+	r.metric("availability_stale_serve_off", off.side.Availability, 0, false)
+	r.metric("outage_staleness_p50_ms", on.side.StalenessP50Ms, 0, false)
+	r.metric("outage_staleness_p99_ms", on.side.StalenessP99Ms, 0, false)
+	r.metric("convergence_after_heal_ms", rep.Convergence.AfterHealMs, 0, false)
+	r.metric("faults_fired", float64(on.fired), float64(on.scripted), true)
+
+	art, _ := json.MarshalIndent(rep, "", "  ")
+	r.ArtifactName = "BENCH_availability.json"
+	r.Artifact = art
+	return r
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -46,7 +47,7 @@ func Fig14PropagationLatency(opts Options) Result {
 	arrived := make(map[int64]int)
 	lastArrival := make(map[int64]time.Time)
 	for _, s := range fleet.AllServers() {
-		s.Client.Subscribe(zpath, func(cfg *confclient.Config) {
+		s.Client.Watch(context.Background(), zpath, func(cfg *confclient.Value) {
 			id := cfg.Int("probe", -1)
 			if id >= 0 {
 				arrived[id]++

@@ -112,6 +112,7 @@ func Catalog() []Experiment {
 		{"configlint", Lint},
 		{"obs", Obs},
 		{"distribution", Distribution},
+		{"availability", Availability},
 	}
 }
 

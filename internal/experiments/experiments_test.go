@@ -193,7 +193,7 @@ func TestAllRuns(t *testing.T) {
 		t.Skip("runs every experiment")
 	}
 	results := All(opts)
-	if len(results) != 25 {
+	if len(results) != 26 {
 		t.Fatalf("All returned %d results", len(results))
 	}
 	// The catalog keys must match what each experiment actually reports,
@@ -259,6 +259,60 @@ func TestDistributionArtifact(t *testing.T) {
 	}
 	if rep.Propagation.DeltaP50Ms <= 0 || rep.Propagation.FullP50Ms <= 0 {
 		t.Errorf("propagation histogram empty: %+v", rep.Propagation)
+	}
+}
+
+func TestAvailabilityArtifact(t *testing.T) {
+	r := Availability(opts)
+	if r.ArtifactName != "BENCH_availability.json" {
+		t.Fatalf("artifact name = %q", r.ArtifactName)
+	}
+	var rep AvailabilityReport
+	if err := json.Unmarshal(r.Artifact, &rep); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	// ISSUE acceptance: with stale-serve on, every read during the outage
+	// succeeds (served from cache/disk with staleness metadata); with it
+	// off, availability is measurably lower.
+	if on := rep.StaleServeOn.Availability; on != 1.0 {
+		t.Errorf("stale-serve-on availability = %.4f, want 1.0", on)
+	}
+	if off := rep.StaleServeOff.Availability; off >= rep.StaleServeOn.Availability {
+		t.Errorf("stale-serve-off availability = %.4f, want < on (%.4f)",
+			off, rep.StaleServeOn.Availability)
+	}
+	if rep.StaleServeOff.RefusedReads == 0 {
+		t.Error("stale-serve-off run refused no reads — the contrast proves nothing")
+	}
+	// The degraded path actually exercised: stale reads served during the
+	// outage, and staleness quantiles measured.
+	if rep.StaleServeOn.StaleReads == 0 {
+		t.Error("no stale reads served during the outage")
+	}
+	if rep.StaleServeOn.StalenessP99Ms <= 0 {
+		t.Errorf("staleness p99 = %.1fms, want > 0", rep.StaleServeOn.StalenessP99Ms)
+	}
+	if rep.StaleServeOn.StalenessP99Ms < rep.StaleServeOn.StalenessP50Ms {
+		t.Errorf("staleness p99 (%.1f) < p50 (%.1f)",
+			rep.StaleServeOn.StalenessP99Ms, rep.StaleServeOn.StalenessP50Ms)
+	}
+	// Convergence after the final heal must be measured and bounded.
+	if c := rep.Convergence.AfterHealMs; c < 0 || c > 30_000 {
+		t.Errorf("convergence after heal = %.0fms, want within (0, 30s]", c)
+	}
+	// ISSUE acceptance: every scripted fault fired and was mirrored into
+	// the obs counters.
+	if rep.Faults.Fired != rep.Faults.Scripted {
+		t.Errorf("faults fired = %d, scripted = %d", rep.Faults.Fired, rep.Faults.Scripted)
+	}
+	if got := rep.Faults.Counters["fault.injected"]; got != int64(rep.Faults.Scripted) {
+		t.Errorf("fault.injected counter = %d, want %d", got, rep.Faults.Scripted)
+	}
+	for _, k := range []string{"fault.crash", "fault.restart", "fault.partition_group",
+		"fault.heal_group", "fault.call"} {
+		if rep.Faults.Counters[k] == 0 {
+			t.Errorf("counter %s = 0, want > 0", k)
+		}
 	}
 }
 

@@ -26,7 +26,7 @@ func Sec64ConfigErrors(opts Options) Result {
 	fleet := cluster.New(cluster.SmallConfig(15, opts.Seed)) // 60 servers
 	fleet.Net.RunFor(10 * time.Second)
 	p := core.New(core.Options{Fleet: fleet, CanaryPhase1: 2, CanaryPhase2: 30})
-	c := faultinject.NewCampaign(p, faultinject.DefaultMix(), opts.Seed)
+	c := faultinject.NewCampaign(p, faultinject.WithSeed(opts.Seed))
 	if err := c.Seed(); err != nil {
 		panic(err)
 	}

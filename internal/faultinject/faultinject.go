@@ -26,6 +26,7 @@ import (
 
 	"configerator/internal/ci"
 	"configerator/internal/core"
+	"configerator/internal/simnet"
 	"configerator/internal/stats"
 )
 
@@ -102,17 +103,43 @@ func DefaultMix() Mix {
 
 // Campaign drives injections through a pipeline.
 type Campaign struct {
-	p   *core.Pipeline
-	rng *stats.RNG
-	mix Mix
-	seq int
+	p           *core.Pipeline
+	rng         *stats.RNG
+	mix         Mix
+	seq         int
+	plan        *simnet.FaultPlan
+	planApplied bool
 }
 
-// NewCampaign builds a campaign over a fleet-attached pipeline. The
-// pipeline's fleet must subscribe to the target path so the app model
-// reacts to the injected configs.
-func NewCampaign(p *core.Pipeline, mix Mix, seed uint64) *Campaign {
-	return &Campaign{p: p, rng: stats.NewRNG(seed), mix: mix}
+// Option configures a Campaign (functional options, matching the simnet
+// fault-plan style so pipeline-level and infra-level campaigns compose).
+type Option func(*Campaign)
+
+// WithMix overrides the calibrated injection blend.
+func WithMix(m Mix) Option { return func(c *Campaign) { c.mix = m } }
+
+// WithSeed reseeds the campaign's deterministic RNG (default 1).
+func WithSeed(seed uint64) Option {
+	return func(c *Campaign) { c.rng = stats.NewRNG(seed) }
+}
+
+// WithInfraPlan schedules an infrastructure fault plan on the pipeline's
+// fleet when the campaign starts: config errors flow through the pipeline
+// while observers crash and links partition underneath it.
+func WithInfraPlan(plan *simnet.FaultPlan) Option {
+	return func(c *Campaign) { c.plan = plan }
+}
+
+// NewCampaign builds a campaign over a fleet-attached pipeline, with
+// DefaultMix and seed 1 unless overridden by options. The pipeline's
+// fleet must subscribe to the target path so the app model reacts to the
+// injected configs.
+func NewCampaign(p *core.Pipeline, opts ...Option) *Campaign {
+	c := &Campaign{p: p, rng: stats.NewRNG(1), mix: DefaultMix()}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // schemaSeed installs a schema with a validator, the substrate for
@@ -153,8 +180,13 @@ func (c *Campaign) Seed() error {
 	return nil
 }
 
-// Run injects n errors and returns their outcomes.
+// Run injects n errors and returns their outcomes. A composed infra plan
+// (WithInfraPlan) is applied to the fleet's network on the first Run.
 func (c *Campaign) Run(n int) []Outcome {
+	if c.plan != nil && !c.planApplied {
+		c.planApplied = true
+		c.plan.Apply(c.p.Fleet.Net)
+	}
 	outcomes := make([]Outcome, 0, n)
 	for i := 0; i < n; i++ {
 		u := c.rng.Float64()

@@ -6,6 +6,8 @@ import (
 
 	"configerator/internal/cluster"
 	"configerator/internal/core"
+	"configerator/internal/obs"
+	"configerator/internal/simnet"
 )
 
 func newCampaign(t *testing.T, seed uint64) *Campaign {
@@ -16,7 +18,7 @@ func newCampaign(t *testing.T, seed uint64) *Campaign {
 		t.Fatal("no leader")
 	}
 	p := core.New(core.Options{Fleet: f, CanaryPhase1: 2, CanaryPhase2: 30})
-	c := NewCampaign(p, DefaultMix(), seed)
+	c := NewCampaign(p, WithMix(DefaultMix()), WithSeed(seed))
 	if err := c.Seed(); err != nil {
 		t.Fatal(err)
 	}
@@ -90,6 +92,50 @@ func TestEscapeMixMatchesPaper(t *testing.T) {
 	check(TypeIII, 0.22)
 	if s.EscapeMix[TypeIII] >= s.EscapeMix[TypeI] {
 		t.Errorf("Type III should be the smallest slice: %+v", s.EscapeMix)
+	}
+}
+
+// TestInfraPlanComposes runs a pipeline-level error campaign with an
+// infra-level fault plan scheduled underneath it: the pipeline still
+// classifies every injection (the ensemble tolerates an observer crash and
+// a transient link cut), and every scripted infra fault is mirrored into
+// the obs counters.
+func TestInfraPlanComposes(t *testing.T) {
+	reg := obs.New()
+	cfg := cluster.SmallConfig(15, 4)
+	cfg.Obs = reg
+	f := cluster.New(cfg)
+	f.Net.RunFor(10 * time.Second)
+	if f.Ensemble.Leader() == "" {
+		t.Fatal("no leader")
+	}
+	p := core.New(core.Options{Fleet: f, CanaryPhase1: 2, CanaryPhase2: 30})
+
+	cl := f.ClusterNames()[0]
+	victim := f.Observers(cl)[0]
+	peer := f.Observers(cl)[1]
+	plan := simnet.NewFaultPlan(
+		simnet.WithCrash(2*time.Second, victim),
+		simnet.WithPartitionOneWay(5*time.Second, victim, peer),
+		simnet.WithHealOneWay(20*time.Second, victim, peer),
+		simnet.WithRestart(40*time.Second, victim),
+	)
+	c := NewCampaign(p, WithSeed(4), WithInfraPlan(plan))
+	if err := c.Seed(); err != nil {
+		t.Fatal(err)
+	}
+	outcomes := c.Run(10)
+	f.Net.RunFor(60 * time.Second) // let the tail of the plan fire
+	for _, o := range outcomes {
+		if o.CaughtBy == "" {
+			t.Errorf("outcome %d unclassified under infra faults", o.Seq)
+		}
+	}
+	if plan.Fired() != plan.Len() {
+		t.Fatalf("infra plan fired %d of %d events", plan.Fired(), plan.Len())
+	}
+	if got := reg.Counters().Get("fault.injected"); got != int64(plan.Len()) {
+		t.Errorf("fault.injected = %d, want %d", got, plan.Len())
 	}
 }
 

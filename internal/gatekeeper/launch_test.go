@@ -1,6 +1,7 @@
 package gatekeeper
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -24,7 +25,7 @@ func TestLaunchToolEndToEnd(t *testing.T) {
 	// Wire a runtime on one server, bound to the config path.
 	rt := NewRuntime(NewRegistry(nil))
 	srv := fleet.AllServers()[0]
-	rt.Bind(srv.Client, lt.ZeusPath("NewFeed"))
+	rt.Bind(context.Background(), srv.Client, lt.ZeusPath("NewFeed"))
 
 	spec := &ProjectSpec{Project: "NewFeed", Rules: []RuleSpec{{
 		Restraints: []RestraintSpec{{Name: "employee"}}, PassProbability: 1,

@@ -1,6 +1,7 @@
 package gatekeeper
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -62,12 +63,12 @@ func (r *Runtime) Projects() []string {
 	return out
 }
 
-// Bind subscribes the runtime to a project's config path so that config
-// updates rebuild the boolean tree live (bottom of Figure 3: the new
-// config is delivered to production servers and the Gatekeeper runtime
-// reads it).
-func (r *Runtime) Bind(client *confclient.Client, path string) {
-	client.Subscribe(path, func(cfg *confclient.Config) {
+// Bind watches a project's config path so that config updates rebuild
+// the boolean tree live (bottom of Figure 3: the new config is delivered
+// to production servers and the Gatekeeper runtime reads it). The watch
+// ends when ctx is cancelled.
+func (r *Runtime) Bind(ctx context.Context, client *confclient.Client, path string) {
+	client.Watch(ctx, path, func(cfg *confclient.Value) {
 		// A malformed artifact is ignored; the previous tree keeps
 		// serving (availability over freshness).
 		_ = r.Load(cfg.Raw)

@@ -19,6 +19,7 @@
 package mobileconfig
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -205,7 +206,7 @@ func (t *Translator) resolve(field string, b FieldBinding, user *gatekeeper.User
 		if t.conf == nil {
 			return nil, false
 		}
-		cfg, err := t.conf.Current(b.Path)
+		cfg, err := t.conf.Get(context.Background(), b.Path)
 		if err != nil {
 			return nil, false
 		}

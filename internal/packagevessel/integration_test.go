@@ -1,6 +1,7 @@
 package packagevessel
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -40,7 +41,7 @@ func TestMetadataThroughConfigerator(t *testing.T) {
 		fleet.Net.SetBandwidth(simnet.NodeID(fmt.Sprintf("pv-agent-%d", i)), 1.25e8, 1.25e8)
 		agent.OnComplete(func(Metadata, time.Duration) { completed++ })
 		a := agent
-		srv.Client.Subscribe(zpath, func(cfg *confclient.Config) {
+		srv.Client.Watch(context.Background(), zpath, func(cfg *confclient.Value) {
 			a.OnMetadata(cfg.Raw)
 		})
 		agents = append(agents, agent)

@@ -5,15 +5,20 @@
 // configs the local applications need (it is not a full replica — it only
 // caches what is asked for), leaves watches so updates are pushed, and
 // stores everything in an on-disk cache. Failure handling follows the
-// paper: if the observer fails the proxy connects to another one; if every
-// Configerator component fails, applications fall back to reading the
-// on-disk cache directly, so a config that was ever fetched remains
-// available (stale but usable) no matter what.
+// paper (§4.1): fetches carry deadlines and retry with exponentially
+// backed-off, deterministically jittered delays; a slow observer gets a
+// hedged second fetch after a p99-derived delay; a failed observer is
+// replaced by the healthiest alternative (scored from observed error rate
+// and latency); and if every Configerator component fails, reads degrade
+// to the on-disk cache with explicit staleness metadata — a config that
+// was ever fetched remains available (stale but usable) no matter what.
 package proxy
 
 import (
+	"sort"
 	"time"
 
+	"configerator/internal/health"
 	"configerator/internal/obs"
 	"configerator/internal/simnet"
 	"configerator/internal/vcs"
@@ -66,22 +71,88 @@ func (d *DiskCache) Len() int { return len(d.entries) }
 // UpdateFunc is an application callback fired when a config changes.
 type UpdateFunc func(Entry)
 
+// Source says which layer served a read, i.e. how fresh it can be.
+type Source string
+
+const (
+	// SourceFresh: served from memory while the distribution plane is
+	// healthy — the value is current (or a push away from it).
+	SourceFresh Source = "fresh"
+	// SourceCached: served from memory while the plane is down — it was
+	// current when the plane died, but updates can no longer arrive.
+	SourceCached Source = "cached"
+	// SourceStale: served from the on-disk cache (proxy down or cold) —
+	// possibly many versions old.
+	SourceStale Source = "stale"
+)
+
+// ReadResult is a read with its staleness metadata: where the value came
+// from and how long ago the proxy last confirmed it with an observer.
+type ReadResult struct {
+	Entry
+	Source Source
+	Age    time.Duration
+	// OK is false when no layer could serve the path — or when StaleServe
+	// is off and only a non-fresh layer could.
+	OK bool
+}
+
 const (
 	pingInterval  = 2 * time.Second
 	fetchTimeout  = 3 * time.Second
 	maxPingMisses = 2
+
+	// Retry backoff: base<<attempt up to the cap, jittered ±50%.
+	backoffBase = 500 * time.Millisecond
+	backoffCap  = 8 * time.Second
+
+	// Hedging: a second fetch to another observer fires if the first has
+	// not answered within max(hedgeMinDelay, observed p99 fetch RTT).
+	hedgeMinDelay = 250 * time.Millisecond
+
+	// planeDownAfter consecutive failures marks one observer dead; when
+	// every observer is dead the distribution plane is considered down.
+	planeDownAfter = 2
+
+	// rttWindow caps the fetch-RTT history used for the hedge delay.
+	rttWindow = 64
 )
 
 type msgTickPing struct{}
 type msgFetchTimeout struct{ ReqID int64 }
+type msgRetryFetch struct {
+	Path    string
+	Attempt int
+}
+type msgHedgeFire struct{ ReqID int64 }
 
-// fetchState is one outstanding fetch: the path, and the base entry whose
-// hash we advertised (so a "not modified" or delta reply can be
-// materialized against it).
+// fetchState is one outstanding fetch: the path, the base entry whose hash
+// we advertised (so a "not modified" or delta reply can be materialized
+// against it), and which observer we asked when.
 type fetchState struct {
 	path     string
 	base     Entry
 	haveBase bool
+	observer simnet.NodeID
+	sentAt   time.Time
+	attempt  int
+	hedge    bool
+}
+
+// obsStats is the per-observer health ledger behind failover decisions.
+type obsStats struct {
+	ok         int
+	fail       int
+	consecFail int
+	rttEWMA    float64 // milliseconds
+}
+
+// subscription is one application callback, optionally with a liveness
+// check; dead subscriptions are pruned at delivery time so a cancelled
+// watcher cannot leak across proxy restarts.
+type subscription struct {
+	fn    UpdateFunc
+	alive func() bool // nil = lives forever
 }
 
 // Proxy is the per-server config proxy. It is a simnet node; the local
@@ -96,10 +167,14 @@ type Proxy struct {
 	cache    map[string]Entry
 	override map[string]Entry // canary temporary deployments win over cache
 	watched  map[string]bool
-	subs     map[string][]UpdateFunc
+	subs     map[string][]subscription
 	inflight map[int64]fetchState // reqID -> outstanding fetch
-	byPath   map[string]int64     // path -> outstanding reqID (single-flight)
+	byPath   map[string][]int64   // path -> outstanding reqIDs (primary + hedge)
 	nextReq  int64
+
+	stats     map[simnet.NodeID]*obsStats
+	rtts      []time.Duration // recent fetch RTTs (hedge delay source)
+	planeDown bool            // every observer considered dead
 
 	pingOutstanding int
 	down            bool // proxy process crashed (fallback testing)
@@ -107,6 +182,12 @@ type Proxy struct {
 	// DeltaEncoding, when true (the default), advertises content hashes on
 	// fetches so observers may reply "not modified" or with a delta.
 	DeltaEncoding bool
+
+	// StaleServe, when true (the default), lets reads degrade to cached or
+	// on-disk values with explicit staleness metadata when fresh data is
+	// unreachable. Off, such reads fail — the availability-vs-freshness
+	// knob the availability experiment flips.
+	StaleServe bool
 
 	// Stats.
 	Fetches     uint64
@@ -136,11 +217,13 @@ func New(net *simnet.Network, id simnet.NodeID, placement simnet.Placement, obse
 		cache:         make(map[string]Entry),
 		override:      make(map[string]Entry),
 		watched:       make(map[string]bool),
-		subs:          make(map[string][]UpdateFunc),
+		subs:          make(map[string][]subscription),
 		inflight:      make(map[int64]fetchState),
-		byPath:        make(map[string]int64),
+		byPath:        make(map[string][]int64),
+		stats:         make(map[simnet.NodeID]*obsStats),
 		readZxid:      make(map[string]int64),
 		DeltaEncoding: true,
+		StaleServe:    true,
 	}
 	if len(observers) > 0 {
 		p.current = int(net.RNG().Intn(len(observers)))
@@ -156,6 +239,20 @@ func (p *Proxy) ID() simnet.NodeID { return p.id }
 // Disk exposes the on-disk cache (the client library fallback reads it).
 func (p *Proxy) Disk() *DiskCache { return p.disk }
 
+// PlaneDown reports whether the proxy currently considers every observer
+// unreachable (the distribution plane lost).
+func (p *Proxy) PlaneDown() bool { return p.planeDown }
+
+// ObserverHealth exposes the per-observer health samples feeding failover
+// (tests and dashboards).
+func (p *Proxy) ObserverHealth() map[simnet.NodeID]health.Sample {
+	out := make(map[simnet.NodeID]health.Sample, len(p.observers))
+	for _, o := range p.observers {
+		out[o] = p.sampleOf(o)
+	}
+	return out
+}
+
 // Crash simulates the proxy process dying. Cached state in memory is lost;
 // the disk cache survives.
 func (p *Proxy) Crash() {
@@ -163,14 +260,23 @@ func (p *Proxy) Crash() {
 	p.net.Fail(p.id)
 }
 
-// Restart brings the proxy back with a cold in-memory cache.
+// Restart brings the proxy back with a cold in-memory cache. Application
+// subscriptions survive (the apps share the server and resubscribe
+// implicitly), but dead ones are pruned rather than revived.
 func (p *Proxy) Restart() {
 	p.down = false
 	p.cache = make(map[string]Entry)
 	p.override = make(map[string]Entry)
 	p.inflight = make(map[int64]fetchState)
-	p.byPath = make(map[string]int64)
+	p.byPath = make(map[string][]int64)
 	p.readZxid = make(map[string]int64)
+	p.stats = make(map[simnet.NodeID]*obsStats)
+	p.rtts = nil
+	p.planeDown = false
+	p.pingOutstanding = 0
+	for path := range p.subs {
+		p.pruneSubs(path)
+	}
 	p.net.Recover(p.id)
 }
 
@@ -195,19 +301,159 @@ func (p *Proxy) observer() simnet.NodeID {
 	return p.observers[p.current%len(p.observers)]
 }
 
-// failover rotates to another observer and re-establishes fetches+watches,
-// exactly the "if the observer fails, the proxy connects to another
-// observer" behaviour. Re-fetches bypass the single-flight guard: the old
-// observer may never answer the outstanding requests.
+func (p *Proxy) stat(id simnet.NodeID) *obsStats {
+	st, ok := p.stats[id]
+	if !ok {
+		st = &obsStats{}
+		p.stats[id] = st
+	}
+	return st
+}
+
+// sampleOf folds one observer's ledger into a health sample. Consecutive
+// failures dominate the score (each one outweighs any latency), so a dead
+// observer always ranks below a slow one.
+func (p *Proxy) sampleOf(id simnet.NodeID) health.Sample {
+	st := p.stat(id)
+	er := float64(st.consecFail)
+	if total := st.ok + st.fail; total > 0 {
+		er += float64(st.fail) / float64(total)
+	}
+	return health.Sample{
+		health.MetricErrorRate: er,
+		health.MetricLatencyMs: st.rttEWMA,
+	}
+}
+
+func (p *Proxy) recordFailure(id simnet.NodeID) {
+	if id == "" {
+		return
+	}
+	st := p.stat(id)
+	st.fail++
+	st.consecFail++
+	if !p.planeDown && p.allObserversDead() {
+		p.planeDown = true
+		p.Obs.Add("proxy.plane.down", 1)
+	}
+}
+
+func (p *Proxy) recordSuccess(ctx *simnet.Context, id simnet.NodeID, rtt time.Duration) {
+	st := p.stat(id)
+	st.ok++
+	st.consecFail = 0
+	if rtt >= 0 {
+		ms := float64(rtt) / float64(time.Millisecond)
+		if st.rttEWMA == 0 {
+			st.rttEWMA = ms
+		} else {
+			st.rttEWMA = 0.8*st.rttEWMA + 0.2*ms
+		}
+	}
+	if p.planeDown {
+		// The plane healed: resubscribe everything. Fetches advertise the
+		// hashes we hold, so catch-up is a delta (or "not modified") per
+		// path, falling back to full snapshots where our base diverged.
+		p.planeDown = false
+		p.Obs.Add("proxy.plane.heal", 1)
+		for path := range p.watched {
+			if len(p.byPath[path]) == 0 {
+				p.doFetch(ctx, path, true, 0)
+			}
+		}
+	}
+}
+
+func (p *Proxy) allObserversDead() bool {
+	if len(p.observers) == 0 {
+		return true
+	}
+	for _, o := range p.observers {
+		if p.stat(o).consecFail < planeDownAfter {
+			return false
+		}
+	}
+	return true
+}
+
+// backoff computes the retry delay for the given attempt: exponential from
+// backoffBase up to backoffCap, jittered to 50–100% of the step with the
+// network's deterministic RNG so runs stay reproducible.
+func (p *Proxy) backoff(attempt int) time.Duration {
+	d := backoffBase
+	for i := 0; i < attempt && d < backoffCap; i++ {
+		d *= 2
+	}
+	if d > backoffCap {
+		d = backoffCap
+	}
+	half := int64(d / 2)
+	return time.Duration(half + int64(p.net.RNG().Uint64()%uint64(half)))
+}
+
+// hedgeDelay derives the hedged-fetch trigger from the observed p99 fetch
+// RTT — hedges fire only for outlier-slow fetches, not the common case.
+func (p *Proxy) hedgeDelay() time.Duration {
+	if len(p.rtts) == 0 {
+		return 4 * hedgeMinDelay
+	}
+	s := append([]time.Duration(nil), p.rtts...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	p99 := s[len(s)*99/100]
+	if p99 < hedgeMinDelay {
+		return hedgeMinDelay
+	}
+	return p99
+}
+
+func (p *Proxy) recordRTT(rtt time.Duration) {
+	if len(p.rtts) >= rttWindow {
+		copy(p.rtts, p.rtts[1:])
+		p.rtts = p.rtts[:rttWindow-1]
+	}
+	p.rtts = append(p.rtts, rtt)
+}
+
+// failover replaces the current observer with the healthiest alternative
+// (health-scored; deterministic tie-break), or round-robins when the whole
+// plane looks dead and scores cannot distinguish candidates. The old
+// observer is told to drop our watches so its watch table does not leak
+// registrations until its own session sweep fires.
 func (p *Proxy) failover(ctx *simnet.Context) {
 	if len(p.observers) <= 1 {
 		return
 	}
-	p.current = (p.current + 1 + int(p.net.RNG().Intn(len(p.observers)-1))) % len(p.observers)
+	old := p.observer()
+	if p.planeDown {
+		p.current = (p.current + 1) % len(p.observers)
+	} else {
+		samples := make(map[simnet.NodeID]health.Sample, len(p.observers)-1)
+		for _, o := range p.observers {
+			if o != old {
+				samples[o] = p.sampleOf(o)
+			}
+		}
+		best := health.Rank(samples)[0].ID
+		for i, o := range p.observers {
+			if o == best {
+				p.current = i
+			}
+		}
+	}
 	p.Failovers++
 	p.pingOutstanding = 0
+	p.Obs.Add("proxy.failover", 1)
 	for path := range p.watched {
-		p.forceFetch(ctx, path, true)
+		ctx.Send(old, zeus.MsgUnwatch{Path: path})
+	}
+	// Re-establish fetches+watches on the new observer, bypassing the
+	// single-flight guard (the old observer may never answer). When the
+	// plane is down this would be a refetch storm every timeout — the
+	// per-path backoff retries own recovery instead.
+	if !p.planeDown {
+		for path := range p.watched {
+			p.forceFetch(ctx, path, true)
+		}
 	}
 }
 
@@ -225,10 +471,53 @@ func (p *Proxy) Want(path string) {
 }
 
 // Subscribe registers an application callback for a path and keeps the
-// config warm. The callback fires on every subsequent change.
+// config warm. The callback fires on every subsequent change, forever.
 func (p *Proxy) Subscribe(path string, fn UpdateFunc) {
-	p.subs[path] = append(p.subs[path], fn)
+	p.SubscribeWhile(path, nil, fn)
+}
+
+// SubscribeWhile registers a callback that lives only while alive()
+// returns true (nil = forever). Dead subscriptions are pruned at delivery
+// time and across restarts — the cancellation hook the context-aware
+// client API builds on.
+func (p *Proxy) SubscribeWhile(path string, alive func() bool, fn UpdateFunc) {
+	p.subs[path] = append(p.subs[path], subscription{fn: fn, alive: alive})
 	p.Want(path)
+}
+
+// SubCount reports the live subscriptions for a path (leak tests).
+func (p *Proxy) SubCount(path string) int {
+	p.pruneSubs(path)
+	return len(p.subs[path])
+}
+
+// InflightCount reports how many fetches are outstanding (leak checks).
+func (p *Proxy) InflightCount() int { return len(p.inflight) }
+
+// pruneSubs drops subscriptions whose liveness check fails.
+func (p *Proxy) pruneSubs(path string) {
+	subs := p.subs[path]
+	kept := subs[:0]
+	for _, s := range subs {
+		if s.alive != nil && !s.alive() {
+			p.Obs.Add("proxy.sub.pruned", 1)
+			continue
+		}
+		kept = append(kept, s)
+	}
+	if len(kept) == 0 {
+		delete(p.subs, path)
+	} else {
+		p.subs[path] = kept
+	}
+}
+
+// notify fires the live subscriptions for a path, pruning dead ones.
+func (p *Proxy) notify(path string, e Entry) {
+	p.pruneSubs(path)
+	for _, s := range p.subs[path] {
+		s.fn(e)
+	}
 }
 
 // SetOverride temporarily deploys a config to this server only — the
@@ -238,9 +527,7 @@ func (p *Proxy) Subscribe(path string, fn UpdateFunc) {
 func (p *Proxy) SetOverride(path string, data []byte) {
 	e := Entry{Path: path, Exists: true, Data: data, Version: -1}
 	p.override[path] = e
-	for _, fn := range p.subs[path] {
-		fn(e)
-	}
+	p.notify(path, e)
 }
 
 // ClearOverride removes a temporary deployment; subscribers are re-fed the
@@ -251,9 +538,7 @@ func (p *Proxy) ClearOverride(path string) {
 	}
 	delete(p.override, path)
 	if e, ok := p.cache[path]; ok {
-		for _, fn := range p.subs[path] {
-			fn(e)
-		}
+		p.notify(path, e)
 	}
 }
 
@@ -283,56 +568,118 @@ func (p *Proxy) Overridden(path string) bool {
 	return ok
 }
 
-// Get returns the config at path. The second result is false when the
-// config is not available from any layer (override, memory, disk). A stale
-// disk entry is returned when the proxy is down — availability over
-// freshness.
-func (p *Proxy) Get(path string) (Entry, bool) {
-	if e, ok := p.override[path]; ok && !p.down {
-		return e, true
-	}
+// Read returns the config at path with staleness metadata, degrading
+// through the layers: override and memory while the proxy process is up
+// (fresh if the plane is healthy, cached if not), then the on-disk cache
+// (stale). With StaleServe off, only fresh reads succeed — the paper's
+// choice is availability over freshness, so on is the default.
+func (p *Proxy) Read(path string) ReadResult {
+	now := p.net.Now()
 	if !p.down {
+		if e, ok := p.override[path]; ok {
+			return ReadResult{Entry: e, Source: SourceFresh, OK: true}
+		}
 		if e, ok := p.cache[path]; ok {
+			src := SourceFresh
+			if p.planeDown {
+				src = SourceCached
+			}
+			if src != SourceFresh && !p.StaleServe {
+				p.Obs.Add("proxy.read.refused", 1)
+				return ReadResult{Source: src, Age: now.Sub(e.Fetched)}
+			}
 			if e.Zxid > p.readZxid[path] {
 				p.readZxid[path] = e.Zxid
 				p.Obs.PathEvent(path, obs.PropEvent{
 					Stage: obs.EvClientRead, Node: string(p.id),
-					Zxid: e.Zxid, At: p.net.Now(),
+					Zxid: e.Zxid, At: now,
 				})
 			}
-			return e, ok
+			if src != SourceFresh {
+				p.Obs.Add("proxy.read.degraded", 1)
+			}
+			return ReadResult{Entry: e, Source: src, Age: now.Sub(e.Fetched), OK: true}
 		}
 		p.Want(path) // warm it for next time
 	}
 	// Fall back to the on-disk cache (proxy down or not yet fetched).
-	return p.disk.Load(path)
+	e, ok := p.disk.Load(path)
+	if !ok {
+		return ReadResult{Source: SourceStale}
+	}
+	if !p.StaleServe {
+		p.Obs.Add("proxy.read.refused", 1)
+		return ReadResult{Source: SourceStale, Age: now.Sub(e.Fetched)}
+	}
+	p.Obs.Add("proxy.read.stale", 1)
+	return ReadResult{Entry: e, Source: SourceStale, Age: now.Sub(e.Fetched), OK: true}
+}
+
+// Get returns the config at path. The second result is false when the
+// config is not available from any layer (override, memory, disk).
+// Deprecated: use Read, which also reports staleness metadata.
+func (p *Proxy) Get(path string) (Entry, bool) {
+	r := p.Read(path)
+	return r.Entry, r.OK
 }
 
 // sendFetch issues a fetch unless one is already in flight for the path
 // (single-flight: a second Want before the reply arrives must not send a
 // second MsgFetch).
 func (p *Proxy) sendFetch(ctx *simnet.Context, path string) {
-	if _, ok := p.byPath[path]; ok {
+	if len(p.byPath[path]) > 0 {
 		p.Obs.Add("proxy.fetch.singleflight", 1)
 		return
 	}
-	p.doFetch(ctx, path, true)
+	p.doFetch(ctx, path, true, 0)
 }
 
-// forceFetch abandons any outstanding fetch for the path and issues a new
-// one (failover, or delta fallback with advertise=false to demand a full
-// snapshot).
+// forceFetch abandons all outstanding fetches for the path and issues a
+// new one (failover, or delta fallback with advertise=false to demand a
+// full snapshot).
 func (p *Proxy) forceFetch(ctx *simnet.Context, path string, advertise bool) {
-	if prev, ok := p.byPath[path]; ok {
-		delete(p.inflight, prev)
-		delete(p.byPath, path)
-	}
-	p.doFetch(ctx, path, advertise)
+	p.dropPath(path)
+	p.doFetch(ctx, path, advertise, 0)
 }
 
-func (p *Proxy) doFetch(ctx *simnet.Context, path string, advertise bool) {
+// dropPath forgets every outstanding fetch for a path.
+func (p *Proxy) dropPath(path string) {
+	for _, id := range p.byPath[path] {
+		delete(p.inflight, id)
+	}
+	delete(p.byPath, path)
+}
+
+// dropReq forgets one outstanding fetch.
+func (p *Proxy) dropReq(reqID int64) {
+	st, ok := p.inflight[reqID]
+	if !ok {
+		return
+	}
+	delete(p.inflight, reqID)
+	ids := p.byPath[st.path]
+	kept := ids[:0]
+	for _, id := range ids {
+		if id != reqID {
+			kept = append(kept, id)
+		}
+	}
+	if len(kept) == 0 {
+		delete(p.byPath, st.path)
+	} else {
+		p.byPath[st.path] = kept
+	}
+}
+
+// doFetch sends a fetch to the current observer and arms its deadline and
+// hedge timers.
+func (p *Proxy) doFetch(ctx *simnet.Context, path string, advertise bool, attempt int) {
+	p.fetchFrom(ctx, path, p.observer(), advertise, attempt, false)
+}
+
+func (p *Proxy) fetchFrom(ctx *simnet.Context, path string, target simnet.NodeID, advertise bool, attempt int, hedge bool) {
 	p.nextReq++
-	st := fetchState{path: path}
+	st := fetchState{path: path, observer: target, sentAt: ctx.Now(), attempt: attempt, hedge: hedge}
 	if advertise && p.DeltaEncoding {
 		if e, ok := p.cache[path]; ok && e.Exists {
 			st.base, st.haveBase = e, true
@@ -341,11 +688,10 @@ func (p *Proxy) doFetch(ctx *simnet.Context, path string, advertise bool) {
 		}
 	}
 	p.inflight[p.nextReq] = st
-	p.byPath[path] = p.nextReq
+	p.byPath[path] = append(p.byPath[path], p.nextReq)
 	p.Fetches++
 	p.Obs.Add("proxy.fetch.sent", 1)
-	obs := p.observer()
-	if obs == "" {
+	if target == "" {
 		return
 	}
 	m := zeus.MsgFetch{ReqID: p.nextReq, Path: path, Watch: true}
@@ -353,8 +699,11 @@ func (p *Proxy) doFetch(ctx *simnet.Context, path string, advertise bool) {
 		m.Have = true
 		m.HaveHash = vcs.HashBytes(st.base.Data)
 	}
-	ctx.Send(obs, m)
+	ctx.Send(target, m)
 	ctx.SetTimer(fetchTimeout, msgFetchTimeout{ReqID: p.nextReq})
+	if !hedge && len(p.observers) > 1 {
+		ctx.SetTimer(p.hedgeDelay(), msgHedgeFire{ReqID: p.nextReq})
+	}
 }
 
 // HandleMessage implements simnet.Handler.
@@ -369,15 +718,17 @@ func (p *Proxy) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg simne
 		p.WatchEvents++
 		p.onWatchEvent(ctx, from, m)
 	case msgFetchTimeout:
-		if st, ok := p.inflight[m.ReqID]; ok {
-			delete(p.inflight, m.ReqID)
-			delete(p.byPath, st.path)
-			p.failover(ctx)
-			p.sendFetch(ctx, st.path)
+		p.onFetchTimeout(ctx, m)
+	case msgHedgeFire:
+		p.onHedgeFire(ctx, m)
+	case msgRetryFetch:
+		if p.watched[m.Path] && len(p.byPath[m.Path]) == 0 {
+			p.doFetch(ctx, m.Path, true, m.Attempt)
 		}
 	case msgTickPing:
 		ctx.SetTimer(pingInterval, msgTickPing{})
 		if p.pingOutstanding >= maxPingMisses {
+			p.recordFailure(p.observer())
 			p.failover(ctx)
 		}
 		if obs := p.observer(); obs != "" {
@@ -388,7 +739,50 @@ func (p *Proxy) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg simne
 		if from == p.observer() {
 			p.pingOutstanding = 0
 		}
+		p.recordSuccess(ctx, from, -1)
 	}
+}
+
+// onFetchTimeout handles a fetch deadline expiring: mark the observer
+// unhealthy, fail over off it if it is still current, and schedule a
+// backed-off retry if no sibling fetch (hedge) remains in flight.
+func (p *Proxy) onFetchTimeout(ctx *simnet.Context, m msgFetchTimeout) {
+	st, ok := p.inflight[m.ReqID]
+	if !ok {
+		return
+	}
+	p.dropReq(m.ReqID)
+	p.Obs.Add("proxy.fetch.timeout", 1)
+	p.recordFailure(st.observer)
+	if st.observer == p.observer() {
+		p.failover(ctx)
+	}
+	if p.watched[st.path] && len(p.byPath[st.path]) == 0 {
+		attempt := st.attempt + 1
+		ctx.SetTimer(p.backoff(attempt), msgRetryFetch{Path: st.path, Attempt: attempt})
+		p.Obs.Add("proxy.fetch.retry", 1)
+	}
+}
+
+// onHedgeFire sends the hedged duplicate of a still-unanswered fetch to
+// the next-healthiest observer. First reply wins; the loser is discarded
+// by the byPath sweep in onFetchReply.
+func (p *Proxy) onHedgeFire(ctx *simnet.Context, m msgHedgeFire) {
+	st, ok := p.inflight[m.ReqID]
+	if !ok {
+		return // answered already — the common case
+	}
+	samples := make(map[simnet.NodeID]health.Sample, len(p.observers)-1)
+	for _, o := range p.observers {
+		if o != st.observer {
+			samples[o] = p.sampleOf(o)
+		}
+	}
+	if len(samples) == 0 {
+		return
+	}
+	p.Obs.Add("proxy.fetch.hedged", 1)
+	p.fetchFrom(ctx, st.path, health.Rank(samples)[0].ID, st.haveBase, st.attempt, true)
 }
 
 func (p *Proxy) onFetchReply(ctx *simnet.Context, from simnet.NodeID, m zeus.MsgFetchReply) {
@@ -396,8 +790,28 @@ func (p *Proxy) onFetchReply(ctx *simnet.Context, from simnet.NodeID, m zeus.Msg
 	if !ok {
 		return
 	}
-	delete(p.inflight, m.ReqID)
-	delete(p.byPath, st.path)
+	rtt := ctx.Now().Sub(st.sentAt)
+	// First reply wins: discard the sibling (primary or hedge) before the
+	// success bookkeeping, so a plane-heal resubscribe sweep sees this
+	// path as idle and re-establishes its watch too.
+	p.dropPath(st.path)
+	// The replying observer holds our watch now (fetches register it); if
+	// it is not the observer we point at — a hedge won, or we failed over
+	// while the fetch was in flight — re-point at it, else its pushes
+	// would be discarded as stale and the path would freeze.
+	if from != p.observer() {
+		for i, o := range p.observers {
+			if o == from {
+				p.current = i
+				p.pingOutstanding = 0
+			}
+		}
+	}
+	p.recordRTT(rtt)
+	p.recordSuccess(ctx, from, rtt)
+	if st.hedge {
+		p.Obs.Add("proxy.fetch.hedge_won", 1)
+	}
 	if !m.Exists {
 		p.apply(ctx, Entry{Path: m.Path, Fetched: ctx.Now()}, from)
 		return
@@ -432,6 +846,7 @@ func (p *Proxy) onWatchEvent(ctx *simnet.Context, from simnet.NodeID, m zeus.Msg
 	if old, ok := p.cache[m.Path]; ok && m.Zxid <= old.Zxid {
 		return // already current (or newer) — nothing to resolve
 	}
+	p.recordSuccess(ctx, from, -1)
 	if m.Delete {
 		p.apply(ctx, Entry{Path: m.Path, Fetched: ctx.Now()}, from)
 		return
@@ -469,8 +884,6 @@ func (p *Proxy) apply(ctx *simnet.Context, e Entry, via simnet.NodeID) {
 			Stage: obs.EvProxyMaterialize, Node: string(p.id), Via: string(via),
 			Zxid: e.Zxid, At: ctx.Now(),
 		})
-		for _, fn := range p.subs[e.Path] {
-			fn(e)
-		}
+		p.notify(e.Path, e)
 	}
 }

@@ -169,7 +169,14 @@ type Network struct {
 	seq     uint64
 
 	partitioned map[pair]bool
-	lossRate    map[pair]float64
+	// partitionedDir severs single directions only (asymmetric routing
+	// failures); the undirected map above cuts both at once.
+	partitionedDir map[pair]bool
+	lossRate       map[pair]float64
+	lossRateDir    map[pair]float64
+	// extraLatency adds a per-directed-link latency penalty (congestion
+	// spikes injected by a FaultPlan) on top of the placement-derived base.
+	extraLatency map[pair]time.Duration
 	// lastArrival enforces FIFO delivery per directed link (TCP
 	// semantics): latency jitter never reorders two messages between the
 	// same endpoints. Protocols like Zeus's commit stream rely on this.
@@ -195,14 +202,17 @@ const DefaultBandwidth = 1.25e9 // bytes/sec
 // New returns an empty network with the given latency model and seed.
 func New(latency LatencyModel, seed uint64) *Network {
 	return &Network{
-		clock:       vclock.NewVirtual(),
-		rng:         stats.NewRNG(seed),
-		latency:     latency,
-		nodes:       make(map[NodeID]*node),
-		partitioned: make(map[pair]bool),
-		lossRate:    make(map[pair]float64),
-		lastArrival: make(map[pair]time.Time),
-		linkBytes:   make(map[pair]uint64),
+		clock:          vclock.NewVirtual(),
+		rng:            stats.NewRNG(seed),
+		latency:        latency,
+		nodes:          make(map[NodeID]*node),
+		partitioned:    make(map[pair]bool),
+		partitionedDir: make(map[pair]bool),
+		lossRate:       make(map[pair]float64),
+		lossRateDir:    make(map[pair]float64),
+		extraLatency:   make(map[pair]time.Duration),
+		lastArrival:    make(map[pair]time.Time),
+		linkBytes:      make(map[pair]uint64),
 	}
 }
 
@@ -302,9 +312,42 @@ func (n *Network) Partition(a, b NodeID) { n.partitioned[orderedPair(a, b)] = tr
 // Heal restores connectivity between a and b.
 func (n *Network) Heal(a, b NodeID) { delete(n.partitioned, orderedPair(a, b)) }
 
+// PartitionOneWay severs only the from→to direction (asymmetric routing
+// failure); replies still flow. Heal it with HealOneWay.
+func (n *Network) PartitionOneWay(from, to NodeID) { n.partitionedDir[pair{from, to}] = true }
+
+// HealOneWay restores the from→to direction.
+func (n *Network) HealOneWay(from, to NodeID) { delete(n.partitionedDir, pair{from, to}) }
+
+// Partitioned reports whether from→to traffic is currently severed (by
+// either the undirected or the directed map).
+func (n *Network) Partitioned(from, to NodeID) bool {
+	return n.partitioned[orderedPair(from, to)] || n.partitionedDir[pair{from, to}]
+}
+
 // SetLoss sets the probability that a message between a and b is lost.
 // Used to model the unreliable mobile push-notification channel (§5).
 func (n *Network) SetLoss(a, b NodeID, p float64) { n.lossRate[orderedPair(a, b)] = p }
+
+// SetLossOneWay sets the drop probability for the from→to direction only
+// (0 clears it).
+func (n *Network) SetLossOneWay(from, to NodeID, p float64) {
+	if p <= 0 {
+		delete(n.lossRateDir, pair{from, to})
+		return
+	}
+	n.lossRateDir[pair{from, to}] = p
+}
+
+// SetLinkLatency adds extra one-way latency on the from→to link — a
+// congestion spike. Zero clears the spike.
+func (n *Network) SetLinkLatency(from, to NodeID, extra time.Duration) {
+	if extra <= 0 {
+		delete(n.extraLatency, pair{from, to})
+		return
+	}
+	n.extraLatency[pair{from, to}] = extra
+}
 
 // Send schedules delivery of a zero-size control message.
 func (n *Network) Send(from, to NodeID, msg Message) { n.SendSized(from, to, msg, 0) }
@@ -320,7 +363,7 @@ func (n *Network) SendSized(from, to NodeID, msg Message, size int) {
 		n.Dropped++
 		return
 	}
-	if n.partitioned[orderedPair(from, to)] {
+	if n.partitioned[orderedPair(from, to)] || n.partitionedDir[pair{from, to}] {
 		n.Dropped++
 		return
 	}
@@ -328,8 +371,13 @@ func (n *Network) SendSized(from, to NodeID, msg Message, size int) {
 		n.Dropped++
 		return
 	}
+	if p := n.lossRateDir[pair{from, to}]; p > 0 && n.rng.Bool(p) {
+		n.Dropped++
+		return
+	}
 	now := n.clock.Now()
 	lat := n.latency.between(src.placement, dst.placement, n.rng)
+	lat += n.extraLatency[pair{from, to}]
 	depart := now
 	arrive := now.Add(lat)
 	if size > 0 {

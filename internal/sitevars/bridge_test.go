@@ -1,6 +1,7 @@
 package sitevars
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -31,7 +32,7 @@ func TestBridgeSetDistributes(t *testing.T) {
 	}
 	fleet.Net.RunFor(20 * time.Second)
 	srv := fleet.AllServers()[0]
-	cfg, err := srv.Client.Current(b.ZeusPath("max_upload_mb"))
+	cfg, err := srv.Client.Get(context.Background(), b.ZeusPath("max_upload_mb"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -150,9 +150,18 @@ func TestWatchOrderingAcrossFailover(t *testing.T) {
 		}
 	})
 	net.AddNode("proxy-1", simnet.Placement{Region: "us-west", Cluster: "c1"}, watcher)
+	// Keep the watch session alive: observers prune watchers that go
+	// silent past watchSessionTTL, so ping like a real proxy would.
+	var keepalive func()
+	keepalive = func() {
+		ctx := simnet.MakeContext(net, "proxy-1")
+		ctx.Send("obs-c1", MsgPing{ReqID: 0})
+		net.After(2*time.Second, keepalive)
+	}
 	net.After(0, func() {
 		ctx := simnet.MakeContext(net, "proxy-1")
 		ctx.Send("obs-c1", MsgFetch{ReqID: 1, Path: "/hot", Watch: true})
+		keepalive()
 	})
 	net.RunFor(2 * time.Second)
 

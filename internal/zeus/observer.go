@@ -1,10 +1,20 @@
 package zeus
 
 import (
+	"time"
+
 	"configerator/internal/obs"
 	"configerator/internal/simnet"
 	"configerator/internal/vcs"
 )
+
+// watchSessionTTL expires a proxy's watch registrations when the proxy
+// stops talking to this observer (crashed, or failed over to another
+// observer without an explicit unwatch). Healthy proxies ping their
+// observer every ~2 s, so four missed intervals means the session is dead;
+// without this sweep, every crashed proxy would leak its watch set here
+// forever and keep receiving (dropped) events.
+const watchSessionTTL = 8 * time.Second
 
 // Observer keeps a fully replicated read-only copy of the leader's data
 // (§3.4). Each cluster runs several observers; the leader pushes committed
@@ -21,6 +31,9 @@ type Observer struct {
 	// one: the base a proxy that is exactly one version behind advertises,
 	// and therefore the base worth delta-encoding fetch replies against.
 	prev map[string][]byte
+	// lastContact tracks when each watching proxy last pinged or fetched;
+	// silent proxies have their watch sessions pruned (watchSessionTTL).
+	lastContact map[simnet.NodeID]time.Time
 
 	deltaEncoding bool
 
@@ -41,6 +54,7 @@ func NewObserver(id simnet.NodeID, members []simnet.NodeID) *Observer {
 		tree:          NewDataTree(),
 		watches:       make(map[string]map[simnet.NodeID]bool),
 		prev:          make(map[string][]byte),
+		lastContact:   make(map[simnet.NodeID]time.Time),
 		deltaEncoding: true,
 	}
 }
@@ -78,6 +92,7 @@ func (o *Observer) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg si
 	switch m := msg.(type) {
 	case msgTickObserver:
 		o.register(ctx)
+		o.pruneWatchSessions(ctx)
 		ctx.SetTimer(observerRegisterGap, msgTickObserver{})
 	case msgObserverSync:
 		// Catch-up ops arrive as full snapshots; run them through the same
@@ -99,7 +114,34 @@ func (o *Observer) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg si
 			delete(set, from)
 		}
 	case MsgPing:
+		o.lastContact[from] = ctx.Now()
 		ctx.Send(from, MsgPong{ReqID: m.ReqID})
+	}
+}
+
+// pruneWatchSessions drops watch registrations (and contact records) for
+// proxies that have been silent past watchSessionTTL — crashed, or failed
+// over to another observer. This is the observer-side half of the
+// watch-session leak fix; the proxy also unwatches eagerly on failover.
+func (o *Observer) pruneWatchSessions(ctx *simnet.Context) {
+	now := ctx.Now()
+	var dead []simnet.NodeID
+	for proxy, seen := range o.lastContact {
+		if now.Sub(seen) > watchSessionTTL {
+			dead = append(dead, proxy)
+		}
+	}
+	for _, proxy := range dead {
+		delete(o.lastContact, proxy)
+		for path, set := range o.watches {
+			if set[proxy] {
+				delete(set, proxy)
+				o.Obs.Add("zeus.observer.watch_pruned", 1)
+			}
+			if len(set) == 0 {
+				delete(o.watches, path)
+			}
+		}
 	}
 }
 
@@ -171,6 +213,7 @@ func (o *Observer) applyBatch(ctx *simnet.Context, updates []Update) {
 // content it already holds, so the reply is the cheapest of: "not
 // modified", a delta against the previous version, or a full snapshot.
 func (o *Observer) onFetch(ctx *simnet.Context, from simnet.NodeID, m MsgFetch) {
+	o.lastContact[from] = ctx.Now()
 	if m.Watch {
 		set, ok := o.watches[m.Path]
 		if !ok {

@@ -27,6 +27,12 @@ const (
 	electionStagger     = 400 * time.Millisecond
 	electionWindow      = 300 * time.Millisecond
 	observerRegisterGap = 2 * time.Second
+	// observerSessionTTL expires an observer session at the leader when the
+	// observer stops re-registering (crashed or partitioned away): the
+	// leader must not push commit batches into a dead link forever. A
+	// recovered observer re-registers with its last zxid and catches up via
+	// the full-snapshot sync path.
+	observerSessionTTL = 3 * observerRegisterGap
 )
 
 // Group-commit tuning. Every proposal wave costs one durable log write
@@ -66,11 +72,12 @@ type Server struct {
 	leaderID simnet.NodeID
 	tree     *DataTree
 
-	// Leader state.
+	// Leader state. observers maps each registered observer to the instant
+	// it last re-registered; sessions silent past observerSessionTTL expire.
 	counter     int64
 	pending     map[int64]*proposal
 	versionSeq  map[string]int64 // highest version assigned per path (incl. pending)
-	observers   map[simnet.NodeID]bool
+	observers   map[simnet.NodeID]time.Time
 	pendingZxid []int64 // sorted pending zxids for in-order commit
 
 	// Group-commit state (leader).
@@ -114,7 +121,7 @@ func NewServer(id simnet.NodeID, index int, members []simnet.NodeID) *Server {
 		tree:          NewDataTree(),
 		pending:       make(map[int64]*proposal),
 		versionSeq:    make(map[string]int64),
-		observers:     make(map[simnet.NodeID]bool),
+		observers:     make(map[simnet.NodeID]time.Time),
 		uncommitted:   make(map[int64]WriteOp),
 		groupCommit:   true,
 		deltaEncoding: true,
@@ -132,6 +139,10 @@ func (s *Server) Epoch() int64 { return s.epoch }
 
 // LeaderID reports who this server believes leads ("" if unknown).
 func (s *Server) LeaderID() simnet.NodeID { return s.leaderID }
+
+// ObserverCount reports how many observer sessions this server (when
+// leader) currently considers live.
+func (s *Server) ObserverCount() int { return len(s.observers) }
 
 // SetGroupCommit toggles write coalescing. Off, every write proposes its
 // own single-op wave immediately — the one-proposal-per-write baseline the
@@ -309,7 +320,7 @@ func (s *Server) becomeLeader(ctx *simnet.Context, term int64) {
 	s.pending = make(map[int64]*proposal)
 	s.pendingZxid = nil
 	s.versionSeq = make(map[string]int64)
-	s.observers = make(map[simnet.NodeID]bool)
+	s.observers = make(map[simnet.NodeID]time.Time)
 	s.uncommitted = make(map[int64]WriteOp)
 	s.resetWaves()
 	s.othersDo(ctx, func(peer simnet.NodeID) {
@@ -339,6 +350,17 @@ func (s *Server) onLeaderTick(ctx *simnet.Context) {
 	s.othersDo(ctx, func(peer simnet.NodeID) {
 		ctx.Send(peer, msgHeartbeat{Epoch: s.epoch})
 	})
+	s.expireObservers(ctx)
+}
+
+// expireObservers drops observer sessions that stopped re-registering.
+func (s *Server) expireObservers(ctx *simnet.Context) {
+	for ob, seen := range s.observers {
+		if ctx.Now().Sub(seen) > observerSessionTTL {
+			delete(s.observers, ob)
+			s.Obs.Add("zeus.observer.expired", 1)
+		}
+	}
 }
 
 func (s *Server) onHeartbeat(ctx *simnet.Context, from simnet.NodeID, m msgHeartbeat) {
@@ -612,7 +634,7 @@ func (s *Server) onObserverRegister(ctx *simnet.Context, from simnet.NodeID, m m
 	if s.role != RoleLeader {
 		return
 	}
-	s.observers[from] = true
+	s.observers[from] = ctx.Now()
 	ops := s.tree.OpsAfter(m.LastZxid)
 	if len(ops) == 0 {
 		return

@@ -1,0 +1,87 @@
+package zeus
+
+import (
+	"testing"
+	"time"
+
+	"configerator/internal/obs"
+	"configerator/internal/simnet"
+)
+
+// TestObserverSessionExpiry crashes an observer and asserts the leader
+// expires its session, then restarts it and asserts it re-registers and
+// catches up on the writes it missed.
+func TestObserverSessionExpiry(t *testing.T) {
+	net, e := testDeployment(t, 91)
+	reg := obs.New()
+	net.SetObs(reg)
+	e.SetObs(reg)
+	obsv := e.AddObserver("obs-c1", simnet.Placement{Region: "us-west", Cluster: "c1"})
+	net.RunFor(5 * time.Second)
+
+	c := addClient(net, e, "writer")
+	write(t, net, c, "writer", "/sess/a", "v1")
+	if e.LeaderServer().ObserverCount() != 1 {
+		t.Fatalf("leader observer count = %d, want 1", e.LeaderServer().ObserverCount())
+	}
+
+	// Crash the observer: its registrations stop, and after the session
+	// TTL the leader must expire it.
+	net.Fail("obs-c1")
+	net.RunFor(observerSessionTTL + 2*observerRegisterGap)
+	if n := e.LeaderServer().ObserverCount(); n != 0 {
+		t.Fatalf("leader still tracks %d observers after expiry window", n)
+	}
+	if reg.Counters().Get("zeus.observer.expired") == 0 {
+		t.Error("zeus.observer.expired counter never incremented")
+	}
+
+	// Write while the observer is down, then restart: re-registration must
+	// bring both the session and the missed data back.
+	write(t, net, c, "writer", "/sess/a", "v2")
+	net.Recover("obs-c1")
+	net.RunFor(10 * time.Second)
+	if e.LeaderServer().ObserverCount() != 1 {
+		t.Fatalf("observer did not re-register after restart")
+	}
+	rec := obsv.Tree().Get("/sess/a")
+	if rec == nil || string(rec.Data) != "v2" {
+		t.Fatalf("observer did not catch up: %v", rec)
+	}
+}
+
+// TestObserverWatchPruning registers a watch from a proxy node that then
+// goes permanently silent; the observer must prune the dead watch session
+// rather than leak it and keep pushing events into the void.
+func TestObserverWatchPruning(t *testing.T) {
+	net, e := testDeployment(t, 92)
+	reg := obs.New()
+	net.SetObs(reg)
+	e.SetObs(reg)
+	obsv := e.AddObserver("obs-c1", simnet.Placement{Region: "us-west", Cluster: "c1"})
+	net.RunFor(5 * time.Second)
+
+	c := addClient(net, e, "writer")
+	write(t, net, c, "writer", "/prune/x", "v1")
+
+	sink := simnet.HandlerFunc(func(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {})
+	net.AddNode("ghost-proxy", simnet.Placement{Region: "us-west", Cluster: "c1"}, sink)
+	net.After(0, func() {
+		ctx := simnet.MakeContext(net, "ghost-proxy")
+		ctx.Send("obs-c1", MsgFetch{ReqID: 1, Path: "/prune/x", Watch: true})
+	})
+	net.RunFor(2 * time.Second)
+	if obsv.WatchCount("/prune/x") != 1 {
+		t.Fatalf("watch not registered: count = %d", obsv.WatchCount("/prune/x"))
+	}
+
+	// The ghost proxy never pings again; past the TTL its registration
+	// must be gone.
+	net.RunFor(watchSessionTTL + 2*observerRegisterGap)
+	if n := obsv.WatchCount("/prune/x"); n != 0 {
+		t.Fatalf("dead watch session leaked: count = %d", n)
+	}
+	if reg.Counters().Get("zeus.observer.watch_pruned") == 0 {
+		t.Error("zeus.observer.watch_pruned counter never incremented")
+	}
+}
