@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet lint race bench-obs bench-compile bench-distribution bench-availability report
+.PHONY: build test check vet lint race bench-obs bench-compile bench-distribution bench-availability bench-readpath report
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,11 @@ test: build
 # confclient and cluster run the fault plane and the degradation read
 # path), the obs smoke run that regenerates BENCH_obs.json, the
 # distribution-plane smoke that regenerates and asserts
-# BENCH_distribution.json, and the availability smoke that regenerates
-# and asserts BENCH_availability.json.
-check: vet lint race bench-obs bench-distribution bench-availability
+# BENCH_distribution.json, the availability smoke that regenerates
+# and asserts BENCH_availability.json, and the read-hot-path smoke that
+# regenerates and asserts BENCH_readpath.json (zero allocs per warm
+# read, >= 5x over the lock+decode baseline at 32 readers).
+check: vet lint race bench-obs bench-distribution bench-availability bench-readpath
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +54,15 @@ bench-distribution:
 bench-availability:
 	$(GO) run ./cmd/benchreport -quick -only availability -o - > /dev/null
 	$(GO) test -run TestAvailabilityArtifact ./internal/experiments/
+
+# bench-readpath: smoke-run the read-hot-path experiment (leaves
+# BENCH_readpath.json in the repo root) and assert the artifact's schema
+# and headline claims — allocs_per_read == 0, allocs_per_get == 0,
+# >= 5x reads/sec over the per-read lock+decode baseline at 32 readers,
+# commit-to-read freshness measured and bounded.
+bench-readpath:
+	$(GO) run ./cmd/benchreport -quick -only readpath -o - > /dev/null
+	$(GO) test -run TestReadpathArtifact ./internal/experiments/
 
 # bench-compile: the shared-.cinc fan-out benchmarks behind BENCH_compile.json.
 bench-compile:

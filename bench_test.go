@@ -12,18 +12,25 @@ package configerator
 // diffs, and canonical JSON.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"configerator/internal/cdl"
+	"configerator/internal/confclient"
 	"configerator/internal/experiments"
 	"configerator/internal/gatekeeper"
 	"configerator/internal/landingstrip"
+	"configerator/internal/obs"
+	"configerator/internal/proxy"
+	"configerator/internal/simnet"
 	"configerator/internal/stats"
 	"configerator/internal/vclock"
 	"configerator/internal/vcs"
+	"configerator/internal/zeus"
 )
 
 // benchOpts picks the experiment scale: -short runs the quick variants.
@@ -418,6 +425,93 @@ func BenchmarkCanonicalJSON(b *testing.B) {
 		if _, err := cdl.MarshalJSON(v); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// readpathStack boots a one-proxy pipeline, commits one config, and warms
+// it: the fixture for the read-hot-path micro-benchmarks below.
+func readpathStack(b *testing.B, withObs bool) (*confclient.Client, *proxy.Proxy, string) {
+	b.Helper()
+	net := simnet.New(simnet.DefaultLatency(), 7)
+	ens := zeus.StartEnsemble(net, 3, []simnet.Placement{
+		{Region: "us", Cluster: "zk1"},
+		{Region: "us", Cluster: "zk2"},
+		{Region: "eu", Cluster: "zk3"},
+	})
+	ens.AddObserver("obs-1", simnet.Placement{Region: "us", Cluster: "web"})
+	wc := zeus.NewClient("writer", ens.Members)
+	net.AddNode("writer", simnet.Placement{Region: "us", Cluster: "ctrl"}, wc)
+	net.RunFor(10 * time.Second)
+	px := proxy.New(net, "proxy-1", simnet.Placement{Region: "us", Cluster: "web"},
+		[]simnet.NodeID{"obs-1"}, nil)
+	cl := confclient.New(px)
+	if withObs {
+		cl.SetObs(obs.New())
+	}
+	const path = "/configs/bench/hot"
+	done := false
+	net.After(0, func() {
+		ctx := simnet.MakeContext(net, "writer")
+		wc.Write(&ctx, path, []byte(`{"enabled":true,"batch":64,"rate":0.25}`),
+			func(zeus.WriteResult) { done = true })
+	})
+	for i := 0; i < 100 && !done; i++ {
+		net.RunFor(200 * time.Millisecond)
+	}
+	if !done {
+		b.Fatal("write never committed")
+	}
+	cl.Want(path)
+	net.RunFor(5 * time.Second)
+	if _, err := cl.Get(context.Background(), path); err != nil { // warm: first-read event + decode
+		b.Fatal(err)
+	}
+	return cl, px, path
+}
+
+// BenchmarkProxyReadWarm: one atomic snapshot load plus map lookups. The
+// final AllocsPerRun check turns the benchmark into a regression gate —
+// a warm Read must stay at 0 allocs/op.
+func BenchmarkProxyReadWarm(b *testing.B) {
+	_, px, path := readpathStack(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := px.Read(path); !res.OK {
+			b.Fatal("warm read failed")
+		}
+	}
+	b.StopTimer()
+	if a := testing.AllocsPerRun(100, func() { px.Read(path) }); a != 0 {
+		b.Fatalf("warm proxy.Read allocates %.1f per op, want 0", a)
+	}
+}
+
+// BenchmarkClientGetWarm: proxy read plus memoized decode lookup, with and
+// without an obs registry attached. The no-obs variant exercises the no-op
+// counter sink hoisted in confclient.New — attaching real counters must not
+// change the allocation count, and nil-safety costs nothing per call.
+func BenchmarkClientGetWarm(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		withObs bool
+	}{{"no-obs", false}, {"with-obs", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			cl, _, path := readpathStack(b, cfg.withObs)
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v, err := cl.Get(ctx, path)
+				if err != nil || !v.Bool("enabled", false) {
+					b.Fatal("warm get failed")
+				}
+			}
+			b.StopTimer()
+			if a := testing.AllocsPerRun(100, func() { cl.Get(ctx, path) }); a != 0 {
+				b.Fatalf("warm Get (%s) allocates %.1f per op, want 0", cfg.name, a)
+			}
+		})
 	}
 }
 

@@ -146,7 +146,7 @@ func New(cfg Config) *Fleet {
 				px := proxy.New(net, id, place, obsIDs, nil)
 				px.Obs = cfg.Obs
 				cl := confclient.New(px)
-				cl.Obs = cfg.Obs
+				cl.SetObs(cfg.Obs)
 				s := &Server{ID: id, Placement: place, Proxy: px, Client: cl}
 				f.servers = append(f.servers, s)
 				f.byID[id] = s

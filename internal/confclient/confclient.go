@@ -9,20 +9,36 @@
 // and releases its proxy-side registration — once ctx is cancelled. The
 // v1 methods (Want/Current/Subscribe) remain as thin deprecated shims for
 // one release.
+//
+// Read hot path. Configs change rarely and are read constantly, so Get
+// decodes each config version exactly once: the parse result is memoized
+// in the proxy entry's per-version Memo slot, and decodes are further
+// deduplicated by content hash — two paths holding identical bytes (or one
+// path flapping between two versions) share a single json.Unmarshal. A
+// warm Get is one proxy snapshot read plus one atomic memo load: zero
+// allocations (BenchmarkGet asserts it), safe from any goroutine. The
+// returned *Value is shared between readers and therefore immutable —
+// accessors that expose compound data (Strings, Map) copy on return.
 package confclient
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"configerator/internal/obs"
 	"configerator/internal/proxy"
+	"configerator/internal/stats"
+	"configerator/internal/vcs"
 )
 
 // Value is a parsed view of one JSON config artifact, plus the staleness
-// metadata of the read that produced it.
+// metadata of the read that produced it. Values returned by Get are shared
+// between all readers of the same config version: treat them as immutable
+// and use the accessors, which copy mutable shapes on return.
 type Value struct {
 	Path    string
 	Version int64
@@ -33,7 +49,8 @@ type Value struct {
 	// fallback.
 	Source proxy.Source
 	// Age is how long ago the local proxy last confirmed this value with
-	// an observer (0 for fresh pushes).
+	// an observer (0 for fresh pushes; set on degraded reads so callers
+	// can bound how stale a cached/stale value may be).
 	Age    time.Duration
 	fields map[string]interface{}
 }
@@ -47,22 +64,9 @@ type Config = Value
 // plane (as opposed to a degraded cached/stale layer).
 func (c *Value) Fresh() bool { return c.Source == proxy.SourceFresh }
 
-func parseValue(e proxy.Entry) (*Value, error) {
-	c := &Value{Path: e.Path, Version: e.Version, Raw: e.Data}
-	if len(e.Data) == 0 {
-		c.fields = map[string]interface{}{}
-		return c, nil
-	}
-	var fields map[string]interface{}
-	if err := json.Unmarshal(e.Data, &fields); err != nil {
-		// Non-object JSON (arrays, scalars) and raw configs are legal;
-		// typed getters just won't find fields.
-		c.fields = map[string]interface{}{}
-		return c, nil
-	}
-	c.fields = fields
-	return c, nil
-}
+// emptyFields backs every unparseable or empty config so they share one
+// allocation. It must never be written.
+var emptyFields = map[string]interface{}{}
 
 // Bool returns a boolean field, or def when absent or mistyped.
 func (c *Value) Bool(field string, def bool) bool {
@@ -96,7 +100,8 @@ func (c *Value) String(field, def string) string {
 	return def
 }
 
-// Strings returns a string-list field (nil when absent or mistyped).
+// Strings returns a string-list field (nil when absent or mistyped). The
+// slice is the caller's to mutate: it is built fresh on every call.
 func (c *Value) Strings(field string) []string {
 	raw, ok := c.fields[field].([]interface{})
 	if !ok {
@@ -111,12 +116,20 @@ func (c *Value) Strings(field string) []string {
 	return out
 }
 
-// Map returns a nested object field (nil when absent or mistyped).
+// Map returns a nested object field (nil when absent or mistyped). The map
+// is a copy: mutating it cannot corrupt the shared decoded value that
+// other readers of this config version see. Values nested inside it are
+// still shared — treat them as read-only.
 func (c *Value) Map(field string) map[string]interface{} {
-	if v, ok := c.fields[field].(map[string]interface{}); ok {
-		return v
+	v, ok := c.fields[field].(map[string]interface{})
+	if !ok {
+		return nil
 	}
-	return nil
+	out := make(map[string]interface{}, len(v))
+	for k, val := range v {
+		out[k] = val
+	}
+	return out
 }
 
 // Has reports whether a field is present.
@@ -125,18 +138,115 @@ func (c *Value) Has(field string) bool {
 	return ok
 }
 
-// Client is an application's handle to its local proxy.
+// Client is an application's handle to its local proxy. Get and Watch are
+// safe for concurrent use from any goroutine.
 type Client struct {
 	proxy *proxy.Proxy
 
-	// Obs, when set, counts application read outcomes; commit-to-read
-	// latency is recorded by the proxy underneath (nil = no
-	// instrumentation).
-	Obs *obs.Registry
+	obs *obs.Registry
+	// cnt is the counters handle hoisted out of the per-call path: with no
+	// registry attached it is a nil *stats.Counters whose Add is a no-op,
+	// so miss/deleted/degraded accounting costs one nil check instead of a
+	// registry lookup per call.
+	cnt *stats.Counters
+
+	// Hot-path read accounting. These are atomics, not obs counters: a
+	// warm Get must not take the counters mutex (or allocate).
+	hits     atomic.Int64 // successful Gets
+	memoHits atomic.Int64 // Gets served from a per-version memo slot
+
+	// byHash deduplicates decodes across paths and versions: identical
+	// bytes (same content hash) decode once no matter where they appear.
+	mu     sync.Mutex
+	byHash map[uint64]map[string]interface{}
 }
 
+// byHashCap bounds the decode-dedup table; when full it is reset rather
+// than evicted (config churn is slow — refilling is cheap and rare).
+const byHashCap = 4096
+
 // New returns a client bound to the local proxy.
-func New(p *proxy.Proxy) *Client { return &Client{proxy: p} }
+func New(p *proxy.Proxy) *Client {
+	return &Client{
+		proxy:  p,
+		cnt:    (*obs.Registry)(nil).Counters(), // no-op default (nil-safe)
+		byHash: make(map[uint64]map[string]interface{}),
+	}
+}
+
+// SetObs attaches an observability registry that counts application read
+// outcomes; commit-to-read latency is recorded by the proxy underneath.
+// The counters handle is resolved once here, keeping the per-call paths
+// free of registry lookups. Call before sharing the client across
+// goroutines.
+func (c *Client) SetObs(r *obs.Registry) {
+	c.obs = r
+	c.cnt = r.Counters()
+}
+
+// Hits reports the number of successful Gets (hot-path accounting kept in
+// atomics so reads never contend on the counters mutex).
+func (c *Client) Hits() int64 { return c.hits.Load() }
+
+// MemoHits reports how many Gets were served from a per-version decode
+// memo — i.e. without parsing anything.
+func (c *Client) MemoHits() int64 { return c.memoHits.Load() }
+
+// decodeFields parses data, deduplicating by content hash: the same bytes
+// at two paths (or re-materialized at the same path) decode exactly once.
+// confclient.parse.memo counts hash-table hits, confclient.parse.decode
+// actual json.Unmarshal calls.
+func (c *Client) decodeFields(data []byte) map[string]interface{} {
+	if len(data) == 0 {
+		return emptyFields
+	}
+	h := vcs.HashBytes(data)
+	c.mu.Lock()
+	f, ok := c.byHash[h]
+	c.mu.Unlock()
+	if ok {
+		c.cnt.Add("confclient.parse.memo", 1)
+		return f
+	}
+	var fields map[string]interface{}
+	if err := json.Unmarshal(data, &fields); err != nil || fields == nil {
+		// Non-object JSON (arrays, scalars) and raw configs are legal;
+		// typed getters just won't find fields.
+		fields = emptyFields
+	}
+	c.cnt.Add("confclient.parse.decode", 1)
+	c.mu.Lock()
+	if len(c.byHash) >= byHashCap {
+		c.byHash = make(map[uint64]map[string]interface{})
+	}
+	c.byHash[h] = fields
+	c.mu.Unlock()
+	return fields
+}
+
+// valueFor turns a proxy entry into the shared *Value for its version,
+// decoding at most once per version (and at most once per distinct
+// content, across versions and paths). The shared value always reads as
+// fresh; degraded reads get a copy carrying their real Source/Age.
+func (c *Client) valueFor(e proxy.Entry) *Value {
+	m := e.Memo()
+	if v, ok := m.Load().(*Value); ok {
+		c.memoHits.Add(1)
+		return v
+	}
+	v := &Value{
+		Path:    e.Path,
+		Version: e.Version,
+		Raw:     e.Data,
+		Source:  proxy.SourceFresh,
+		fields:  c.decodeFields(e.Data),
+	}
+	// Racing readers of the same new version may both build v; either
+	// result is correct and the slot keeps one (disk entries have no slot:
+	// m is nil and Store no-ops).
+	m.Store(v)
+	return v
+}
 
 // Get returns the latest locally known value of a config, annotated with
 // where it came from and how stale it may be. It never blocks:
@@ -145,28 +255,32 @@ func New(p *proxy.Proxy) *Client { return &Client{proxy: p} }
 // proxy degrades to cached/stale values (Source says which) rather than
 // failing. The error reports a cancelled context, or a config that has
 // never been seen on this server at all.
+//
+// Warm fresh reads return the shared per-version value with zero
+// allocations; degraded reads allocate one copy to carry Source and Age.
 func (c *Client) Get(ctx context.Context, path string) (*Value, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	r := c.proxy.Read(path)
 	if !r.OK {
-		c.Obs.Add("confclient.read.miss", 1)
+		c.cnt.Add("confclient.read.miss", 1)
 		return nil, fmt.Errorf("confclient: %s not available (never fetched on this server, or staleness refused)", path)
 	}
 	if !r.Exists {
-		c.Obs.Add("confclient.read.deleted", 1)
+		c.cnt.Add("confclient.read.deleted", 1)
 		return nil, fmt.Errorf("confclient: %s deleted", path)
 	}
-	c.Obs.Add("confclient.read.hit", 1)
+	c.hits.Add(1)
+	v := c.valueFor(r.Entry)
 	if r.Source != proxy.SourceFresh {
-		c.Obs.Add("confclient.read.degraded", 1)
+		c.cnt.Add("confclient.read.degraded", 1)
+		// Degraded read: same decode, real staleness metadata on a copy so
+		// the shared value stays immutable.
+		vv := *v
+		vv.Source, vv.Age = r.Source, r.Age
+		return &vv, nil
 	}
-	v, err := parseValue(r.Entry)
-	if err != nil {
-		return nil, err
-	}
-	v.Source, v.Age = r.Source, r.Age
 	return v, nil
 }
 
@@ -187,12 +301,7 @@ func (c *Client) Watch(ctx context.Context, path string, fn func(*Value)) {
 		if !e.Exists {
 			return
 		}
-		v, err := parseValue(e)
-		if err != nil {
-			return
-		}
-		v.Source = proxy.SourceFresh
-		fn(v)
+		fn(c.valueFor(e))
 	})
 }
 

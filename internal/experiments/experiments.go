@@ -113,6 +113,7 @@ func Catalog() []Experiment {
 		{"obs", Obs},
 		{"distribution", Distribution},
 		{"availability", Availability},
+		{"readpath", ReadPath},
 	}
 }
 

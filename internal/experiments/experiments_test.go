@@ -193,7 +193,7 @@ func TestAllRuns(t *testing.T) {
 		t.Skip("runs every experiment")
 	}
 	results := All(opts)
-	if len(results) != 26 {
+	if len(results) != 27 {
 		t.Fatalf("All returned %d results", len(results))
 	}
 	// The catalog keys must match what each experiment actually reports,
@@ -313,6 +313,73 @@ func TestAvailabilityArtifact(t *testing.T) {
 		if rep.Faults.Counters[k] == 0 {
 			t.Errorf("counter %s = 0, want > 0", k)
 		}
+	}
+}
+
+func TestReadpathArtifact(t *testing.T) {
+	r := ReadPath(opts)
+	if r.ArtifactName != "BENCH_readpath.json" {
+		t.Fatalf("artifact name = %q", r.ArtifactName)
+	}
+	var rep ReadpathReport
+	if err := json.Unmarshal(r.Artifact, &rep); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	if rep.Workload.Paths <= 0 || rep.Workload.PayloadBytes <= 0 || rep.Workload.WindowMs <= 0 {
+		t.Fatalf("workload header empty: %+v", rep.Workload)
+	}
+	// ISSUE acceptance: the warm read hot path allocates nothing, at both
+	// layers (proxy.Read and confclient.Get).
+	if rep.AllocsPerRead != 0 {
+		t.Errorf("allocs per warm proxy.Read = %v, want 0", rep.AllocsPerRead)
+	}
+	if rep.AllocsPerGet != 0 {
+		t.Errorf("allocs per warm client Get = %v, want 0", rep.AllocsPerGet)
+	}
+	// ISSUE acceptance: >= 5x reads/sec over the lock+decode-per-read
+	// baseline at 32 concurrent readers, with sane latency quantiles.
+	if len(rep.Levels) == 0 {
+		t.Fatal("no concurrency levels measured")
+	}
+	top := rep.Levels[len(rep.Levels)-1]
+	if top.Readers != 32 {
+		t.Errorf("top level readers = %d, want 32", top.Readers)
+	}
+	if top.Speedup < 5 {
+		t.Errorf("speedup at 32 readers = %.2fx, want >= 5x", top.Speedup)
+	}
+	for _, lv := range rep.Levels {
+		if lv.ReadsPerSec <= 0 || lv.BaselineReadsPerSec <= 0 {
+			t.Errorf("level %d: empty throughput %+v", lv.Readers, lv)
+		}
+		if lv.ReadP50Ns <= 0 || lv.ReadP99Ns < lv.ReadP50Ns {
+			t.Errorf("level %d: bad latency quantiles p50=%v p99=%v",
+				lv.Readers, lv.ReadP50Ns, lv.ReadP99Ns)
+		}
+	}
+	// Freshness must be measured over live churn versions and stay in the
+	// same band the distribution plane delivers (sub-5s commit-to-read),
+	// i.e. the fast read path does not trade freshness for throughput.
+	if rep.Freshness.Samples == 0 {
+		t.Fatal("no commit-to-read freshness samples")
+	}
+	if p99 := rep.Freshness.CommitToReadP99Ms; p99 <= 0 || p99 > 5000 {
+		t.Errorf("commit-to-read p99 = %.1fms, want within (0, 5000]", p99)
+	}
+	if rep.Freshness.CommitToReadP99Ms < rep.Freshness.CommitToReadP50Ms {
+		t.Errorf("freshness p99 (%.1f) < p50 (%.1f)",
+			rep.Freshness.CommitToReadP99Ms, rep.Freshness.CommitToReadP50Ms)
+	}
+	// Decode economy: the memoized cache turns millions of reads into a
+	// handful of unmarshals (at most one per delivered version).
+	if rep.Decode.Reads == 0 || rep.Decode.Decodes == 0 {
+		t.Fatalf("decode accounting empty: %+v", rep.Decode)
+	}
+	if ratio := float64(rep.Decode.Decodes) / float64(rep.Decode.Reads); ratio > 0.001 {
+		t.Errorf("decode/read ratio = %.6f, want <= 0.001 (memoization broken)", ratio)
+	}
+	if rep.Decode.MemoHits == 0 {
+		t.Error("memo hits = 0: warm reads are not being served from the per-version slot")
 	}
 }
 

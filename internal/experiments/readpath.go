@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"configerator/internal/confclient"
+	"configerator/internal/obs"
+	"configerator/internal/proxy"
+	"configerator/internal/simnet"
+	"configerator/internal/zeus"
+)
+
+// ReadpathReport is the BENCH_readpath.json schema: mixed read/write
+// saturation of the zero-alloc read hot path. Goroutine readers hammer
+// confclient.Get while the simulation thread lands commits that swap the
+// proxy's read snapshot; the baseline is the pre-snapshot design (shared
+// RWMutex store, one json.Unmarshal per read).
+type ReadpathReport struct {
+	Workload struct {
+		Paths        int `json:"paths"`
+		PayloadBytes int `json:"payload_bytes"`
+		WindowMs     int `json:"window_ms"`
+	} `json:"workload"`
+	Levels []ReadpathLevel `json:"levels"`
+	// AllocsPerRead / AllocsPerGet are heap allocations per warm
+	// proxy.Read / confclient.Get (the tentpole's hard gate: both 0).
+	AllocsPerRead float64 `json:"allocs_per_read"`
+	AllocsPerGet  float64 `json:"allocs_per_get"`
+	Freshness     struct {
+		// Commit-to-first-read latency (virtual time) observed while the
+		// read storm ran — snapshot swaps must not delay visibility.
+		CommitToReadP50Ms float64 `json:"commit_to_read_p50_ms"`
+		CommitToReadP99Ms float64 `json:"commit_to_read_p99_ms"`
+		Samples           int64   `json:"samples"`
+	} `json:"freshness"`
+	Decode struct {
+		// Decodes counts json.Unmarshal calls; MemoHits reads served from
+		// a per-version memo; HashHits decodes avoided because another
+		// path/version had identical bytes.
+		Decodes  int64 `json:"decodes"`
+		HashHits int64 `json:"hash_hits"`
+		MemoHits int64 `json:"memo_hits"`
+		Reads    int64 `json:"reads"`
+	} `json:"decode"`
+}
+
+// ReadpathLevel is one concurrency point: reads/sec with n readers racing
+// m writers, against the legacy lock+decode baseline at the same level.
+type ReadpathLevel struct {
+	Readers             int     `json:"readers"`
+	Writers             int     `json:"writers"`
+	ReadsPerSec         float64 `json:"reads_per_sec"`
+	BaselineReadsPerSec float64 `json:"baseline_reads_per_sec"`
+	Speedup             float64 `json:"speedup"`
+	ReadP50Ns           float64 `json:"read_p50_ns"`
+	ReadP99Ns           float64 `json:"read_p99_ns"`
+}
+
+// legacyStore emulates the pre-change read path for the baseline column: a
+// mutable map behind a mutex (the minimal thread-safety the old design
+// would have needed) and a JSON decode on every read, exactly what
+// parseValue did per Get before values were memoized per content hash.
+type legacyStore struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+func (s *legacyStore) write(path string, data []byte) {
+	s.mu.Lock()
+	s.m[path] = data
+	s.mu.Unlock()
+}
+
+func (s *legacyStore) read(path string) int64 {
+	s.mu.RLock()
+	data := s.m[path]
+	s.mu.RUnlock()
+	var fields map[string]interface{}
+	if err := json.Unmarshal(data, &fields); err != nil {
+		return -1
+	}
+	if v, ok := fields["rev"].(float64); ok {
+		return int64(v)
+	}
+	return -1
+}
+
+func readpathPayload(path string, rev int) []byte {
+	return []byte(fmt.Sprintf(
+		`{"rev":%d,"owner":"svc-%s","enabled":true,"weight":0.25,"hosts":["h1","h2","h3","h4"],"limits":{"mem_mb":512,"cpu_pct":80}}`,
+		rev, strings.TrimPrefix(path, "/readpath/")))
+}
+
+// readpathMeasure runs n reader goroutines against read() for the window
+// while churn() (run on the calling goroutine — the simulation thread)
+// lands writes. Returns reads/sec and sampled per-read latency quantiles.
+func readpathMeasure(readers int, window time.Duration, read func(int), churn func(time.Time)) ReadpathLevel {
+	var stop atomic.Bool
+	var total atomic.Int64
+	lats := make([][]time.Duration, readers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var n int64
+			samples := make([]time.Duration, 0, 4096)
+			for i := g; !stop.Load(); i++ {
+				if n%64 == 0 {
+					t0 := time.Now()
+					read(i)
+					samples = append(samples, time.Since(t0))
+				} else {
+					read(i)
+				}
+				n++
+			}
+			total.Add(n)
+			lats[g] = samples
+		}(g)
+	}
+	churn(start.Add(window))
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, s := range lats {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	lv := ReadpathLevel{
+		Readers:     readers,
+		ReadsPerSec: float64(total.Load()) / elapsed.Seconds(),
+	}
+	if n := len(all); n > 0 {
+		lv.ReadP50Ns = float64(all[n/2])
+		lv.ReadP99Ns = float64(all[n*99/100])
+	}
+	return lv
+}
+
+// ReadPath measures the zero-alloc read hot path under mixed read/write
+// saturation (the tentpole experiment): reads/sec at growing reader counts
+// racing live commit churn, per-read latency, allocation gates, and
+// commit-to-read freshness — against the legacy per-read-decode baseline.
+func ReadPath(opts Options) Result {
+	r := Result{ID: "readpath", Title: "Read hot path: snapshot reads + memoized decode vs per-read lock+decode"}
+
+	// Stack: 3-member ensemble, one observer, one proxy, one client — the
+	// hot path is per-server, so one server with racing goroutines is the
+	// honest unit of measurement.
+	reg := obs.New()
+	net := simnet.New(simnet.DefaultLatency(), opts.Seed)
+	ens := zeus.StartEnsemble(net, 3, []simnet.Placement{
+		{Region: "us", Cluster: "zk1"},
+		{Region: "us", Cluster: "zk2"},
+		{Region: "eu", Cluster: "zk3"},
+	})
+	ens.SetObs(reg)
+	ens.AddObserver("obs-1", simnet.Placement{Region: "us", Cluster: "web"})
+	wc := zeus.NewClient("rp-writer", ens.Members)
+	net.AddNode("rp-writer", simnet.Placement{Region: "us", Cluster: "ctrl"}, wc)
+	net.RunFor(10 * time.Second)
+	px := proxy.New(net, "rp-proxy", simnet.Placement{Region: "us", Cluster: "web"},
+		[]simnet.NodeID{"obs-1"}, nil)
+	px.Obs = reg
+	cl := confclient.New(px)
+	cl.SetObs(reg)
+
+	const nPaths = 8
+	paths := make([]string, nPaths)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/readpath/cfg-%d.json", i)
+	}
+	commit := func(path string, rev int) {
+		net.After(0, func() {
+			ctx := simnet.MakeContext(net, "rp-writer")
+			wc.Write(&ctx, path, readpathPayload(path, rev), func(zeus.WriteResult) {})
+		})
+	}
+	for _, p := range paths {
+		commit(p, 1)
+	}
+	net.RunFor(10 * time.Second)
+	cl.Want(paths...)
+	net.RunFor(5 * time.Second)
+
+	ctx := context.Background()
+	readReal := func(i int) {
+		if v, err := cl.Get(ctx, paths[i%nPaths]); err == nil {
+			_ = v.Int("rev", -1)
+		}
+	}
+	for i := 0; i < nPaths; i++ {
+		readReal(i) // warm every memo before the allocation gate
+	}
+
+	// Hard gates: warm reads allocate nothing, at either layer.
+	r.metric("allocs_per_proxy_read", testing.AllocsPerRun(200, func() {
+		if res := px.Read(paths[0]); !res.OK {
+			panic("readpath: cold proxy read")
+		}
+	}), 0, true)
+	r.metric("allocs_per_client_get", testing.AllocsPerRun(200, func() {
+		if _, err := cl.Get(ctx, paths[1]); err != nil {
+			panic("readpath: cold client get")
+		}
+	}), 0, true)
+
+	// Bind a trace per path so commit/apply/materialize/first-read events
+	// correlate into the commit-to-read freshness histogram. Bound after
+	// warm-up: the histogram should measure versions landing under the
+	// live read storm, not the rig's deliberate warm-up waits.
+	for _, p := range paths {
+		reg.BindPath(p, reg.StartTrace("readpath "+p, net.Now()))
+	}
+
+	window := 400 * time.Millisecond
+	if opts.Quick {
+		window = 150 * time.Millisecond
+	}
+
+	legacy := &legacyStore{m: make(map[string][]byte)}
+	for _, p := range paths {
+		legacy.write(p, readpathPayload(p, 1))
+	}
+	readLegacy := func(i int) { legacy.read(paths[i%nPaths]) }
+
+	levels := []struct{ readers, writers int }{{1, 1}, {8, 2}, {32, 4}}
+	var report ReadpathReport
+	report.Workload.Paths = nPaths
+	report.Workload.PayloadBytes = len(readpathPayload(paths[0], 1))
+	report.Workload.WindowMs = int(window / time.Millisecond)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "read storm over %d paths (%dB payloads), %v per level, live commit churn\n\n",
+		nPaths, report.Workload.PayloadBytes, window)
+	fmt.Fprintf(&b, "%8s %8s %14s %14s %9s %10s %10s\n",
+		"readers", "writers", "reads/s", "baseline/s", "speedup", "p50", "p99")
+	rev := 1
+	for _, lev := range levels {
+		writers := lev.writers
+		lv := readpathMeasure(lev.readers, window, readReal, func(deadline time.Time) {
+			for time.Now().Before(deadline) {
+				rev++
+				for w := 0; w < writers; w++ {
+					commit(paths[w%nPaths], rev)
+				}
+				net.RunFor(250 * time.Millisecond)
+				time.Sleep(time.Millisecond)
+			}
+		})
+		// Drain: let in-flight pushes land and read every path once, so a
+		// version committed at the window edge gets its first read now
+		// rather than a (virtual) level later.
+		net.RunFor(2 * time.Second)
+		for i := 0; i < nPaths; i++ {
+			readReal(i)
+		}
+		base := readpathMeasure(lev.readers, window, readLegacy, func(deadline time.Time) {
+			i := 0
+			for time.Now().Before(deadline) {
+				i++
+				for w := 0; w < writers; w++ {
+					legacy.write(paths[w%nPaths], readpathPayload(paths[w%nPaths], i))
+				}
+				time.Sleep(time.Millisecond)
+			}
+		})
+		lv.Writers = writers
+		lv.BaselineReadsPerSec = base.ReadsPerSec
+		if base.ReadsPerSec > 0 {
+			lv.Speedup = lv.ReadsPerSec / base.ReadsPerSec
+		}
+		report.Levels = append(report.Levels, lv)
+		fmt.Fprintf(&b, "%8d %8d %14.0f %14.0f %8.1fx %10s %10s\n",
+			lv.Readers, lv.Writers, lv.ReadsPerSec, lv.BaselineReadsPerSec, lv.Speedup,
+			time.Duration(lv.ReadP50Ns).Round(10*time.Nanosecond),
+			time.Duration(lv.ReadP99Ns).Round(10*time.Nanosecond))
+	}
+
+	report.AllocsPerRead = r.Metrics["allocs_per_proxy_read"]
+	report.AllocsPerGet = r.Metrics["allocs_per_client_get"]
+	h := reg.Histogram(obs.HistCommitToRead)
+	report.Freshness.Samples = int64(h.Count())
+	report.Freshness.CommitToReadP50Ms = h.Quantile(0.50).Seconds() * 1e3
+	report.Freshness.CommitToReadP99Ms = h.Quantile(0.99).Seconds() * 1e3
+	report.Decode.Decodes = reg.Counters().Get("confclient.parse.decode")
+	report.Decode.HashHits = reg.Counters().Get("confclient.parse.memo")
+	report.Decode.MemoHits = cl.MemoHits()
+	report.Decode.Reads = cl.Hits()
+
+	fmt.Fprintf(&b, "\nfreshness: commit-to-read p50=%.1fms p99=%.1fms over %d versions\n",
+		report.Freshness.CommitToReadP50Ms, report.Freshness.CommitToReadP99Ms, report.Freshness.Samples)
+	fmt.Fprintf(&b, "decode economy: %d reads, %d memo hits, %d unmarshals (%d saved by content hash)\n",
+		report.Decode.Reads, report.Decode.MemoHits, report.Decode.Decodes, report.Decode.HashHits)
+
+	last := report.Levels[len(report.Levels)-1]
+	r.metric("reads_per_sec_32r", last.ReadsPerSec, 0, false)
+	r.metric("baseline_reads_per_sec_32r", last.BaselineReadsPerSec, 0, false)
+	r.metric("speedup_32r", last.Speedup, 0, false)
+	r.metric("read_p99_ns_32r", last.ReadP99Ns, 0, false)
+	r.metric("commit_to_read_p99_ms", report.Freshness.CommitToReadP99Ms, 0, false)
+	r.metric("decode_per_read", float64(report.Decode.Decodes)/float64(max64(report.Decode.Reads, 1)), 0, false)
+
+	r.Text = b.String()
+	data, _ := json.MarshalIndent(report, "", "  ")
+	r.ArtifactName = "BENCH_readpath.json"
+	r.Artifact = data
+	return r
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

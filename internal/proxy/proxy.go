@@ -12,18 +12,60 @@
 // and latency); and if every Configerator component fails, reads degrade
 // to the on-disk cache with explicit staleness metadata — a config that
 // was ever fetched remains available (stale but usable) no matter what.
+//
+// Read hot path. Configs are read many orders of magnitude more often than
+// they change (the paper's motivating ratio), so the in-memory store is an
+// immutable snapshot behind an atomic pointer: Read is one atomic load plus
+// map lookups — no mutex, no allocation — and is safe from any application
+// goroutine concurrently with updates. Writers (watch deliveries, canary
+// overrides, plane-down transitions, crash/restart) build the next snapshot
+// copy-on-write and publish it with a single pointer swap; they run on the
+// single-threaded simulation loop, so the copy cost is paid off the read
+// path entirely. Cache misses cannot touch the simulator's event queue from
+// a reader goroutine, so Read records them in a thread-safe pending set
+// that the proxy drains (issuing fetch+watch) on its next message or ping
+// tick.
 package proxy
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"configerator/internal/health"
+	"configerator/internal/intern"
 	"configerator/internal/obs"
 	"configerator/internal/simnet"
 	"configerator/internal/vcs"
 	"configerator/internal/zeus"
 )
+
+// Memo is the per-version decode slot carried by a cache entry: the client
+// library parses a config version once and publishes the result here, so
+// every subsequent reader of that version shares one decode. Each new
+// version gets a fresh slot, so a stale parse can never be served. The
+// zero Memo is empty and ready for use.
+type Memo struct{ v atomic.Value }
+
+// Load returns the memoized value, or nil when nothing has been stored
+// (or when m is nil — disk-cache entries carry no memo).
+func (m *Memo) Load() any {
+	if m == nil {
+		return nil
+	}
+	return m.v.Load()
+}
+
+// Store publishes the memoized value. Per atomic.Value's contract a slot
+// must only ever hold one concrete type; losing a racing duplicate store
+// is harmless — both decodes of the same bytes are equal.
+func (m *Memo) Store(v any) {
+	if m == nil || v == nil {
+		return
+	}
+	m.v.Store(v)
+}
 
 // Entry is one cached config.
 type Entry struct {
@@ -35,11 +77,23 @@ type Entry struct {
 	// Fetched is when the proxy last confirmed this entry with an
 	// observer (virtual time).
 	Fetched time.Time
+
+	// memo is the shared decode slot for this (path, version). It rides on
+	// the entry so subscribers and readers resolve the same slot without a
+	// second lookup.
+	memo *Memo
 }
 
+// Memo returns the entry's decode-memo slot. It is nil for entries loaded
+// from the on-disk cache (those are re-parsed on use).
+func (e Entry) Memo() *Memo { return e.memo }
+
 // DiskCache is the on-disk cache shared between the proxy process and the
-// client library's failure fallback. It survives proxy crashes.
+// client library's failure fallback. It survives proxy crashes. It is
+// safe for concurrent use: reader goroutines fall back to it while the
+// simulation loop stores updates.
 type DiskCache struct {
+	mu      sync.RWMutex
 	entries map[string]Entry
 }
 
@@ -49,16 +103,22 @@ func NewDiskCache() *DiskCache {
 }
 
 // Store persists an entry. The data is copied: a caller mutating its slice
-// afterwards cannot corrupt the cache.
+// afterwards cannot corrupt the cache. The in-memory decode memo does not
+// survive the trip to disk.
 func (d *DiskCache) Store(e Entry) {
 	e.Data = append([]byte(nil), e.Data...)
+	e.memo = nil
+	d.mu.Lock()
 	d.entries[e.Path] = e
+	d.mu.Unlock()
 }
 
 // Load returns the entry for path. The data is a copy: a subscriber
 // mutating the returned bytes cannot corrupt the cache.
 func (d *DiskCache) Load(path string) (Entry, bool) {
+	d.mu.RLock()
 	e, ok := d.entries[path]
+	d.mu.RUnlock()
 	if ok {
 		e.Data = append([]byte(nil), e.Data...)
 	}
@@ -66,7 +126,11 @@ func (d *DiskCache) Load(path string) (Entry, bool) {
 }
 
 // Len reports the number of cached configs.
-func (d *DiskCache) Len() int { return len(d.entries) }
+func (d *DiskCache) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.entries)
+}
 
 // UpdateFunc is an application callback fired when a config changes.
 type UpdateFunc func(Entry)
@@ -155,8 +219,29 @@ type subscription struct {
 	alive func() bool // nil = lives forever
 }
 
+// entryState is one config in the read snapshot: the immutable entry plus
+// the newest zxid an application has already read (so only the first read
+// of each version emits a propagation event). The mark is atomic because
+// first-reads race across application goroutines.
+type entryState struct {
+	e        Entry
+	readMark atomic.Int64
+}
+
+// snapshot is the immutable in-memory store published to readers. A
+// snapshot and everything reachable from it is never mutated after
+// publication (readMark aside, which is atomic); writers clone-and-swap.
+type snapshot struct {
+	entries   map[string]*entryState
+	overrides map[string]*entryState // canary temporary deployments win
+	planeDown bool                   // every observer considered dead
+	down      bool                   // proxy process crashed
+}
+
 // Proxy is the per-server config proxy. It is a simnet node; the local
 // applications call its methods directly (they share the server).
+// Read (and the client library's Get built on it) is safe to call from any
+// goroutine; every other method belongs to the simulation/driver thread.
 type Proxy struct {
 	id        simnet.NodeID
 	net       *simnet.Network
@@ -164,20 +249,28 @@ type Proxy struct {
 	current   int             // index of the connected observer
 	disk      *DiskCache
 
-	cache    map[string]Entry
-	override map[string]Entry // canary temporary deployments win over cache
+	// snap is the read snapshot. Readers do one atomic load; writers
+	// serialize on wmu, clone, and swap.
+	snap atomic.Pointer[snapshot]
+	wmu  sync.Mutex
+
 	watched  map[string]bool
 	subs     map[string][]subscription
 	inflight map[int64]fetchState // reqID -> outstanding fetch
 	byPath   map[string][]int64   // path -> outstanding reqIDs (primary + hedge)
 	nextReq  int64
 
-	stats     map[simnet.NodeID]*obsStats
-	rtts      []time.Duration // recent fetch RTTs (hedge delay source)
-	planeDown bool            // every observer considered dead
+	// Cache misses observed by reader goroutines. Readers cannot touch the
+	// simulator's event queue, so Read parks the path here and the proxy
+	// drains the set (Want-ing each path) on its next message or ping tick.
+	missMu      sync.Mutex
+	missSet     map[string]struct{}
+	missPending atomic.Bool
+
+	stats map[simnet.NodeID]*obsStats
+	rtts  []time.Duration // recent fetch RTTs (hedge delay source)
 
 	pingOutstanding int
-	down            bool // proxy process crashed (fallback testing)
 
 	// DeltaEncoding, when true (the default), advertises content hashes on
 	// fetches so observers may reply "not modified" or with a delta.
@@ -198,9 +291,6 @@ type Proxy struct {
 	// caches a new config version, and a read event the first time the
 	// local applications read each version (nil = no instrumentation).
 	Obs *obs.Registry
-	// readZxid tracks the newest zxid already read per path, so only the
-	// first application read of each version is recorded.
-	readZxid map[string]int64
 }
 
 // New creates a proxy on the network at the placement, connected to the
@@ -214,23 +304,47 @@ func New(net *simnet.Network, id simnet.NodeID, placement simnet.Placement, obse
 		net:           net,
 		observers:     observers,
 		disk:          disk,
-		cache:         make(map[string]Entry),
-		override:      make(map[string]Entry),
 		watched:       make(map[string]bool),
 		subs:          make(map[string][]subscription),
 		inflight:      make(map[int64]fetchState),
 		byPath:        make(map[string][]int64),
 		stats:         make(map[simnet.NodeID]*obsStats),
-		readZxid:      make(map[string]int64),
 		DeltaEncoding: true,
 		StaleServe:    true,
 	}
+	p.snap.Store(&snapshot{
+		entries:   make(map[string]*entryState),
+		overrides: make(map[string]*entryState),
+	})
 	if len(observers) > 0 {
 		p.current = int(net.RNG().Intn(len(observers)))
 	}
 	net.AddNode(id, placement, p)
 	net.SetTimer(id, pingInterval, msgTickPing{})
 	return p
+}
+
+// mutateSnap clones the current snapshot, applies mut, and publishes the
+// result with one atomic swap. Copy-on-write: O(cached paths) per
+// mutation, paid by the simulation loop — never by readers.
+func (p *Proxy) mutateSnap(mut func(*snapshot)) {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	cur := p.snap.Load()
+	next := &snapshot{
+		entries:   make(map[string]*entryState, len(cur.entries)+1),
+		overrides: make(map[string]*entryState, len(cur.overrides)),
+		planeDown: cur.planeDown,
+		down:      cur.down,
+	}
+	for k, v := range cur.entries {
+		next.entries[k] = v
+	}
+	for k, v := range cur.overrides {
+		next.overrides[k] = v
+	}
+	mut(next)
+	p.snap.Store(next)
 }
 
 // ID returns the proxy's node id.
@@ -241,7 +355,7 @@ func (p *Proxy) Disk() *DiskCache { return p.disk }
 
 // PlaneDown reports whether the proxy currently considers every observer
 // unreachable (the distribution plane lost).
-func (p *Proxy) PlaneDown() bool { return p.planeDown }
+func (p *Proxy) PlaneDown() bool { return p.snap.Load().planeDown }
 
 // ObserverHealth exposes the per-observer health samples feeding failover
 // (tests and dashboards).
@@ -256,7 +370,7 @@ func (p *Proxy) ObserverHealth() map[simnet.NodeID]health.Sample {
 // Crash simulates the proxy process dying. Cached state in memory is lost;
 // the disk cache survives.
 func (p *Proxy) Crash() {
-	p.down = true
+	p.mutateSnap(func(s *snapshot) { s.down = true })
 	p.net.Fail(p.id)
 }
 
@@ -264,15 +378,16 @@ func (p *Proxy) Crash() {
 // subscriptions survive (the apps share the server and resubscribe
 // implicitly), but dead ones are pruned rather than revived.
 func (p *Proxy) Restart() {
-	p.down = false
-	p.cache = make(map[string]Entry)
-	p.override = make(map[string]Entry)
+	p.wmu.Lock()
+	p.snap.Store(&snapshot{
+		entries:   make(map[string]*entryState),
+		overrides: make(map[string]*entryState),
+	})
+	p.wmu.Unlock()
 	p.inflight = make(map[int64]fetchState)
 	p.byPath = make(map[string][]int64)
-	p.readZxid = make(map[string]int64)
 	p.stats = make(map[simnet.NodeID]*obsStats)
 	p.rtts = nil
-	p.planeDown = false
 	p.pingOutstanding = 0
 	for path := range p.subs {
 		p.pruneSubs(path)
@@ -292,7 +407,7 @@ func (p *Proxy) OnRestart(ctx *simnet.Context) {
 }
 
 // Down reports whether the proxy process is crashed.
-func (p *Proxy) Down() bool { return p.down }
+func (p *Proxy) Down() bool { return p.snap.Load().down }
 
 func (p *Proxy) observer() simnet.NodeID {
 	if len(p.observers) == 0 {
@@ -332,8 +447,8 @@ func (p *Proxy) recordFailure(id simnet.NodeID) {
 	st := p.stat(id)
 	st.fail++
 	st.consecFail++
-	if !p.planeDown && p.allObserversDead() {
-		p.planeDown = true
+	if !p.snap.Load().planeDown && p.allObserversDead() {
+		p.mutateSnap(func(s *snapshot) { s.planeDown = true })
 		p.Obs.Add("proxy.plane.down", 1)
 	}
 }
@@ -350,11 +465,11 @@ func (p *Proxy) recordSuccess(ctx *simnet.Context, id simnet.NodeID, rtt time.Du
 			st.rttEWMA = 0.8*st.rttEWMA + 0.2*ms
 		}
 	}
-	if p.planeDown {
+	if p.snap.Load().planeDown {
 		// The plane healed: resubscribe everything. Fetches advertise the
 		// hashes we hold, so catch-up is a delta (or "not modified") per
 		// path, falling back to full snapshots where our base diverged.
-		p.planeDown = false
+		p.mutateSnap(func(s *snapshot) { s.planeDown = false })
 		p.Obs.Add("proxy.plane.heal", 1)
 		for path := range p.watched {
 			if len(p.byPath[path]) == 0 {
@@ -424,7 +539,8 @@ func (p *Proxy) failover(ctx *simnet.Context) {
 		return
 	}
 	old := p.observer()
-	if p.planeDown {
+	planeDown := p.snap.Load().planeDown
+	if planeDown {
 		p.current = (p.current + 1) % len(p.observers)
 	} else {
 		samples := make(map[simnet.NodeID]health.Sample, len(p.observers)-1)
@@ -450,7 +566,7 @@ func (p *Proxy) failover(ctx *simnet.Context) {
 	// single-flight guard (the old observer may never answer). When the
 	// plane is down this would be a refetch storm every timeout — the
 	// per-path backoff retries own recovery instead.
-	if !p.planeDown {
+	if !planeDown {
 		for path := range p.watched {
 			p.forceFetch(ctx, path, true)
 		}
@@ -458,15 +574,55 @@ func (p *Proxy) failover(ctx *simnet.Context) {
 }
 
 // Want asks the proxy to fetch and keep a config warm (with a watch). The
-// application's startup request path.
+// application's startup request path. Simulation/driver thread only —
+// reader goroutines warm paths implicitly through Read's miss set.
 func (p *Proxy) Want(path string) {
-	if p.down {
+	snap := p.snap.Load()
+	if snap.down {
 		return
 	}
+	path = intern.Path(path)
 	ctx := simnet.MakeContext(p.net, p.id)
 	p.watched[path] = true
-	if _, cached := p.cache[path]; !cached {
+	if _, cached := snap.entries[path]; !cached {
 		p.sendFetch(&ctx, path)
+	}
+}
+
+// noteMiss records a cache miss seen by a reader goroutine; the path is
+// Want-ed when the simulation loop next gives the proxy control.
+func (p *Proxy) noteMiss(path string) {
+	p.missMu.Lock()
+	if p.missSet == nil {
+		p.missSet = make(map[string]struct{})
+	}
+	p.missSet[path] = struct{}{}
+	p.missMu.Unlock()
+	p.missPending.Store(true)
+}
+
+// drainMisses turns reader-recorded cache misses into fetches. Runs on the
+// simulation thread (message/ping handlers), so worst-case warm-up lag is
+// one ping interval.
+func (p *Proxy) drainMisses(ctx *simnet.Context) {
+	if !p.missPending.Load() {
+		return
+	}
+	p.missMu.Lock()
+	set := p.missSet
+	p.missSet = nil
+	p.missPending.Store(false)
+	p.missMu.Unlock()
+	snap := p.snap.Load()
+	if snap.down {
+		return
+	}
+	for path := range set {
+		path = intern.Path(path)
+		p.watched[path] = true
+		if _, cached := snap.entries[path]; !cached {
+			p.sendFetch(ctx, path)
+		}
 	}
 }
 
@@ -481,6 +637,7 @@ func (p *Proxy) Subscribe(path string, fn UpdateFunc) {
 // time and across restarts — the cancellation hook the context-aware
 // client API builds on.
 func (p *Proxy) SubscribeWhile(path string, alive func() bool, fn UpdateFunc) {
+	path = intern.Path(path)
 	p.subs[path] = append(p.subs[path], subscription{fn: fn, alive: alive})
 	p.Want(path)
 }
@@ -525,35 +682,38 @@ func (p *Proxy) notify(path string, e Entry) {
 // to temporarily deploy the new config", §3.3). Subscribers fire as if the
 // config changed.
 func (p *Proxy) SetOverride(path string, data []byte) {
-	e := Entry{Path: path, Exists: true, Data: data, Version: -1}
-	p.override[path] = e
+	path = intern.Path(path)
+	e := Entry{Path: path, Exists: true, Data: data, Version: -1, memo: &Memo{}}
+	p.mutateSnap(func(s *snapshot) { s.overrides[path] = &entryState{e: e} })
 	p.notify(path, e)
 }
 
 // ClearOverride removes a temporary deployment; subscribers are re-fed the
 // committed value (rollback).
 func (p *Proxy) ClearOverride(path string) {
-	if _, ok := p.override[path]; !ok {
+	snap := p.snap.Load()
+	if _, ok := snap.overrides[path]; !ok {
 		return
 	}
-	delete(p.override, path)
-	if e, ok := p.cache[path]; ok {
-		p.notify(path, e)
+	p.mutateSnap(func(s *snapshot) { delete(s.overrides, path) })
+	if st, ok := snap.entries[path]; ok {
+		p.notify(path, st.e)
 	}
 }
 
 // CachedPaths lists the paths currently in the in-memory cache or
 // overridden (the application-visible config set on this server).
 func (p *Proxy) CachedPaths() []string {
-	seen := make(map[string]bool, len(p.cache)+len(p.override))
-	out := make([]string, 0, len(p.cache)+len(p.override))
-	for path := range p.cache {
+	snap := p.snap.Load()
+	seen := make(map[string]bool, len(snap.entries)+len(snap.overrides))
+	out := make([]string, 0, len(snap.entries)+len(snap.overrides))
+	for path := range snap.entries {
 		if !seen[path] {
 			seen[path] = true
 			out = append(out, path)
 		}
 	}
-	for path := range p.override {
+	for path := range snap.overrides {
 		if !seen[path] {
 			seen[path] = true
 			out = append(out, path)
@@ -564,7 +724,7 @@ func (p *Proxy) CachedPaths() []string {
 
 // Overridden reports whether path currently has a canary override.
 func (p *Proxy) Overridden(path string) bool {
-	_, ok := p.override[path]
+	_, ok := p.snap.Load().overrides[path]
 	return ok
 }
 
@@ -573,34 +733,42 @@ func (p *Proxy) Overridden(path string) bool {
 // (fresh if the plane is healthy, cached if not), then the on-disk cache
 // (stale). With StaleServe off, only fresh reads succeed — the paper's
 // choice is availability over freshness, so on is the default.
+//
+// Read is the hot path: one atomic snapshot load plus map lookups, safe
+// from any goroutine, and allocation-free when the path is in memory
+// (BenchmarkProxyRead asserts 0 allocs/op).
 func (p *Proxy) Read(path string) ReadResult {
+	snap := p.snap.Load()
 	now := p.net.Now()
-	if !p.down {
-		if e, ok := p.override[path]; ok {
-			return ReadResult{Entry: e, Source: SourceFresh, OK: true}
+	if !snap.down {
+		if st, ok := snap.overrides[path]; ok {
+			return ReadResult{Entry: st.e, Source: SourceFresh, OK: true}
 		}
-		if e, ok := p.cache[path]; ok {
+		if st, ok := snap.entries[path]; ok {
 			src := SourceFresh
-			if p.planeDown {
+			if snap.planeDown {
 				src = SourceCached
 			}
 			if src != SourceFresh && !p.StaleServe {
 				p.Obs.Add("proxy.read.refused", 1)
-				return ReadResult{Source: src, Age: now.Sub(e.Fetched)}
+				return ReadResult{Source: src, Age: now.Sub(st.e.Fetched)}
 			}
-			if e.Zxid > p.readZxid[path] {
-				p.readZxid[path] = e.Zxid
-				p.Obs.PathEvent(path, obs.PropEvent{
-					Stage: obs.EvClientRead, Node: string(p.id),
-					Zxid: e.Zxid, At: now,
-				})
+			if mark := st.readMark.Load(); st.e.Zxid > mark {
+				// First application read of this version (CAS so exactly
+				// one racing reader records it).
+				if st.readMark.CompareAndSwap(mark, st.e.Zxid) {
+					p.Obs.PathEvent(path, obs.PropEvent{
+						Stage: obs.EvClientRead, Node: string(p.id),
+						Zxid: st.e.Zxid, At: now,
+					})
+				}
 			}
 			if src != SourceFresh {
 				p.Obs.Add("proxy.read.degraded", 1)
 			}
-			return ReadResult{Entry: e, Source: src, Age: now.Sub(e.Fetched), OK: true}
+			return ReadResult{Entry: st.e, Source: src, Age: now.Sub(st.e.Fetched), OK: true}
 		}
-		p.Want(path) // warm it for next time
+		p.noteMiss(path) // warm it for next time
 	}
 	// Fall back to the on-disk cache (proxy down or not yet fetched).
 	e, ok := p.disk.Load(path)
@@ -681,8 +849,8 @@ func (p *Proxy) fetchFrom(ctx *simnet.Context, path string, target simnet.NodeID
 	p.nextReq++
 	st := fetchState{path: path, observer: target, sentAt: ctx.Now(), attempt: attempt, hedge: hedge}
 	if advertise && p.DeltaEncoding {
-		if e, ok := p.cache[path]; ok && e.Exists {
-			st.base, st.haveBase = e, true
+		if es, ok := p.snap.Load().entries[path]; ok && es.e.Exists {
+			st.base, st.haveBase = es.e, true
 		} else if e, ok := p.disk.Load(path); ok && e.Exists {
 			st.base, st.haveBase = e, true
 		}
@@ -708,6 +876,7 @@ func (p *Proxy) fetchFrom(ctx *simnet.Context, path string, target simnet.NodeID
 
 // HandleMessage implements simnet.Handler.
 func (p *Proxy) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
+	p.drainMisses(ctx)
 	switch m := msg.(type) {
 	case zeus.MsgFetchReply:
 		p.onFetchReply(ctx, from, m)
@@ -843,7 +1012,8 @@ func (p *Proxy) onFetchReply(ctx *simnet.Context, from simnet.NodeID, m zeus.Msg
 }
 
 func (p *Proxy) onWatchEvent(ctx *simnet.Context, from simnet.NodeID, m zeus.MsgWatchEvent) {
-	if old, ok := p.cache[m.Path]; ok && m.Zxid <= old.Zxid {
+	snap := p.snap.Load()
+	if old, ok := snap.entries[m.Path]; ok && m.Zxid <= old.e.Zxid {
 		return // already current (or newer) — nothing to resolve
 	}
 	p.recordSuccess(ctx, from, -1)
@@ -852,8 +1022,8 @@ func (p *Proxy) onWatchEvent(ctx *simnet.Context, from simnet.NodeID, m zeus.Msg
 		return
 	}
 	var base []byte
-	if e, ok := p.cache[m.Path]; ok && e.Exists {
-		base = e.Data
+	if es, ok := snap.entries[m.Path]; ok && es.e.Exists {
+		base = es.e.Data
 	}
 	data, err := m.Payload.Resolve(base)
 	if err != nil {
@@ -870,20 +1040,29 @@ func (p *Proxy) onWatchEvent(ctx *simnet.Context, from simnet.NodeID, m zeus.Msg
 // apply integrates a new entry if it is not older than what we have. via
 // is the observer that delivered it (the upstream hop in the push tree).
 func (p *Proxy) apply(ctx *simnet.Context, e Entry, via simnet.NodeID) {
-	if old, ok := p.cache[e.Path]; ok && e.Zxid < old.Zxid {
+	snap := p.snap.Load()
+	old, had := snap.entries[e.Path]
+	if had && e.Zxid < old.e.Zxid {
 		return
 	}
-	changed := true
-	if old, ok := p.cache[e.Path]; ok && old.Zxid == e.Zxid {
-		changed = false
+	changed := !had || old.e.Zxid != e.Zxid
+	e.Path = intern.Path(e.Path)
+	st := &entryState{e: e}
+	if changed {
+		st.e.memo = &Memo{}
+	} else {
+		// Same version re-confirmed (e.g. a not-modified refresh): keep
+		// the decode memo and the first-read mark.
+		st.e.memo = old.e.memo
+		st.readMark.Store(old.readMark.Load())
 	}
-	p.cache[e.Path] = e
+	p.mutateSnap(func(s *snapshot) { s.entries[e.Path] = st })
 	p.disk.Store(e)
 	if changed {
 		p.Obs.PathEvent(e.Path, obs.PropEvent{
 			Stage: obs.EvProxyMaterialize, Node: string(p.id), Via: string(via),
 			Zxid: e.Zxid, At: ctx.Now(),
 		})
-		p.notify(e.Path, e)
+		p.notify(e.Path, st.e)
 	}
 }

@@ -7,7 +7,10 @@
 // cost of our own data structures use the Real clock.
 package vclock
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Clock is the minimal time source dependency taken by every component.
 type Clock interface {
@@ -18,24 +21,30 @@ type Clock interface {
 // all simulated timestamps deterministic.
 var Epoch = time.Date(2014, 4, 1, 0, 0, 0, 0, time.UTC)
 
-// Virtual is a manually advanced clock. It is not safe for concurrent use;
-// the discrete-event simulator is single-threaded by design.
+// Virtual is a manually advanced clock. The discrete-event simulator that
+// drives it is single-threaded, but readers may call Now concurrently with
+// the simulation loop: the read hot path (proxy snapshot reads from
+// application goroutines racing against watch deliveries) observes the
+// clock lock-free. Time is therefore kept as an atomic nanosecond offset
+// from a fixed base; Advance/AdvanceTo remain single-writer (the simulator
+// loop), Now is safe — and allocation-free — from any goroutine.
 type Virtual struct {
-	now time.Time
+	base time.Time
+	off  atomic.Int64 // nanoseconds since base
 }
 
 // NewVirtual returns a virtual clock starting at Epoch.
 func NewVirtual() *Virtual {
-	return &Virtual{now: Epoch}
+	return &Virtual{base: Epoch}
 }
 
 // NewVirtualAt returns a virtual clock starting at t.
 func NewVirtualAt(t time.Time) *Virtual {
-	return &Virtual{now: t}
+	return &Virtual{base: t}
 }
 
-// Now reports the current virtual time.
-func (v *Virtual) Now() time.Time { return v.now }
+// Now reports the current virtual time. Safe for concurrent use.
+func (v *Virtual) Now() time.Time { return v.base.Add(time.Duration(v.off.Load())) }
 
 // Advance moves the clock forward by d. It panics on negative d: time in a
 // discrete-event simulation never flows backwards.
@@ -43,19 +52,26 @@ func (v *Virtual) Advance(d time.Duration) {
 	if d < 0 {
 		panic("vclock: Advance with negative duration")
 	}
-	v.now = v.now.Add(d)
+	v.off.Add(int64(d))
 }
 
 // AdvanceTo moves the clock to t if t is later than now; earlier times are
 // ignored (the event queue may contain events scheduled "now").
 func (v *Virtual) AdvanceTo(t time.Time) {
-	if t.After(v.now) {
-		v.now = t
+	target := t.Sub(v.base)
+	for {
+		cur := time.Duration(v.off.Load())
+		if target <= cur {
+			return
+		}
+		if v.off.CompareAndSwap(int64(cur), int64(target)) {
+			return
+		}
 	}
 }
 
 // Since reports the virtual time elapsed since t.
-func (v *Virtual) Since(t time.Time) time.Duration { return v.now.Sub(t) }
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
 
 // Real is the wall clock.
 type Real struct{}

@@ -3,7 +3,6 @@ package vcs
 import (
 	"encoding/binary"
 	"errors"
-	"hash/fnv"
 )
 
 // This file is the wire-delta side of the diff machinery: DiffLines (diff.go)
@@ -17,13 +16,27 @@ import (
 // ErrBadDelta is returned when a delta does not apply to the given base.
 var ErrBadDelta = errors.New("vcs: delta does not apply to this base")
 
+// FNV-1a constants (identical to hash/fnv's 64-bit variant).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // HashBytes returns the 64-bit FNV-1a content hash used to identify config
 // versions on the wire (observers and proxies advertise it; deltas name
-// their base and result with it).
+// their base and result with it). The loop is inlined rather than going
+// through hash/fnv so the read and update hot paths hash without
+// allocating — hash/fnv's constructor escapes its state to the heap on
+// every call, which at fleet read rates is an allocation per advertised
+// hash. TestHashBytesMatchesStdlib pins the two implementations together
+// (the hash is on the wire, so it must never drift).
 func HashBytes(b []byte) uint64 {
-	h := fnv.New64a()
-	h.Write(b)
-	return h.Sum64()
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= fnvPrime64
+	}
+	return h
 }
 
 // MakeDelta encodes new as a splice against old: the bytes old and new share

@@ -1,0 +1,44 @@
+package vcs
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// TestHashBytesMatchesStdlib pins the inlined FNV-1a loop to hash/fnv:
+// HashBytes is on the wire (delta base/result hashes, fetch adverts), so
+// the zero-alloc rewrite must produce bit-identical values forever.
+func TestHashBytesMatchesStdlib(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("a"),
+		[]byte(`{"enabled":true,"batch":64}`),
+		[]byte("/configs/very/long/path/with/segments.json"),
+		make([]byte, 4096), // zeros
+	}
+	for i := range cases[len(cases)-1] {
+		cases[len(cases)-1][i] = byte(i * 7)
+	}
+	for _, c := range cases {
+		h := fnv.New64a()
+		h.Write(c)
+		if want, got := h.Sum64(), HashBytes(c); want != got {
+			t.Errorf("HashBytes(%q) = %#x, stdlib fnv = %#x", c, got, want)
+		}
+	}
+}
+
+// TestHashBytesZeroAlloc is the allocation regression gate: hashing is on
+// the read hot path (content-hash memoization) and must not allocate.
+func TestHashBytesZeroAlloc(t *testing.T) {
+	data := []byte(`{"rev":42,"hosts":["a","b","c"]}`)
+	allocs := testing.AllocsPerRun(100, func() {
+		if HashBytes(data) == 0 {
+			t.Fatal("unexpected zero hash")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("HashBytes allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -12,7 +12,11 @@
 // leader→observer→proxy high-fanout push tree.
 package zeus
 
-import "sort"
+import (
+	"sort"
+
+	"configerator/internal/intern"
+)
 
 // Record is one versioned path in the data tree.
 type Record struct {
@@ -51,6 +55,9 @@ func (t *DataTree) Apply(op WriteOp) bool {
 	if op.Zxid <= t.applied {
 		return false
 	}
+	// Canonicalize the path: every replica's records, log, and watch tables
+	// key by the same shared string instance instead of per-message copies.
+	op.Path = intern.Path(op.Path)
 	t.applied = op.Zxid
 	t.log = append(t.log, op)
 	if op.Delete {

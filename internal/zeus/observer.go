@@ -1,12 +1,50 @@
 package zeus
 
 import (
+	"sync"
 	"time"
 
+	"configerator/internal/intern"
 	"configerator/internal/obs"
 	"configerator/internal/simnet"
 	"configerator/internal/vcs"
 )
+
+// batchScratch is the per-applyBatch working state (touched-path bases,
+// final updates, touch order). Batches arrive on every commit wave across
+// every observer in the fleet, so the maps are pooled rather than
+// reallocated per batch; only scratch lives here — everything a watch
+// event retains is copied out before the scratch is recycled.
+type batchScratch struct {
+	base  map[string][]byte
+	final map[string]Update
+	order []string
+}
+
+var batchScratchPool = sync.Pool{New: func() any {
+	return &batchScratch{
+		base:  make(map[string][]byte),
+		final: make(map[string]Update),
+	}
+}}
+
+func (s *batchScratch) release() {
+	for k := range s.base {
+		delete(s.base, k)
+	}
+	for k := range s.final {
+		delete(s.final, k)
+	}
+	s.order = s.order[:0]
+	batchScratchPool.Put(s)
+}
+
+// syncUpdatesPool recycles the Update slices built while decoding observer
+// catch-up syncs (applyBatch does not retain the slice).
+var syncUpdatesPool = sync.Pool{New: func() any {
+	s := make([]Update, 0, 64)
+	return &s
+}}
 
 // watchSessionTTL expires a proxy's watch registrations when the proxy
 // stops talking to this observer (crashed, or failed over to another
@@ -96,15 +134,23 @@ func (o *Observer) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg si
 		ctx.SetTimer(observerRegisterGap, msgTickObserver{})
 	case msgObserverSync:
 		// Catch-up ops arrive as full snapshots; run them through the same
-		// coalescing apply path as live pushes.
-		updates := make([]Update, len(m.Ops))
-		for i, op := range m.Ops {
-			updates[i] = Update{Path: op.Path, Version: op.Version, Zxid: op.Zxid, Delete: op.Delete}
+		// coalescing apply path as live pushes. The decoded slice is pooled
+		// scratch — applyBatch copies out anything it keeps.
+		up := syncUpdatesPool.Get().(*[]Update)
+		updates := (*up)[:0]
+		for _, op := range m.Ops {
+			u := Update{Path: op.Path, Version: op.Version, Zxid: op.Zxid, Delete: op.Delete}
 			if !op.Delete {
-				updates[i].Payload = Payload{Full: op.Data, NewHash: vcs.HashBytes(op.Data)}
+				u.Payload = Payload{Full: op.Data, NewHash: vcs.HashBytes(op.Data)}
 			}
+			updates = append(updates, u)
 		}
 		o.applyBatch(ctx, updates)
+		for i := range updates {
+			updates[i] = Update{} // drop payload references before pooling
+		}
+		*up = updates[:0]
+		syncUpdatesPool.Put(up)
 	case msgObserverBatch:
 		o.applyBatch(ctx, m.Updates)
 	case MsgFetch:
@@ -154,13 +200,18 @@ func (o *Observer) pruneWatchSessions(ctx *simnet.Context) {
 func (o *Observer) applyBatch(ctx *simnet.Context, updates []Update) {
 	// base holds each touched path's content before this batch — the
 	// version watchers last saw, hence the delta base for their event.
-	base := make(map[string][]byte)
-	final := make(map[string]Update)
-	var order []string
+	// All three structures are pooled scratch; nothing in them survives
+	// this call.
+	scratch := batchScratchPool.Get().(*batchScratch)
+	defer scratch.release()
+	base, final := scratch.base, scratch.final
+	order := scratch.order
+	defer func() { scratch.order = order }() // keep the grown capacity pooled
 	for _, u := range updates {
 		if u.Zxid <= o.tree.LastZxid() {
 			continue // duplicate or stale (e.g. overlapping sync)
 		}
+		u.Path = intern.Path(u.Path)
 		var oldData []byte
 		if old := o.tree.Get(u.Path); old != nil {
 			oldData = old.Data
@@ -218,7 +269,7 @@ func (o *Observer) onFetch(ctx *simnet.Context, from simnet.NodeID, m MsgFetch) 
 		set, ok := o.watches[m.Path]
 		if !ok {
 			set = make(map[simnet.NodeID]bool)
-			o.watches[m.Path] = set
+			o.watches[intern.Path(m.Path)] = set
 		}
 		set[from] = true
 	}
