@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet lint race bench-obs bench-compile bench-distribution bench-availability bench-readpath report
+.PHONY: build test check vet lint race staticcheck govulncheck bench-obs bench-compile bench-distribution bench-availability bench-readpath bench-dataflow report
 
 build:
 	$(GO) build ./...
@@ -8,21 +8,42 @@ build:
 test: build
 	$(GO) test ./...
 
-# check: the static-analysis gates (go vet for the Go code, configlint
-# for the CDL corpus), the race detector over the concurrent packages
-# (engine worker pool, pipeline, proxy, zeus, strip, canary, obs — zeus
+# check: the static-analysis gates (go vet for the Go code, staticcheck
+# and govulncheck when installed, configlint for the CDL corpus), the
+# race detector over the concurrent packages (engine worker pool +
+# dataflow index, pipeline, proxy, zeus, strip, canary, obs — zeus
 # and proxy run the batched, delta-encoded distribution plane; simnet,
 # confclient and cluster run the fault plane and the degradation read
 # path), the obs smoke run that regenerates BENCH_obs.json, the
 # distribution-plane smoke that regenerates and asserts
 # BENCH_distribution.json, the availability smoke that regenerates
-# and asserts BENCH_availability.json, and the read-hot-path smoke that
+# and asserts BENCH_availability.json, the read-hot-path smoke that
 # regenerates and asserts BENCH_readpath.json (zero allocs per warm
-# read, >= 5x over the lock+decode baseline at 32 readers).
-check: vet lint race bench-obs bench-distribution bench-availability bench-readpath
+# read, >= 5x over the lock+decode baseline at 32 readers), and the
+# dataflow smoke that regenerates and asserts BENCH_dataflow.json
+# (memo-warm whole-repo provenance >= 5x cold, one-edit recompute
+# bounded to the provenance cone).
+check: vet staticcheck govulncheck lint race bench-obs bench-distribution bench-availability bench-readpath bench-dataflow
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck / govulncheck: run when the binaries are on PATH, skip with
+# a notice otherwise — the build container has no network, so `check`
+# must not try to install them.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 # lint: the CDL analyzer suite over the example corpus, at the
 # strictest threshold — the examples must stay warning-free.
@@ -63,6 +84,14 @@ bench-availability:
 bench-readpath:
 	$(GO) run ./cmd/benchreport -quick -only readpath -o - > /dev/null
 	$(GO) test -run TestReadpathArtifact ./internal/experiments/
+
+# bench-dataflow: smoke-run the whole-repo dataflow experiment (leaves
+# BENCH_dataflow.json in the repo root) and assert the artifact's schema
+# and headline claims — warm analyze >= 5x cold, a one-sitevar edit
+# recomputes only its provenance cone, radius queries with sane quantiles.
+bench-dataflow:
+	$(GO) run ./cmd/benchreport -quick -only dataflow -o - > /dev/null
+	$(GO) test -run TestDataflowArtifact ./internal/experiments/
 
 # bench-compile: the shared-.cinc fan-out benchmarks behind BENCH_compile.json.
 bench-compile:

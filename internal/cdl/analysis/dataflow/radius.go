@@ -1,0 +1,168 @@
+package dataflow
+
+import (
+	"sort"
+	"strings"
+)
+
+// Score weights. The score is deterministic on purpose — the same diff
+// against the same tree always scores identically, so the landing-strip
+// threshold and the review comment can never disagree.
+const (
+	// WeightArtifact scores each downstream artifact the change rebuilds.
+	WeightArtifact = 1.0
+	// WeightConsumer scores each consumer binding (a sitevar/gatekeeper/env
+	// reference site) the change re-binds — consumers feel a bad value
+	// directly, so they weigh more than artifacts.
+	WeightConsumer = 2.0
+	// WeightDomain scores each canary domain the rollout must cross.
+	WeightDomain = 3.0
+	// WeightRiskFlag is added per riskadvisor history flag when the
+	// pipeline folds advisory history into the final score.
+	WeightRiskFlag = 5.0
+)
+
+// Radius is pass 2's answer for one candidate diff: everything it can
+// reach. Changed entries are source paths, or external-input tokens of the
+// form "sitevar:name" / "gatekeeper:name" / "env:NAME".
+type Radius struct {
+	Changed []string `json:"changed"`
+	// Artifacts are the downstream artifact sources (.cconf) whose
+	// compiled output the change can alter, sorted.
+	Artifacts []string `json:"artifacts"`
+	// Consumers are the consumer bindings the change re-binds: external
+	// input reference sites matching a changed input, plus any binding
+	// sites physically inside a changed file.
+	Consumers []ConsumerSite `json:"consumers"`
+	// Domains are the canary domains the reached artifacts map to (filled
+	// by the pipeline, which owns the canary-spec registry; empty in
+	// standalone CLI use).
+	Domains []string `json:"canary_domains,omitempty"`
+	// Score is the deterministic reach score (WeightArtifact*artifacts +
+	// WeightConsumer*consumers + WeightDomain*domains).
+	Score float64 `json:"score"`
+}
+
+// rescore recomputes Score from the current slices (the pipeline calls it
+// after filling Domains).
+func (rad *Radius) rescore() {
+	rad.Score = WeightArtifact*float64(len(rad.Artifacts)) +
+		WeightConsumer*float64(len(rad.Consumers)) +
+		WeightDomain*float64(len(rad.Domains))
+}
+
+// Rescore is the exported hook for callers that mutate Domains.
+func (rad *Radius) Rescore() { rad.rescore() }
+
+// Radius computes the blast radius of a candidate diff: the inverse of the
+// provenance map. An artifact is reached when a changed file is in its
+// import closure, or a changed external input is in its origin set.
+func (r *Repo) Radius(changed []string) *Radius {
+	rad := &Radius{Changed: append([]string{}, changed...)}
+	sort.Strings(rad.Changed)
+
+	changedFiles := make(map[string]bool)
+	changedExts := make(map[string]bool) // Origin.key()-shaped: kind \x00 name
+	for _, c := range changed {
+		if kind, name, ok := extToken(c); ok {
+			changedExts[string(kind)+"\x00"+name] = true
+			continue
+		}
+		changedFiles[c] = true
+		// A file under sitevars/ or gatekeeper/ *is* that external input:
+		// editing it also re-binds every consumer referencing the input by
+		// name, wherever it lives.
+		if kind, name := pathOrigin(c); kind != "" {
+			changedExts[string(kind)+"\x00"+name] = true
+		}
+	}
+
+	// Downstream artifacts: reach-set membership for file edits, origin-set
+	// membership for external-input changes.
+	for _, root := range r.Roots {
+		s := r.sums[root]
+		if s == nil {
+			continue
+		}
+		hit := false
+		for f := range changedFiles {
+			if s.reach[f] {
+				hit = true
+				break
+			}
+		}
+		if !hit && len(changedExts) > 0 {
+			for f := range s.reach {
+				fsum := r.sums[f]
+				if fsum == nil {
+					continue
+				}
+				for _, c := range fsum.consumers {
+					if changedExts[string(c.Kind)+"\x00"+c.Name] {
+						hit = true
+						break
+					}
+				}
+				if hit {
+					break
+				}
+			}
+		}
+		if hit {
+			rad.Artifacts = append(rad.Artifacts, root)
+		}
+	}
+	sort.Strings(rad.Artifacts)
+
+	// Consumer bindings: sites matching a changed external input anywhere
+	// in the analyzed universe, plus sites physically in a changed file.
+	seen := make(map[string]bool)
+	paths := make([]string, 0, len(r.sums))
+	for p := range r.sums {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		for _, c := range r.sums[p].consumers {
+			match := changedExts[string(c.Kind)+"\x00"+c.Name] || changedFiles[c.Site.File]
+			if !match {
+				continue
+			}
+			k := c.Site.String() + "\x00" + string(c.Kind) + "\x00" + c.Name
+			if !seen[k] {
+				seen[k] = true
+				rad.Consumers = append(rad.Consumers, c)
+			}
+		}
+	}
+	sort.Slice(rad.Consumers, func(i, j int) bool {
+		a, b := rad.Consumers[i], rad.Consumers[j]
+		if a.Site.File != b.Site.File {
+			return a.Site.File < b.Site.File
+		}
+		if a.Site.Line != b.Site.Line {
+			return a.Site.Line < b.Site.Line
+		}
+		if a.Site.Col != b.Site.Col {
+			return a.Site.Col < b.Site.Col
+		}
+		return a.Name < b.Name
+	})
+
+	rad.rescore()
+	r.ix.observeRadius(len(rad.Artifacts))
+	return rad
+}
+
+// extToken parses "sitevar:name" / "gatekeeper:name" / "env:NAME" changed
+// entries.
+func extToken(s string) (OriginKind, string, bool) {
+	prefix, name, ok := strings.Cut(s, ":")
+	if !ok || name == "" {
+		return "", "", false
+	}
+	if kind, ok := extKinds[prefix]; ok {
+		return kind, name, true
+	}
+	return "", "", false
+}

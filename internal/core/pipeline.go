@@ -19,6 +19,7 @@ import (
 	"configerator/internal/canary"
 	"configerator/internal/cdl"
 	"configerator/internal/cdl/analysis"
+	"configerator/internal/cdl/analysis/dataflow"
 	"configerator/internal/ci"
 	"configerator/internal/cluster"
 	"configerator/internal/depgraph"
@@ -52,6 +53,11 @@ type Options struct {
 	CanaryPhase2 int
 	// SandboxSetup is Sandcastle's provisioning cost.
 	SandboxSetup time.Duration
+	// HighRadiusArtifacts is the blast-radius artifact count at which a
+	// change may no longer land via a direct strip submit and must come
+	// through the pipeline (so the canary covers its radius). 0 means
+	// DefaultHighRadiusArtifacts; negative disables the check.
+	HighRadiusArtifacts int
 	// Obs receives traces, histograms, and counters for every change.
 	// When nil, the fleet's registry is used (if any); nil overall means
 	// zero-overhead no-op instrumentation.
@@ -77,6 +83,10 @@ type Pipeline struct {
 	// work, implemented): it learns from every landed change and posts
 	// findings onto review diffs without blocking them.
 	Risk *riskadvisor.Advisor
+	// Dataflow is the memoized whole-repo analysis index shared by stage 1
+	// and every landing strip's gate; it rides the same engine parse cache
+	// as lint and compile.
+	Dataflow *dataflow.Index
 	// DeprecatedSitevars configures the deprecated-sitevar analyzer:
 	// sitevar name → replacement note.
 	DeprecatedSitevars map[string]string
@@ -90,6 +100,13 @@ type Pipeline struct {
 	clock  *vclock.Virtual // standalone clock when no fleet
 	phase1 int
 	phase2 int
+	// highRadiusAt is the resolved HighRadiusArtifacts threshold (0 =
+	// disabled).
+	highRadiusAt int
+	// cleared marks, by pointer identity, the diff shards the pipeline is
+	// about to land after canarying (or when no canary infrastructure
+	// exists): the strip gate exempts them from the high-radius refusal.
+	cleared map[*vcs.Diff]bool
 	// canarySpecs holds per-path-prefix canary specs ("a config is
 	// associated with a canary spec that describes how to automate
 	// testing the config in production", §3.3). Longest prefix wins;
@@ -112,10 +129,19 @@ func New(opts Options) *Pipeline {
 		phase1:      opts.CanaryPhase1,
 		phase2:      opts.CanaryPhase2,
 		canarySpecs: make(map[string]canary.Spec),
+		cleared:     make(map[*vcs.Diff]bool),
 	}
 	p.Obs = opts.Obs
 	if p.Obs == nil && opts.Fleet != nil {
 		p.Obs = opts.Fleet.Obs
+	}
+	p.Dataflow = dataflow.NewIndex(p.Engine)
+	p.Dataflow.Obs = p.Obs
+	p.highRadiusAt = opts.HighRadiusArtifacts
+	if p.highRadiusAt == 0 {
+		p.highRadiusAt = DefaultHighRadiusArtifacts
+	} else if p.highRadiusAt < 0 {
+		p.highRadiusAt = 0
 	}
 	if p.Repos == nil {
 		p.Repos = vcs.NewRepoSet("configerator")
@@ -125,7 +151,7 @@ func New(opts Options) *Pipeline {
 	}
 	for _, repo := range p.Repos.Repos() {
 		p.strips[repo] = landingstrip.New(repo, p.Cost)
-		p.strips[repo].Gate = p.lintGate()
+		p.strips[repo].Gate = p.gate()
 		p.strips[repo].Obs = p.Obs
 	}
 	if p.Fleet != nil {
@@ -261,6 +287,13 @@ type ChangeReport struct {
 	Canaries []*canary.Report
 	// RiskFlags are the advisory findings posted to the review diff.
 	RiskFlags []string
+	// Radius is the change's static blast radius (dataflow pass 2): every
+	// downstream artifact, consumer binding, and canary domain the edit
+	// can reach. Nil when the change touches no config sources.
+	Radius *dataflow.Radius
+	// RiskScore combines the radius score with the risk-advisor flags
+	// (WeightRiskFlag per flag) into one deterministic number.
+	RiskScore float64
 	// Landed maps repository name -> commit hash.
 	Landed map[string]vcs.Hash
 	// Timings records per-stage virtual durations.
@@ -285,6 +318,12 @@ var (
 	ErrCIFailed     = errors.New("core: continuous integration tests failed")
 	ErrCanaryFailed = errors.New("core: canary aborted the rollout")
 	ErrEmptyChange  = errors.New("core: change contains no edits")
+	// ErrNondeterministic: the dataflow determinacy pass found an artifact
+	// whose output depends on overlay import / shard land order.
+	ErrNondeterministic = errors.New("core: change makes artifact output depend on import/land order")
+	// ErrHighRadius: the change's static blast radius exceeds the
+	// direct-submit threshold and must land through the pipeline's canary.
+	ErrHighRadius = errors.New("core: high blast-radius change requires canary")
 )
 
 // lintAffected runs the configlint analyzer suite over the changed
@@ -485,6 +524,33 @@ func (p *Pipeline) Submit(req *ChangeRequest) *ChangeReport {
 		return fail("lint", fmt.Errorf("%w: %s (first: %s)",
 			ErrLintFailed, analysis.Summary(errs), errs[0]))
 	}
+	// Whole-repo dataflow: blast radius onto the change trace, determinacy
+	// over the affected artifacts, and static reach into the risk advisor.
+	radiusChanged := append([]string(nil), changedSources...)
+	for _, path := range req.Deletes {
+		if isSource(path) {
+			radiusChanged = append(radiusChanged, path)
+		}
+	}
+	if len(radiusChanged) > 0 {
+		rep, rad := p.blastRadius(fs, radiusChanged)
+		report.Radius = rad
+		report.RiskScore = rad.Score
+		tr.Annotate("radius.artifacts", fmt.Sprintf("%d", len(rad.Artifacts)))
+		tr.Annotate("radius.consumers", fmt.Sprintf("%d", len(rad.Consumers)))
+		tr.Annotate("radius.score", fmt.Sprintf("%.1f", rad.Score))
+		if ddiags := rep.DeterminacyFor(rad.Artifacts); len(ddiags) > 0 {
+			report.Lint = append(report.Lint, ddiags...)
+			if analysis.HasErrors(ddiags) {
+				errs := analysis.Filter(ddiags, analysis.Error)
+				return fail("lint", fmt.Errorf("%w: %s", ErrNondeterministic, errs[0].Message))
+			}
+		}
+		for _, path := range changedSources {
+			pr := rep.Radius([]string{path})
+			p.Risk.SetReach(path, len(pr.Artifacts)+len(pr.Consumers))
+		}
+	}
 	toCompile := p.Deps.RecompileSet(changedSources, isTopLevel)
 	live := toCompile[:0]
 	for _, src := range toCompile {
@@ -548,6 +614,13 @@ func (p *Pipeline) Submit(req *ChangeRequest) *ChangeReport {
 		report.RiskFlags = append(report.RiskFlags, flag.String())
 		_ = p.Review.Comment(diff.ID, "risk-advisor", flag.String())
 	}
+	if report.Radius != nil {
+		rad := report.Radius
+		report.RiskScore = rad.Score + dataflow.WeightRiskFlag*float64(len(report.RiskFlags))
+		_ = p.Review.Comment(diff.ID, "dataflow",
+			fmt.Sprintf("[dataflow] blast radius: %d artifacts, %d consumers, %d canary domains; risk score %.1f",
+				len(rad.Artifacts), len(rad.Consumers), len(rad.Domains), report.RiskScore))
+	}
 	if err := p.Review.Approve(diff.ID, reviewerFor(req), p.Now()); err != nil {
 		return fail("review", err)
 	}
@@ -556,6 +629,12 @@ func (p *Pipeline) Submit(req *ChangeRequest) *ChangeReport {
 	spReview.End(p.Now())
 
 	// ---- Stage 3: automated canary ----
+	// A high-radius change may not opt out of canary: the wider the static
+	// reach, the more the live-fleet check is worth.
+	if p.Canary != nil && req.SkipCanary && p.highRadius(report.Radius) {
+		return fail("canary", fmt.Errorf("%w: change reaches %d artifacts (threshold %d)",
+			ErrHighRadius, len(report.Radius.Artifacts), p.highRadiusAt))
+	}
 	if p.Canary != nil && !req.SkipCanary {
 		start = p.Now()
 		spCanary := tr.Span(StageCanary, start)
@@ -612,17 +691,25 @@ func (p *Pipeline) Submit(req *ChangeRequest) *ChangeReport {
 		}
 	}
 	shards := p.Repos.SplitDiff(&vcs.Diff{Author: req.Author, Message: req.Title, Changes: changes})
+	// Pipeline shards are exempt from the gate's high-radius refusal when
+	// the change was canaried — or when no canary infrastructure exists to
+	// require (stage 3 already refused high-radius SkipCanary requests).
+	canaried := p.Canary == nil || !req.SkipCanary
 	var worst time.Duration
 	for _, repo := range orderShards(shards) {
 		shard := shards[repo]
 		strip := p.strips[repo]
 		if strip == nil { // repo added after pipeline construction
 			strip = landingstrip.New(repo, p.Cost)
-			strip.Gate = p.lintGate()
+			strip.Gate = p.gate()
 			strip.Obs = p.Obs
 			p.strips[repo] = strip
 		}
+		if canaried {
+			p.cleared[shard] = true
+		}
 		res := strip.Submit(shard, p.Now())
+		delete(p.cleared, shard)
 		if res.Err != nil {
 			return fail("land", res.Err)
 		}
@@ -731,9 +818,9 @@ func (p *Pipeline) SetCanarySpec(pathPrefix string, spec canary.Spec) {
 	p.canarySpecs[pathPrefix] = spec
 }
 
-// canarySpecFor picks the longest registered prefix match, falling back to
-// the paper's default two-phase spec.
-func (p *Pipeline) canarySpecFor(artifact string) canary.Spec {
+// canaryPrefixFor finds the longest registered canary-spec prefix covering
+// the artifact.
+func (p *Pipeline) canaryPrefixFor(artifact string) (string, bool) {
 	var best string
 	found := false
 	for prefix := range p.canarySpecs {
@@ -742,7 +829,13 @@ func (p *Pipeline) canarySpecFor(artifact string) canary.Spec {
 			found = true
 		}
 	}
-	if found {
+	return best, found
+}
+
+// canarySpecFor picks the longest registered prefix match, falling back to
+// the paper's default two-phase spec.
+func (p *Pipeline) canarySpecFor(artifact string) canary.Spec {
+	if best, found := p.canaryPrefixFor(artifact); found {
 		spec := p.canarySpecs[best]
 		spec.ConfigPath = ZeusPrefix + artifact
 		return spec

@@ -114,6 +114,7 @@ func Catalog() []Experiment {
 		{"distribution", Distribution},
 		{"availability", Availability},
 		{"readpath", ReadPath},
+		{"dataflow", Dataflow},
 	}
 }
 

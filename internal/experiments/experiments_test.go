@@ -193,7 +193,7 @@ func TestAllRuns(t *testing.T) {
 		t.Skip("runs every experiment")
 	}
 	results := All(opts)
-	if len(results) != 27 {
+	if len(results) != 28 {
 		t.Fatalf("All returned %d results", len(results))
 	}
 	// The catalog keys must match what each experiment actually reports,
@@ -442,5 +442,47 @@ func TestLint(t *testing.T) {
 	}
 	if !strings.Contains(r.Text, "diagnostics by analyzer") {
 		t.Error("analyzer breakdown missing from Text")
+	}
+}
+
+func TestDataflowArtifact(t *testing.T) {
+	r := Dataflow(opts)
+	if r.ArtifactName != "BENCH_dataflow.json" {
+		t.Fatalf("artifact name = %q", r.ArtifactName)
+	}
+	var rep DataflowReport
+	if err := json.Unmarshal(r.Artifact, &rep); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	if rep.Workload.Artifacts <= 0 || rep.Workload.Libs <= 0 ||
+		rep.Workload.Sitevars <= 0 || rep.Workload.Files <= 0 {
+		t.Fatalf("workload header empty: %+v", rep.Workload)
+	}
+	// ISSUE acceptance: warm whole-repo provenance is >= 5x faster than
+	// cold, and the warm run rebuilds nothing.
+	if rep.Provenance.WarmSpeedup < 5 {
+		t.Errorf("warm speedup = %.2fx, want >= 5x (cold %.2fms, warm %.3fms)",
+			rep.Provenance.WarmSpeedup, rep.Provenance.ColdMs, rep.Provenance.WarmMs)
+	}
+	if rep.Provenance.ColdRecompute != rep.Workload.Files {
+		t.Errorf("cold recompute = %d, want every file (%d)",
+			rep.Provenance.ColdRecompute, rep.Workload.Files)
+	}
+	// A one-sitevar edit recomputes its cone only, never the whole tree.
+	if rep.Provenance.EditRecompute <= 0 ||
+		rep.Provenance.EditRecompute >= rep.Workload.Files {
+		t.Errorf("edit recompute = %d, want in (0, %d)",
+			rep.Provenance.EditRecompute, rep.Workload.Files)
+	}
+	if rep.Provenance.EditMemoHits <= 0 {
+		t.Errorf("edit memo hits = %d, want > 0 (untouched closures reused)",
+			rep.Provenance.EditMemoHits)
+	}
+	// Radius queries answer with sane quantiles and a non-trivial reach.
+	if rep.Radius.Queries <= 0 || rep.Radius.MaxArtifacts <= 0 {
+		t.Fatalf("radius accounting empty: %+v", rep.Radius)
+	}
+	if rep.Radius.P50Us <= 0 || rep.Radius.P99Us < rep.Radius.P50Us {
+		t.Errorf("bad radius quantiles p50=%v p99=%v", rep.Radius.P50Us, rep.Radius.P99Us)
 	}
 }

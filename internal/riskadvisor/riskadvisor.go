@@ -59,6 +59,11 @@ type Thresholds struct {
 	MinLines   int
 	// SharedAuthors flags configs with at least this many co-authors.
 	SharedAuthors int
+	// SharedReach flags configs whose static blast radius (downstream
+	// artifacts + consumer bindings, fed from the dataflow analysis via
+	// SetReach) is at least this large — catching new-but-widely-imported
+	// configs that have no author history yet. 0 disables.
+	SharedReach int
 }
 
 // DefaultThresholds are calibrated against the §6.2 distributions: 35% of
@@ -70,6 +75,7 @@ func DefaultThresholds() Thresholds {
 		SizeFactor:    8,
 		MinLines:      20,
 		SharedAuthors: 20,
+		SharedReach:   25,
 	}
 }
 
@@ -91,12 +97,26 @@ type pathHistory struct {
 type Advisor struct {
 	t     Thresholds
 	paths map[string]*pathHistory
+	// reach holds the latest static blast-radius size per path, fed by
+	// the pipeline's dataflow pass — the forward-looking complement to
+	// the backward-looking author history.
+	reach map[string]int
 }
 
 // New returns an advisor with the given thresholds.
 func New(t Thresholds) *Advisor {
-	return &Advisor{t: t, paths: make(map[string]*pathHistory)}
+	return &Advisor{t: t, paths: make(map[string]*pathHistory), reach: make(map[string]int)}
 }
+
+// SetReach records a config's static blast-radius size (downstream
+// artifacts plus consumer bindings). The pipeline refreshes it on every
+// change that touches the path.
+func (a *Advisor) SetReach(path string, size int) {
+	a.reach[path] = size
+}
+
+// Reach reports the last recorded static blast-radius size for path.
+func (a *Advisor) Reach(path string) int { return a.reach[path] }
 
 // Observe records one landed update (create or modify).
 func (a *Advisor) Observe(path, author string, lineChanges int, now time.Time) {
@@ -140,33 +160,43 @@ func medianInt(xs []int) int {
 	return cp[len(cp)/2]
 }
 
-// Assess evaluates a proposed update against the config's history. A new
-// config (no history) yields no flags — there is nothing to deviate from.
+// Assess evaluates a proposed update against the config's history and its
+// static blast radius. A config with neither history nor recorded reach
+// yields no flags — there is nothing to deviate from.
 func (a *Advisor) Assess(path, author string, lineChanges int, now time.Time) []Flag {
-	h, ok := a.paths[path]
-	if !ok {
-		return nil
-	}
+	h := a.paths[path]
 	var flags []Flag
-	if dormant := now.Sub(h.lastUpdate); dormant >= a.t.DormancyAge {
-		flags = append(flags, Flag{Kind: FlagDormantChange, Path: path,
-			Detail: fmt.Sprintf("untouched for %d days (threshold %d)",
-				int(dormant.Hours()/24), int(a.t.DormancyAge.Hours()/24))})
-	}
-	if med := medianInt(h.lineSizes); med > 0 && lineChanges >= a.t.MinLines &&
-		float64(lineChanges) >= a.t.SizeFactor*float64(med) {
-		flags = append(flags, Flag{Kind: FlagUnusualSize, Path: path,
-			Detail: fmt.Sprintf("%d line changes vs historical median %d", lineChanges, med)})
+	if h != nil {
+		if dormant := now.Sub(h.lastUpdate); dormant >= a.t.DormancyAge {
+			flags = append(flags, Flag{Kind: FlagDormantChange, Path: path,
+				Detail: fmt.Sprintf("untouched for %d days (threshold %d)",
+					int(dormant.Hours()/24), int(a.t.DormancyAge.Hours()/24))})
+		}
+		if med := medianInt(h.lineSizes); med > 0 && lineChanges >= a.t.MinLines &&
+			float64(lineChanges) >= a.t.SizeFactor*float64(med) {
+			flags = append(flags, Flag{Kind: FlagUnusualSize, Path: path,
+				Detail: fmt.Sprintf("%d line changes vs historical median %d", lineChanges, med)})
+		}
 	}
 	// Highly-shared configs are only worth a flag when the update comes
 	// from a non-habitual author — the config's owning automation updating
-	// its own config thousands of times is business as usual.
-	if len(h.authors) >= a.t.SharedAuthors && h.perAuthor[author] < 3 {
-		flags = append(flags, Flag{Kind: FlagHighlyShared, Path: path,
-			Detail: fmt.Sprintf("%d distinct co-authors and %s is not a regular updater",
-				len(h.authors), author)})
+	// its own config thousands of times is business as usual. Sharing is
+	// evidenced two ways: many historical co-authors, or a large static
+	// blast radius — the latter catches a new-but-widely-imported config
+	// long before it accumulates an author history.
+	if h == nil || h.perAuthor[author] < 3 {
+		switch {
+		case h != nil && len(h.authors) >= a.t.SharedAuthors:
+			flags = append(flags, Flag{Kind: FlagHighlyShared, Path: path,
+				Detail: fmt.Sprintf("%d distinct co-authors and %s is not a regular updater",
+					len(h.authors), author)})
+		case a.t.SharedReach > 0 && a.reach[path] >= a.t.SharedReach:
+			flags = append(flags, Flag{Kind: FlagHighlyShared, Path: path,
+				Detail: fmt.Sprintf("statically reaches %d downstream artifacts/consumers (threshold %d) and %s is not a regular updater",
+					a.reach[path], a.t.SharedReach, author)})
+		}
 	}
-	if !h.authors[author] && h.updates >= 3 {
+	if h != nil && !h.authors[author] && h.updates >= 3 {
 		flags = append(flags, Flag{Kind: FlagNewAuthor, Path: path,
 			Detail: fmt.Sprintf("%s has never updated this config (%d prior updates by others)",
 				author, h.updates)})

@@ -79,6 +79,49 @@ func TestHighlySharedFlagged(t *testing.T) {
 	}
 }
 
+// TestHighReachFlagged: a config with no author history at all is still
+// flagged highly-shared when its static blast radius is large — the
+// under-flagging gap the dataflow analysis closes.
+func TestHighReachFlagged(t *testing.T) {
+	a := New(DefaultThresholds())
+	a.SetReach("sitevars/new-but-popular.cinc", 40)
+	flags := a.Assess("sitevars/new-but-popular.cinc", "mallory", 2, t0)
+	if !hasFlag(flags, FlagHighlyShared) {
+		t.Errorf("high-reach config with no history not flagged: %v", flags)
+	}
+	if !strings.Contains(flags[0].Detail, "statically reaches 40") {
+		t.Errorf("detail should cite the static reach: %q", flags[0].Detail)
+	}
+	if a.Reach("sitevars/new-but-popular.cinc") != 40 {
+		t.Errorf("Reach = %d", a.Reach("sitevars/new-but-popular.cinc"))
+	}
+
+	// Below threshold: still no flags (preserves the nil-for-new-config
+	// contract).
+	a.SetReach("sitevars/quiet.cinc", 3)
+	if flags := a.Assess("sitevars/quiet.cinc", "mallory", 2, t0); flags != nil {
+		t.Errorf("low-reach config flagged: %v", flags)
+	}
+}
+
+// TestHighReachHabitualAuthorExempt: regular updaters of a high-reach
+// config are not nagged, mirroring the author-history rule.
+func TestHighReachHabitualAuthorExempt(t *testing.T) {
+	a := New(DefaultThresholds())
+	a.SetReach("lib/core.cinc", 100)
+	for i := 0; i < 5; i++ {
+		a.Observe("lib/core.cinc", "owner", 2, day(i))
+	}
+	if flags := a.Assess("lib/core.cinc", "owner", 2, day(6)); hasFlag(flags, FlagHighlyShared) {
+		t.Errorf("habitual author flagged on high-reach config: %v", flags)
+	}
+	// But a drive-by author on the same config is.
+	flags := a.Assess("lib/core.cinc", "mallory", 2, day(6))
+	if !hasFlag(flags, FlagHighlyShared) {
+		t.Errorf("drive-by author on high-reach config not flagged: %v", flags)
+	}
+}
+
 func TestNewAuthorFlagged(t *testing.T) {
 	a := New(DefaultThresholds())
 	for i := 0; i < 5; i++ {

@@ -26,7 +26,7 @@ func TestDeltaRoundTrip(t *testing.T) {
 	roundTrip(t, `{"a":1,"b":2,"c":3}`, `{"a":1,"b":7,"c":3}`)
 	roundTrip(t, "line1\nline2\nline3\n", "line1\nchanged\nline3\n")
 	roundTrip(t, strings.Repeat("x", 4096), strings.Repeat("x", 2048)+"Y"+strings.Repeat("x", 2047))
-	roundTrip(t, "abc", "abcdef")  // pure append
+	roundTrip(t, "abc", "abcdef") // pure append
 	roundTrip(t, "abcdef", "abc") // pure truncate
 	roundTrip(t, "same", "same")  // identical
 }
