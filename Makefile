@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet lint race staticcheck govulncheck bench-obs bench-compile bench-distribution bench-availability bench-readpath bench-dataflow report
+.PHONY: build test check vet lint race staticcheck govulncheck bench-obs bench-compile bench-distribution bench-availability bench-readpath bench-dataflow bench-monitor report
 
 build:
 	$(GO) build ./...
@@ -22,8 +22,11 @@ test: build
 # read, >= 5x over the lock+decode baseline at 32 readers), and the
 # dataflow smoke that regenerates and asserts BENCH_dataflow.json
 # (memo-warm whole-repo provenance >= 5x cold, one-edit recompute
-# bounded to the provenance cone).
-check: vet staticcheck govulncheck lint race bench-obs bench-distribution bench-availability bench-readpath bench-dataflow
+# bounded to the provenance cone), and the fleet-monitoring smoke that
+# regenerates and asserts BENCH_monitor.json (monitoring overhead <= 5%
+# on the read path, 0 allocs per warm read with the health plane on,
+# SLO alerts fire during the scripted outage and clear after heal).
+check: vet staticcheck govulncheck lint race bench-obs bench-distribution bench-availability bench-readpath bench-dataflow bench-monitor
 
 vet:
 	$(GO) vet ./...
@@ -51,7 +54,7 @@ lint:
 	$(GO) run ./cmd/configlint -C examples/configs -severity info
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/cdl/... ./internal/core/... ./internal/proxy/... ./internal/zeus/... ./internal/landingstrip/... ./internal/canary/... ./internal/simnet/... ./internal/confclient/... ./internal/cluster/...
+	$(GO) test -race ./internal/obs/... ./internal/cdl/... ./internal/core/... ./internal/proxy/... ./internal/zeus/... ./internal/landingstrip/... ./internal/canary/... ./internal/simnet/... ./internal/confclient/... ./internal/cluster/... ./internal/monitor/...
 
 # bench-obs: smoke-run the observability experiment and leave its raw
 # registry dump (BENCH_obs.json) in the repo root.
@@ -92,6 +95,16 @@ bench-readpath:
 bench-dataflow:
 	$(GO) run ./cmd/benchreport -quick -only dataflow -o - > /dev/null
 	$(GO) test -run TestDataflowArtifact ./internal/experiments/
+
+# bench-monitor: smoke-run the fleet-monitoring experiment (leaves
+# BENCH_monitor.json in the repo root) and assert the artifact's schema
+# and headline claims — read-path overhead <= 5% with the health plane
+# attached, 0 allocs per warm read/Get while monitored, time-to-head
+# quantiles populated, and the convergence SLO alert firing during the
+# scripted observer outage and clearing after recovery.
+bench-monitor:
+	$(GO) run ./cmd/benchreport -quick -only monitor -o - > /dev/null
+	$(GO) test -run TestMonitorArtifact ./internal/experiments/
 
 # bench-compile: the shared-.cinc fan-out benchmarks behind BENCH_compile.json.
 bench-compile:

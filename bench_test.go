@@ -24,6 +24,7 @@ import (
 	"configerator/internal/experiments"
 	"configerator/internal/gatekeeper"
 	"configerator/internal/landingstrip"
+	"configerator/internal/monitor"
 	"configerator/internal/obs"
 	"configerator/internal/proxy"
 	"configerator/internal/simnet"
@@ -429,8 +430,11 @@ func BenchmarkCanonicalJSON(b *testing.B) {
 }
 
 // readpathStack boots a one-proxy pipeline, commits one config, and warms
-// it: the fixture for the read-hot-path micro-benchmarks below.
-func readpathStack(b *testing.B, withObs bool) (*confclient.Client, *proxy.Proxy, string) {
+// it: the fixture for the read-hot-path micro-benchmarks below. With
+// withMonitor the fleet-health plane is attached (proxy heartbeats plus a
+// sweeping monitor) before warmup, so the benchmarks double as the gate
+// that monitoring never touches the read hot path.
+func readpathStack(b *testing.B, withObs, withMonitor bool) (*confclient.Client, *proxy.Proxy, string) {
 	b.Helper()
 	net := simnet.New(simnet.DefaultLatency(), 7)
 	ens := zeus.StartEnsemble(net, 3, []simnet.Placement{
@@ -445,8 +449,21 @@ func readpathStack(b *testing.B, withObs bool) (*confclient.Client, *proxy.Proxy
 	px := proxy.New(net, "proxy-1", simnet.Placement{Region: "us", Cluster: "web"},
 		[]simnet.NodeID{"obs-1"}, nil)
 	cl := confclient.New(px)
+	var reg *obs.Registry
+	if withObs || withMonitor {
+		reg = obs.New()
+	}
 	if withObs {
-		cl.SetObs(obs.New())
+		cl.SetObs(reg)
+	}
+	if withMonitor {
+		m := monitor.New(monitor.Config{
+			ID: "mon", Ensemble: ens, Obs: reg,
+			SweepEvery: 500 * time.Millisecond, HeartbeatEvery: 200 * time.Millisecond,
+			SLOs: []*monitor.SLO{monitor.ConvergenceSLO(0.99, 2*time.Second)},
+		})
+		m.Attach(net, simnet.Placement{Region: "us", Cluster: "web"})
+		px.EnableMonitor("mon", 200*time.Millisecond)
 	}
 	const path = "/configs/bench/hot"
 	done := false
@@ -471,19 +488,27 @@ func readpathStack(b *testing.B, withObs bool) (*confclient.Client, *proxy.Proxy
 
 // BenchmarkProxyReadWarm: one atomic snapshot load plus map lookups. The
 // final AllocsPerRun check turns the benchmark into a regression gate —
-// a warm Read must stay at 0 allocs/op.
+// a warm Read must stay at 0 allocs/op, with and without the fleet-health
+// monitoring plane attached (heartbeats ride the sim loop, never reads).
 func BenchmarkProxyReadWarm(b *testing.B) {
-	_, px, path := readpathStack(b, true)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if res := px.Read(path); !res.OK {
-			b.Fatal("warm read failed")
-		}
-	}
-	b.StopTimer()
-	if a := testing.AllocsPerRun(100, func() { px.Read(path) }); a != 0 {
-		b.Fatalf("warm proxy.Read allocates %.1f per op, want 0", a)
+	for _, cfg := range []struct {
+		name        string
+		withMonitor bool
+	}{{"bare", false}, {"monitored", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			_, px, path := readpathStack(b, true, cfg.withMonitor)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if res := px.Read(path); !res.OK {
+					b.Fatal("warm read failed")
+				}
+			}
+			b.StopTimer()
+			if a := testing.AllocsPerRun(100, func() { px.Read(path) }); a != 0 {
+				b.Fatalf("warm proxy.Read (%s) allocates %.1f per op, want 0", cfg.name, a)
+			}
+		})
 	}
 }
 
@@ -493,11 +518,12 @@ func BenchmarkProxyReadWarm(b *testing.B) {
 // change the allocation count, and nil-safety costs nothing per call.
 func BenchmarkClientGetWarm(b *testing.B) {
 	for _, cfg := range []struct {
-		name    string
-		withObs bool
-	}{{"no-obs", false}, {"with-obs", true}} {
+		name        string
+		withObs     bool
+		withMonitor bool
+	}{{"no-obs", false, false}, {"with-obs", true, false}, {"monitored", true, true}} {
 		b.Run(cfg.name, func(b *testing.B) {
-			cl, _, path := readpathStack(b, cfg.withObs)
+			cl, _, path := readpathStack(b, cfg.withObs, cfg.withMonitor)
 			ctx := context.Background()
 			b.ReportAllocs()
 			b.ResetTimer()

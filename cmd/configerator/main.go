@@ -9,7 +9,8 @@
 //	configerator check   [-root DIR] FILE.cconf   # compile + validators, report only
 //	configerator deps    [-root DIR] FILE.cconf   # print direct + transitive imports
 //	configerator eval    EXPR                     # evaluate a sitevar expression
-//	configerator trace   [COMMIT]                 # commit-scoped span tree from a demo fleet
+//	configerator trace   [-json] [COMMIT]         # commit-scoped span tree from a demo fleet
+//	configerator status  [-json]                  # fleet convergence, stragglers, SLO alerts
 package main
 
 import (
@@ -39,6 +40,7 @@ func main() {
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	root := fs.String("root", ".", "config source tree root")
+	asJSON := fs.Bool("json", false, "emit deterministic JSON instead of text (trace, status)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -103,7 +105,12 @@ func main() {
 		}
 		fmt.Println(js)
 	case "trace":
-		runTrace(args)
+		runTrace(args, *asJSON)
+	case "status":
+		if len(args) != 0 {
+			fatal("status takes no arguments")
+		}
+		runStatus(*asJSON)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -132,6 +139,7 @@ configerator — config-as-code toolchain
   configerator check   [-root DIR] FILE.cconf   compile + run validators
   configerator deps    [-root DIR] FILE         print import edges
   configerator eval    EXPR                     evaluate a sitevar expression
-  configerator trace   [COMMIT]                 span tree of a change through a demo fleet
+  configerator trace   [-json] [COMMIT]         span tree of a change through a demo fleet
+  configerator status  [-json]                  fleet convergence, stragglers, and SLO alerts
 `))
 }

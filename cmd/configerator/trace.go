@@ -14,8 +14,9 @@ import (
 // the Zeus push-tree hops (leader commit → observer apply → proxy
 // materialize) stitched in by path/zxid. With a COMMIT argument it
 // resolves that trace (landed-hash prefixes work) instead of the demo
-// change's own.
-func runTrace(args []string) {
+// change's own. With -json the span tree is emitted in the registry's
+// deterministic JSON encoding instead of the text rendering.
+func runTrace(args []string, asJSON bool) {
 	if len(args) > 1 {
 		fatal("trace takes at most one COMMIT argument")
 	}
@@ -51,6 +52,10 @@ func runTrace(args []string) {
 		fatal("no trace for %q", key)
 	}
 
+	if asJSON {
+		fmt.Println(tr.JSON())
+		return
+	}
 	fmt.Print(tr.Render())
 	fmt.Println("\npush-tree latency across the demo fleet:")
 	for _, name := range []string{

@@ -10,6 +10,7 @@ import (
 
 	"configerator/internal/confclient"
 	"configerator/internal/health"
+	"configerator/internal/monitor"
 	"configerator/internal/obs"
 	"configerator/internal/proxy"
 	"configerator/internal/simnet"
@@ -80,6 +81,8 @@ type Fleet struct {
 	// Obs is the fleet-wide observability registry (nil when not
 	// configured); the pipeline inherits it unless given its own.
 	Obs *obs.Registry
+	// Monitor is the fleet-health plane (nil until AttachMonitor).
+	Monitor *monitor.Monitor
 
 	servers   []*Server
 	byID      map[simnet.NodeID]*Server
@@ -196,6 +199,32 @@ func (f *Fleet) WatchedPaths() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// AttachMonitor stands up the fleet-health plane: a monitor node folding
+// Zeus convergence watermarks against proxy heartbeats. Zero-value
+// Ensemble/Obs fields inherit the fleet's; every existing proxy starts
+// heartbeating at cfg.HeartbeatEvery. Call once, before driving traffic.
+func (f *Fleet) AttachMonitor(cfg monitor.Config) *monitor.Monitor {
+	if cfg.Ensemble == nil {
+		cfg.Ensemble = f.Ensemble
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = f.Obs
+	}
+	m := monitor.New(cfg)
+	// Place the monitor alongside the first region's consensus nodes; its
+	// exact placement only changes heartbeat latency, not semantics.
+	place := simnet.Placement{Region: "monitor", Cluster: "monitor"}
+	if len(f.servers) > 0 {
+		place = f.servers[0].Placement
+	}
+	m.Attach(f.Net, place)
+	for _, s := range f.servers {
+		s.Proxy.EnableMonitor(m.ID(), m.Config().HeartbeatEvery)
+	}
+	f.Monitor = m
+	return m
 }
 
 // SetAppModel replaces the health model.

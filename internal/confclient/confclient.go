@@ -275,6 +275,10 @@ func (c *Client) Get(ctx context.Context, path string) (*Value, error) {
 	v := c.valueFor(r.Entry)
 	if r.Source != proxy.SourceFresh {
 		c.cnt.Add("confclient.read.degraded", 1)
+		// The age distribution of degraded serving is the staleness the
+		// fleet-health SLOs bound; observing it here costs nothing on the
+		// fresh (zero-alloc) path.
+		c.obs.Observe("confclient.read.stale_age", r.Age)
 		// Degraded read: same decode, real staleness metadata on a copy so
 		// the shared value stays immutable.
 		vv := *v

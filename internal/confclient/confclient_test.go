@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"configerator/internal/obs"
 	"configerator/internal/proxy"
 	"configerator/internal/simnet"
 	"configerator/internal/zeus"
@@ -196,5 +197,39 @@ func TestWatchCancellation(t *testing.T) {
 	cl.Watch(ctx, "/configs/app", func(*Value) { fired++ })
 	if n := px.SubCount("/configs/app"); n != 0 {
 		t.Errorf("cancelled Watch registered a subscription (%d)", n)
+	}
+}
+
+// TestDegradedReadObservesStaleAge: degraded reads feed the staleness
+// histogram the fleet-health SLOs bound; fresh reads never touch it.
+func TestDegradedReadObservesStaleAge(t *testing.T) {
+	net, wc, cl, _ := newStack(t)
+	reg := obs.New()
+	cl.SetObs(reg)
+	write(t, net, wc, "/configs/app", `{"v":1}`)
+	cl.Want("/configs/app")
+	net.RunFor(2 * time.Second)
+	if _, err := cl.Get(context.Background(), "/configs/app"); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Histogram("confclient.read.stale_age").Count(); n != 0 {
+		t.Fatalf("fresh read observed stale age (count=%d)", n)
+	}
+
+	net.Fail("obs-1")
+	net.RunFor(10 * time.Second) // plane declared down
+	cfg, err := cl.Get(context.Background(), "/configs/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Source == proxy.SourceFresh {
+		t.Fatalf("read still fresh with observer dead")
+	}
+	h := reg.Histogram("confclient.read.stale_age")
+	if h.Count() == 0 {
+		t.Fatal("degraded read did not observe stale age")
+	}
+	if h.Max() <= 0 {
+		t.Fatalf("stale age max = %v", h.Max())
 	}
 }

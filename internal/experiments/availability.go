@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"configerator/internal/cluster"
+	"configerator/internal/monitor"
 	"configerator/internal/obs"
 	"configerator/internal/proxy"
 	"configerator/internal/simnet"
@@ -37,6 +38,52 @@ type AvailabilityReport struct {
 		Fired    int              `json:"fired"`
 		Counters map[string]int64 `json:"counters"`
 	} `json:"faults"`
+	// Monitor reports the fleet-health plane's view of the same outage
+	// (stale-serve-on run): the SLO alerts that fired, the scripted outage
+	// windows each alert is checked against, and how quickly alerts
+	// cleared once the fleet reconverged after the last heal.
+	Monitor AvailabilityMonitor `json:"monitor"`
+}
+
+// AvailabilityMonitor is the fleet-health section of the availability
+// artifact.
+type AvailabilityMonitor struct {
+	Sweeps       int64                `json:"sweeps"`
+	SweepEveryMs float64              `json:"sweep_every_ms"`
+	Alerts       []AvailabilityAlert  `json:"alerts"`
+	Windows      []AvailabilityWindow `json:"outage_windows"`
+	// AllWindowsCovered: every scripted outage window overlapped an
+	// active SLO alert (allowing burn-rate detection latency).
+	AllWindowsCovered bool `json:"all_windows_covered"`
+	// AllAlertsCleared: no alert was still active at the end of the run.
+	AllAlertsCleared bool `json:"all_alerts_cleared"`
+	// ClearAfterLastHealMs is when the last alert cleared, measured from
+	// the final scripted heal (the 35s observer restart).
+	ClearAfterLastHealMs float64 `json:"clear_after_last_heal_ms"`
+	// ClearedWithinSweeps is ClearAfterLastHealMs minus the fleet's own
+	// reconvergence time, in sweeps — the monitor's deadline is two.
+	ClearedWithinSweeps float64 `json:"cleared_within_sweeps"`
+	TimeToHeadP50Ms     float64 `json:"time_to_head_p50_ms"`
+	TimeToHeadP99Ms     float64 `json:"time_to_head_p99_ms"`
+}
+
+// AvailabilityAlert is one SLO alert, offsets from workload start.
+type AvailabilityAlert struct {
+	SLO          string   `json:"slo"`
+	FiredOffMs   float64  `json:"fired_off_ms"`
+	ClearedOffMs float64  `json:"cleared_off_ms"` // 0 while active
+	Active       bool     `json:"active"`
+	Paths        []string `json:"paths"`
+}
+
+// AvailabilityWindow is one scripted outage interval and whether an SLO
+// alert was active during it.
+type AvailabilityWindow struct {
+	Kind    string  `json:"kind"`
+	Key     string  `json:"key"`
+	StartMs float64 `json:"start_ms"`
+	EndMs   float64 `json:"end_ms"`
+	Covered bool    `json:"covered"`
 }
 
 // AvailabilitySide is one run's read outcomes.
@@ -61,7 +108,16 @@ type availOutcome struct {
 	scripted    int
 	fired       int
 	counters    map[string]int64
+	mon         AvailabilityMonitor
 }
+
+// availSweepEvery is the monitor cadence the availability scenario runs
+// at; the SLO grace and staleness bounds are sized to the fault timeline.
+const (
+	availSweepEvery    = 2 * time.Second
+	availConvergeGrace = 5 * time.Second
+	availMaxStaleAge   = 15 * time.Second
+)
 
 // availabilityScenario runs the scripted outage once. The fault timeline
 // (offsets from the start of the read workload):
@@ -105,6 +161,16 @@ func availabilityScenario(seed uint64, staleServe bool) availOutcome {
 	}
 	f.SubscribeAll(path)
 	f.Net.RunFor(5 * time.Second)
+
+	// The fleet-health plane watches the same outage: convergence within
+	// 5s for 99% of (path, proxy) pairs, degraded staleness under 15s.
+	mon := f.AttachMonitor(monitor.Config{
+		SweepEvery: availSweepEvery,
+		SLOs: []*monitor.SLO{
+			monitor.ConvergenceSLO(0.99, availConvergeGrace),
+			monitor.StalenessSLO(0.99, availMaxStaleAge),
+		},
+	})
 
 	// The scripted fault plan.
 	east, west := groupByRegion(f)
@@ -246,7 +312,93 @@ func availabilityScenario(seed uint64, staleServe bool) availOutcome {
 		scripted:    plan.Len(),
 		fired:       plan.Fired(),
 		counters:    counters,
+		mon:         foldMonitor(mon, plan, start, healAt, convergence),
 	}
+}
+
+// foldMonitor distills the monitor's run into the artifact's health
+// section: alert timeline, per-window coverage, and clear latency.
+func foldMonitor(mon *monitor.Monitor, plan *simnet.FaultPlan,
+	start, healAt time.Time, convergence time.Duration) AvailabilityMonitor {
+	st := mon.Status()
+	out := AvailabilityMonitor{
+		Sweeps:           st.Sweeps,
+		SweepEveryMs:     availSweepEvery.Seconds() * 1e3,
+		AllAlertsCleared: true,
+		TimeToHeadP50Ms:  st.TimeToHeadP50.Seconds() * 1e3,
+		TimeToHeadP99Ms:  st.TimeToHeadP99.Seconds() * 1e3,
+	}
+	off := func(t time.Time) time.Duration { return t.Sub(start) }
+	var lastClear time.Duration
+	for _, a := range st.Alerts {
+		aa := AvailabilityAlert{
+			SLO: a.SLO, Active: a.Active(), Paths: a.Paths,
+			FiredOffMs: off(a.FiredAt).Seconds() * 1e3,
+		}
+		if a.Active() {
+			out.AllAlertsCleared = false
+		} else {
+			aa.ClearedOffMs = off(a.ClearedAt).Seconds() * 1e3
+			if c := off(a.ClearedAt); c > lastClear {
+				lastClear = c
+			}
+		}
+		out.Alerts = append(out.Alerts, aa)
+	}
+
+	// A burn-rate alert needs a few hot sweeps before it pages, so a
+	// window counts as covered if an alert was active at any point within
+	// [start, end + detection slack].
+	slack := 3 * availSweepEvery
+	out.AllWindowsCovered = true
+	for _, w := range plan.OutageWindows() {
+		aw := AvailabilityWindow{
+			Kind:    string(w.Kind),
+			Key:     w.Key,
+			StartMs: w.Start.Seconds() * 1e3,
+			EndMs:   w.End.Seconds() * 1e3,
+		}
+		winEnd := w.End + slack
+		if !w.Closed {
+			winEnd = 1 << 62 // never healed: any later alert covers it
+		}
+		for _, a := range st.Alerts {
+			fired := off(a.FiredAt)
+			cleared := time.Duration(1 << 62)
+			if !a.Active() {
+				cleared = off(a.ClearedAt)
+			}
+			if fired <= winEnd && cleared >= w.Start {
+				aw.Covered = true
+				break
+			}
+		}
+		if !aw.Covered {
+			out.AllWindowsCovered = false
+		}
+		out.Windows = append(out.Windows, aw)
+	}
+
+	if out.AllAlertsCleared && len(out.Alerts) > 0 {
+		healOff := healAt.Sub(start)
+		out.ClearAfterLastHealMs = (lastClear - healOff).Seconds() * 1e3
+		// The monitor's deadline: once the fleet itself has reconverged
+		// (which takes `convergence` after the heal), alerts must clear
+		// within two sweeps — plus one sweep+heartbeat of observation lag.
+		if convergence >= 0 {
+			sinceConverged := lastClear - healOff - convergence
+			out.ClearedWithinSweeps = float64(sinceConverged) / float64(availSweepEvery)
+		}
+	}
+	return out
+}
+
+// boolMetric renders an assertion as a 0/1 metric.
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // groupByRegion splits every fleet node (servers, observers, ensemble
@@ -292,6 +444,7 @@ func Availability(opts Options) Result {
 	rep.Faults.Scripted = on.scripted
 	rep.Faults.Fired = on.fired
 	rep.Faults.Counters = on.counters
+	rep.Monitor = on.mon
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "scripted faults: %d (fired %d; fault.injected=%d)\n\n",
@@ -305,6 +458,12 @@ func Availability(opts Options) Result {
 	row("stale-serve on", on.side)
 	row("stale-serve off", off.side)
 	fmt.Fprintf(&b, "\nconvergence after heal: %s\n", on.convergence.Round(time.Millisecond))
+	fmt.Fprintf(&b, "\nfleet-health monitor (%d sweeps): %d alerts, windows covered=%t, cleared=%t\n",
+		on.mon.Sweeps, len(on.mon.Alerts), on.mon.AllWindowsCovered, on.mon.AllAlertsCleared)
+	for _, a := range on.mon.Alerts {
+		fmt.Fprintf(&b, "  %-28s fired @%6.1fs cleared @%6.1fs paths=%s\n",
+			a.SLO, a.FiredOffMs/1e3, a.ClearedOffMs/1e3, strings.Join(a.Paths, ","))
+	}
 	r.Text = b.String()
 
 	r.metric("availability_stale_serve_on", on.side.Availability, 1.0, true)
@@ -313,6 +472,10 @@ func Availability(opts Options) Result {
 	r.metric("outage_staleness_p99_ms", on.side.StalenessP99Ms, 0, false)
 	r.metric("convergence_after_heal_ms", rep.Convergence.AfterHealMs, 0, false)
 	r.metric("faults_fired", float64(on.fired), float64(on.scripted), true)
+	r.metric("slo_alerts_fired", float64(len(on.mon.Alerts)), 1, true)
+	r.metric("slo_windows_covered", boolMetric(on.mon.AllWindowsCovered), 1, true)
+	r.metric("slo_alerts_cleared", boolMetric(on.mon.AllAlertsCleared), 1, true)
+	r.metric("slo_cleared_within_sweeps", on.mon.ClearedWithinSweeps, 2, false)
 
 	art, _ := json.MarshalIndent(rep, "", "  ")
 	r.ArtifactName = "BENCH_availability.json"

@@ -115,6 +115,7 @@ func Catalog() []Experiment {
 		{"availability", Availability},
 		{"readpath", ReadPath},
 		{"dataflow", Dataflow},
+		{"monitor", Monitor},
 	}
 }
 

@@ -193,7 +193,7 @@ func TestAllRuns(t *testing.T) {
 		t.Skip("runs every experiment")
 	}
 	results := All(opts)
-	if len(results) != 28 {
+	if len(results) != 29 {
 		t.Fatalf("All returned %d results", len(results))
 	}
 	// The catalog keys must match what each experiment actually reports,
@@ -313,6 +313,45 @@ func TestAvailabilityArtifact(t *testing.T) {
 		if rep.Faults.Counters[k] == 0 {
 			t.Errorf("counter %s = 0, want > 0", k)
 		}
+	}
+
+	// ISSUE acceptance: the fleet-health plane saw the outage. Both SLOs
+	// fired, every scripted outage window was covered by an active alert,
+	// and every alert cleared within two sweeps of the fleet reconverging
+	// after the last heal.
+	mon := rep.Monitor
+	if mon.Sweeps == 0 {
+		t.Fatal("monitor never swept")
+	}
+	slos := map[string]bool{}
+	for _, a := range mon.Alerts {
+		slos[a.SLO] = true
+		if a.FiredOffMs < 5_000 {
+			t.Errorf("alert %s fired at %.0fms, before the first fault", a.SLO, a.FiredOffMs)
+		}
+	}
+	if !slos["fleet-convergence"] || !slos["staleness-under-degraded"] {
+		t.Errorf("SLO alerts fired = %v, want both fleet-convergence and staleness-under-degraded", slos)
+	}
+	if len(mon.Windows) == 0 {
+		t.Fatal("no outage windows derived from the fault plan")
+	}
+	if !mon.AllWindowsCovered {
+		t.Errorf("outage windows not all covered by alerts: %+v", mon.Windows)
+	}
+	if !mon.AllAlertsCleared {
+		t.Errorf("alerts still active after heal: %+v", mon.Alerts)
+	}
+	if mon.ClearedWithinSweeps > 2 {
+		t.Errorf("alerts cleared %.1f sweeps after reconvergence, want <= 2", mon.ClearedWithinSweeps)
+	}
+	// Continuous propagation measurement (the §6.3 curve, monitored):
+	// healthy-path p50 stays in the push-propagation regime.
+	if mon.TimeToHeadP50Ms <= 0 || mon.TimeToHeadP50Ms > 5_000 {
+		t.Errorf("monitored time-to-head p50 = %.1fms", mon.TimeToHeadP50Ms)
+	}
+	if mon.TimeToHeadP99Ms < mon.TimeToHeadP50Ms {
+		t.Errorf("time-to-head p99 (%.1f) < p50 (%.1f)", mon.TimeToHeadP99Ms, mon.TimeToHeadP50Ms)
 	}
 }
 
@@ -484,5 +523,55 @@ func TestDataflowArtifact(t *testing.T) {
 	}
 	if rep.Radius.P50Us <= 0 || rep.Radius.P99Us < rep.Radius.P50Us {
 		t.Errorf("bad radius quantiles p50=%v p99=%v", rep.Radius.P50Us, rep.Radius.P99Us)
+	}
+}
+
+func TestMonitorArtifact(t *testing.T) {
+	r := Monitor(opts)
+	if r.ArtifactName != "BENCH_monitor.json" {
+		t.Fatalf("artifact name = %q", r.ArtifactName)
+	}
+	var rep MonitorReport
+	if err := json.Unmarshal(r.Artifact, &rep); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	// ISSUE acceptance: monitoring overhead within 5% of the unmonitored
+	// read path (heartbeats and sweeps ride the sim loop, not reads).
+	if rep.Overhead.BaselineReadsPerSec <= 0 || rep.Overhead.MonitoredReadsPerSec <= 0 {
+		t.Fatalf("storm measured nothing: %+v", rep.Overhead)
+	}
+	if rep.Overhead.OverheadPct > 5 {
+		t.Errorf("monitoring overhead = %.1f%%, want <= 5%%", rep.Overhead.OverheadPct)
+	}
+	// The monitoring plane was actually live during the storm.
+	if rep.Overhead.Heartbeats == 0 || rep.Overhead.Sweeps == 0 {
+		t.Errorf("monitoring idle during storm: %+v", rep.Overhead)
+	}
+	// ISSUE acceptance: the PR-6 zero-alloc gates survive monitoring.
+	if rep.Allocs.PerProxyRead != 0 || rep.Allocs.PerClientGet != 0 {
+		t.Errorf("warm-read allocs with monitoring on = %+v, want 0", rep.Allocs)
+	}
+	// Continuous convergence measurement: one time-to-head sample per
+	// (proxy, version), quantiles in the push-propagation regime.
+	if want := int64(rep.Convergence.Proxies * (rep.Convergence.Writes + 1)); rep.Convergence.Samples != want {
+		t.Errorf("time-to-head samples = %d, want %d", rep.Convergence.Samples, want)
+	}
+	if rep.Convergence.TimeToHeadP50Ms <= 0 || rep.Convergence.TimeToHeadP50Ms > 2_000 {
+		t.Errorf("time-to-head p50 = %.1fms", rep.Convergence.TimeToHeadP50Ms)
+	}
+	if rep.Convergence.TimeToHeadP99Ms < rep.Convergence.TimeToHeadP50Ms {
+		t.Errorf("p99 (%.1f) < p50 (%.1f)",
+			rep.Convergence.TimeToHeadP99Ms, rep.Convergence.TimeToHeadP50Ms)
+	}
+	// The injected outage produced exactly one fire/clear cycle with
+	// bounded latency.
+	if rep.Alerts.Fired != 1 || rep.Alerts.Cleared != 1 {
+		t.Errorf("alert cycle = %+v, want fired=1 cleared=1", rep.Alerts)
+	}
+	if rep.Alerts.FireLatencyMs <= 0 || rep.Alerts.FireLatencyMs > 15_000 {
+		t.Errorf("fire latency = %.0fms", rep.Alerts.FireLatencyMs)
+	}
+	if rep.Alerts.ClearLatencyMs <= 0 || rep.Alerts.ClearLatencyMs > 15_000 {
+		t.Errorf("clear latency = %.0fms", rep.Alerts.ClearLatencyMs)
 	}
 }

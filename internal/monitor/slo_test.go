@@ -1,0 +1,186 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+)
+
+func at(sec int) time.Time { return time.Unix(0, 0).Add(time.Duration(sec) * time.Second) }
+
+// sweepWithErr fabricates a sweep whose error fraction under a count-Behind
+// SLO is bad/total.
+func sweepWithErr(sec, bad, total int) Sweep {
+	sw := Sweep{At: at(sec)}
+	for i := 0; i < total; i++ {
+		p := PairState{Path: "/p", Proxy: "px"}
+		if i < bad {
+			p.Behind = true
+			p.Lag = time.Hour
+		}
+		sw.Pairs = append(sw.Pairs, p)
+	}
+	return sw
+}
+
+func testSLO() *SLO {
+	return &SLO{
+		Name:   "test",
+		Target: 0.9, // budget 0.1
+		Eval: func(sw Sweep) (bad, total int) {
+			for _, p := range sw.Pairs {
+				total++
+				if p.Behind {
+					bad++
+				}
+			}
+			return bad, total
+		},
+		FastSweeps: 2, SlowSweeps: 4, ClearSweeps: 2,
+	}
+}
+
+func TestSLOFiresOnSustainedBurn(t *testing.T) {
+	m := New(Config{})
+	ss := newSLOState(testSLO())
+
+	// One bad sweep: fast window is hot but a single sweep shouldn't page
+	// when the preceding sweeps were clean.
+	if tr := ss.observe(m, sweepWithErr(0, 0, 10)); len(tr) != 0 {
+		t.Fatalf("clean sweep fired: %v", tr)
+	}
+	if tr := ss.observe(m, sweepWithErr(1, 0, 10)); len(tr) != 0 {
+		t.Fatalf("clean sweep fired: %v", tr)
+	}
+	if tr := ss.observe(m, sweepWithErr(2, 0, 10)); len(tr) != 0 {
+		t.Fatalf("clean sweep fired: %v", tr)
+	}
+	// err=0.5 ≫ budget once: fast avg = 0.25/0.1 = 2.5 > 2, but slow avg =
+	// 0.5/4/0.1 = 1.25 > 1 — both windows hot, so with this small config
+	// it fires on the first truly bad sweep after a clean history only if
+	// both thresholds trip. Verify the arithmetic explicitly:
+	tr := ss.observe(m, sweepWithErr(3, 5, 10))
+	if len(tr) != 1 {
+		t.Fatalf("transitions = %v, want fire", tr)
+	}
+	a := tr[0]
+	if !a.Active() || a.SLO != "test" || !a.FiredAt.Equal(at(3)) {
+		t.Fatalf("bad alert: %+v", a)
+	}
+	if len(m.alerts) != 1 {
+		t.Fatalf("monitor alerts = %d", len(m.alerts))
+	}
+	// Still burning: no duplicate fire.
+	if tr := ss.observe(m, sweepWithErr(4, 5, 10)); len(tr) != 0 {
+		t.Fatalf("duplicate fire: %v", tr)
+	}
+}
+
+func TestSLOSingleSweepDoesNotPageAfterLongCleanHistory(t *testing.T) {
+	m := New(Config{})
+	s := testSLO()
+	s.SlowSweeps = 10
+	ss := newSLOState(s)
+	for i := 0; i < 10; i++ {
+		ss.observe(m, sweepWithErr(i, 0, 10))
+	}
+	// err=0.3: fast avg 0.15/0.1=1.5 < 2 → no fire.
+	if tr := ss.observe(m, sweepWithErr(10, 3, 10)); len(tr) != 0 {
+		t.Fatalf("one mildly bad sweep paged: %v", tr)
+	}
+}
+
+func TestSLOClearsAfterConsecutiveGoodSweeps(t *testing.T) {
+	m := New(Config{})
+	ss := newSLOState(testSLO())
+	for i := 0; i < 4; i++ {
+		ss.observe(m, sweepWithErr(i, 8, 10))
+	}
+	if ss.active == nil {
+		t.Fatal("never fired")
+	}
+	// One good sweep is not enough (ClearSweeps=2)...
+	if tr := ss.observe(m, sweepWithErr(4, 0, 10)); len(tr) != 0 {
+		t.Fatalf("cleared too early: %v", tr)
+	}
+	// ...and a relapse resets the run.
+	if tr := ss.observe(m, sweepWithErr(5, 8, 10)); len(tr) != 0 {
+		t.Fatalf("unexpected transition: %v", tr)
+	}
+	ss.observe(m, sweepWithErr(6, 0, 10))
+	tr := ss.observe(m, sweepWithErr(7, 0, 10))
+	if len(tr) != 1 || tr[0].Active() || !tr[0].ClearedAt.Equal(at(7)) {
+		t.Fatalf("clear transition = %v", tr)
+	}
+	if ss.active != nil {
+		t.Fatal("still active after clear")
+	}
+	// The stored alert (pointer-shared) reflects the clear.
+	if m.alerts[0].Active() {
+		t.Fatal("stored alert not cleared")
+	}
+}
+
+func TestSLOSkipsEmptySweeps(t *testing.T) {
+	m := New(Config{})
+	ss := newSLOState(testSLO())
+	for i := 0; i < 20; i++ {
+		if tr := ss.observe(m, Sweep{At: at(i)}); len(tr) != 0 {
+			t.Fatalf("empty sweep produced transition: %v", tr)
+		}
+	}
+	if len(ss.errs) != 0 {
+		t.Fatalf("empty sweeps entered the window: %v", ss.errs)
+	}
+}
+
+func TestAlertBadPaths(t *testing.T) {
+	m := New(Config{})
+	ss := newSLOState(testSLO())
+	sw := Sweep{At: at(0), Pairs: []PairState{
+		{Path: "/b", Proxy: "p1", Behind: true, Lag: time.Hour},
+		{Path: "/a", Proxy: "p1", Behind: true, Lag: time.Hour},
+		{Path: "/c", Proxy: "p1"},
+	}}
+	tr := ss.observe(m, sw)
+	if len(tr) != 1 {
+		t.Fatalf("want fire, got %v", tr)
+	}
+	got := tr[0].Paths
+	if len(got) != 2 || got[0] != "/a" || got[1] != "/b" {
+		t.Fatalf("paths = %v, want [/a /b]", got)
+	}
+}
+
+func TestConvergenceSLOGracePeriod(t *testing.T) {
+	s := ConvergenceSLO(0.99, 10*time.Second)
+	sw := Sweep{Pairs: []PairState{
+		{Behind: true, Lag: 2 * time.Second},  // within grace: good
+		{Behind: true, Lag: 30 * time.Second}, // over grace: bad
+		{},                                    // at head: good
+	}}
+	bad, total := s.Eval(sw)
+	if bad != 1 || total != 3 {
+		t.Fatalf("bad=%d total=%d, want 1/3", bad, total)
+	}
+}
+
+func TestStalenessSLOOnlyJudgesDegradedPairs(t *testing.T) {
+	s := StalenessSLO(0.99, 30*time.Second)
+	sw := Sweep{Pairs: []PairState{
+		{Degraded: true, Age: time.Minute},     // bad
+		{Degraded: true, Age: 5 * time.Second}, // degraded but fresh: good
+		{Behind: true, Lag: time.Hour},         // not degraded: good here
+	}}
+	bad, total := s.Eval(sw)
+	if bad != 1 || total != 3 {
+		t.Fatalf("bad=%d total=%d, want 1/3", bad, total)
+	}
+}
+
+func TestSLODefaults(t *testing.T) {
+	s := (&SLO{Name: "d", Target: 0.99}).withDefaults()
+	if s.FastSweeps != 3 || s.SlowSweeps != 10 || s.FastBurn != 2 ||
+		s.SlowBurn != 1 || s.ClearSweeps != 2 {
+		t.Fatalf("defaults = %+v", s)
+	}
+}

@@ -1,0 +1,223 @@
+// Status: the operator-facing snapshot behind `configerator status`.
+//
+// Status() is safe from any goroutine (it copies under the monitor lock)
+// and both renderings are deterministic: paths, stragglers, and alerts
+// come out in a fixed order so goldens and -json diffs are stable.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"configerator/internal/obs"
+	"configerator/internal/simnet"
+)
+
+// PathStatus is one path's convergence state as of the last sweep.
+type PathStatus struct {
+	Path        string
+	HeadVersion int64
+	HeadZxid    int64
+	HeadHash    uint64
+	AtHead      int // proxies serving the committed head
+	Total       int // proxies that serve this path at all
+	Fraction    float64
+}
+
+// Straggler names one (proxy, path) pair lagging the fleet.
+type Straggler struct {
+	Proxy          simnet.NodeID
+	Path           string
+	BehindVersions int64
+	Lag            time.Duration
+	Silent         bool
+}
+
+// Status is a point-in-time snapshot of the monitor's folded state.
+type Status struct {
+	At         time.Time
+	Sweeps     int64
+	Proxies    int
+	Paths      []PathStatus
+	Stragglers []Straggler
+	Alerts     []Alert // fire order; cleared alerts keep their ClearedAt
+
+	// Propagation quantiles from the continuous time-to-head histogram
+	// (zero when no registry or no samples yet).
+	TimeToHeadP50 time.Duration
+	TimeToHeadP99 time.Duration
+}
+
+// ActiveAlerts returns the subset of Alerts still firing.
+func (s Status) ActiveAlerts() []Alert {
+	var out []Alert
+	for _, a := range s.Alerts {
+		if a.Active() {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Status snapshots the monitor. Nil-safe: a nil monitor yields a zero
+// Status.
+func (m *Monitor) Status() Status {
+	if m == nil {
+		return Status{}
+	}
+	m.mu.Lock()
+	st := Status{
+		At:         m.lastAt,
+		Sweeps:     m.sweeps,
+		Proxies:    len(m.proxies),
+		Paths:      append([]PathStatus(nil), m.lastPaths...),
+		Stragglers: append([]Straggler(nil), m.lastStragglers...),
+	}
+	for _, a := range m.alerts {
+		st.Alerts = append(st.Alerts, *a)
+	}
+	m.mu.Unlock()
+	st.TimeToHeadP50 = m.cfg.Obs.Histogram(HistTimeToHead).Quantile(0.50)
+	st.TimeToHeadP99 = m.cfg.Obs.Histogram(HistTimeToHead).Quantile(0.99)
+	return st
+}
+
+// Registry returns the monitor's obs registry (may be nil).
+func (m *Monitor) Registry() *obs.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.cfg.Obs
+}
+
+// Text renders the status as an operator console view.
+func (s Status) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet status @ %s (sweep %d, %d proxies)\n",
+		fmtInstant(s.At), s.Sweeps, s.Proxies)
+	if s.TimeToHeadP50 > 0 || s.TimeToHeadP99 > 0 {
+		fmt.Fprintf(&b, "propagation time-to-head: p50=%s p99=%s\n",
+			s.TimeToHeadP50, s.TimeToHeadP99)
+	}
+
+	b.WriteString("\nconvergence:\n")
+	if len(s.Paths) == 0 {
+		b.WriteString("  (no tracked paths)\n")
+	}
+	for _, p := range s.Paths {
+		fmt.Fprintf(&b, "  %-40s v%-4d %3d/%-3d at head (%.0f%%)\n",
+			p.Path, p.HeadVersion, p.AtHead, p.Total, p.Fraction*100)
+	}
+
+	b.WriteString("\nstragglers:\n")
+	if len(s.Stragglers) == 0 {
+		b.WriteString("  (none)\n")
+	}
+	for _, st := range s.Stragglers {
+		why := fmt.Sprintf("%d versions, %s behind", st.BehindVersions, st.Lag)
+		if st.Silent {
+			why += ", silent"
+		}
+		fmt.Fprintf(&b, "  %-12s %-40s %s\n", st.Proxy, st.Path, why)
+	}
+
+	b.WriteString("\nalerts:\n")
+	if len(s.Alerts) == 0 {
+		b.WriteString("  (none)\n")
+	}
+	for _, a := range s.Alerts {
+		state := "ACTIVE"
+		if !a.Active() {
+			state = "cleared " + fmtInstant(a.ClearedAt)
+		}
+		fmt.Fprintf(&b, "  [%s] %s fired %s (fast %.1fx, slow %.1fx) paths=%s\n",
+			state, a.SLO, fmtInstant(a.FiredAt), a.FastBurn, a.SlowBurn,
+			strings.Join(a.Paths, ","))
+	}
+	return b.String()
+}
+
+// JSON renders the status as deterministic JSON (keys fixed, collections
+// pre-sorted).
+func (s Status) JSON() string {
+	var b strings.Builder
+	b.WriteString("{")
+	fmt.Fprintf(&b, "%q:%d,", "at_ms", unixMS(s.At))
+	fmt.Fprintf(&b, "%q:%d,", "sweeps", s.Sweeps)
+	fmt.Fprintf(&b, "%q:%d,", "proxies", s.Proxies)
+	fmt.Fprintf(&b, "%q:%d,", "time_to_head_p50_ms", s.TimeToHeadP50.Milliseconds())
+	fmt.Fprintf(&b, "%q:%d,", "time_to_head_p99_ms", s.TimeToHeadP99.Milliseconds())
+
+	b.WriteString(`"paths":[`)
+	for i, p := range s.Paths {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b,
+			`{"path":%q,"head_version":%d,"head_zxid":%d,"at_head":%d,"total":%d,"fraction":%.4f}`,
+			p.Path, p.HeadVersion, p.HeadZxid, p.AtHead, p.Total, p.Fraction)
+	}
+	b.WriteString("],")
+
+	b.WriteString(`"stragglers":[`)
+	for i, st := range s.Stragglers {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b,
+			`{"proxy":%q,"path":%q,"behind_versions":%d,"lag_ms":%d,"silent":%t}`,
+			st.Proxy, st.Path, st.BehindVersions, st.Lag.Milliseconds(), st.Silent)
+	}
+	b.WriteString("],")
+
+	b.WriteString(`"alerts":[`)
+	for i, a := range s.Alerts {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b,
+			`{"slo":%q,"fired_ms":%d,"cleared_ms":%d,"active":%t,"fast_burn":%.2f,"slow_burn":%.2f,"paths":[`,
+			a.SLO, unixMS(a.FiredAt), unixMS(a.ClearedAt), a.Active(),
+			a.FastBurn, a.SlowBurn)
+		for j, p := range a.Paths {
+			if j > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, "%q", p)
+		}
+		b.WriteString("]}")
+	}
+	b.WriteString("]}")
+	return b.String()
+}
+
+func fmtInstant(t time.Time) string {
+	if t.IsZero() {
+		return "-"
+	}
+	return t.UTC().Format("15:04:05.000")
+}
+
+func unixMS(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixMilli()
+}
+
+func sortPathStatus(ps []PathStatus) {
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Path < ps[j].Path })
+}
+
+func sortStragglers(ss []Straggler) {
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].Path != ss[j].Path {
+			return ss[i].Path < ss[j].Path
+		}
+		return ss[i].Proxy < ss[j].Proxy
+	})
+}
+
+func sortStrings(xs []string) { sort.Strings(xs) }

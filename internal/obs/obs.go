@@ -49,25 +49,47 @@ type PropEvent struct {
 	Path  string // filled by PathEvent
 }
 
-// Registry aggregates counters, latency histograms, and commit-scoped
-// traces, and renders deterministic text and JSON exports.
+// DefaultTraceCap bounds the commit-scoped traces a registry retains.
+// Traces are the one per-commit-unbounded structure in the registry; a
+// fleet that lands 10k commits must not hold 10k span trees, so the
+// least-recently-used trace is evicted (and counted in obs.trace.evicted)
+// once the cap is exceeded.
+const DefaultTraceCap = 512
+
+// Registry aggregates counters, latency histograms, bounded time series,
+// and commit-scoped traces, and renders deterministic text and JSON
+// exports.
 type Registry struct {
 	mu       sync.Mutex
 	counters *stats.Counters
 	hists    map[string]*Histogram
-	traces   []*Trace
+	series   map[string]*Series
+	traces   []*Trace // creation order
 	byKey    map[string]*Trace
 	byPath   map[string]*Trace // zeus path -> trace of the change in flight
+	lastUse  map[*Trace]int64  // LRU recency stamps (creation + lookups)
+	lruSeq   int64
 	nextID   int
+
+	traceCap  int
+	seriesCap int
+	// tailSampler, when set, decides at trace end whether a finished trace
+	// is retained; rejected traces are dropped and counted in
+	// obs.trace.sampled_out.
+	tailSampler func(*Trace) bool
 }
 
 // New returns an empty registry.
 func New() *Registry {
 	return &Registry{
-		counters: stats.NewCounters(),
-		hists:    make(map[string]*Histogram),
-		byKey:    make(map[string]*Trace),
-		byPath:   make(map[string]*Trace),
+		counters:  stats.NewCounters(),
+		hists:     make(map[string]*Histogram),
+		series:    make(map[string]*Series),
+		byKey:     make(map[string]*Trace),
+		byPath:    make(map[string]*Trace),
+		lastUse:   make(map[*Trace]int64),
+		traceCap:  DefaultTraceCap,
+		seriesCap: DefaultSeriesCap,
 	}
 }
 
@@ -116,8 +138,96 @@ func (r *Registry) HistogramNames() []string {
 	return out
 }
 
+// SetTraceCap bounds the retained traces (values < 1 restore the
+// default). Lowering the cap evicts immediately.
+func (r *Registry) SetTraceCap(n int) {
+	if r == nil {
+		return
+	}
+	if n < 1 {
+		n = DefaultTraceCap
+	}
+	r.mu.Lock()
+	r.traceCap = n
+	r.evictTracesLocked()
+	r.mu.Unlock()
+}
+
+// SetTailSampler installs the tail-sampling policy: keep is consulted when
+// a trace ends (Trace.EndAt) and a false verdict drops the finished trace
+// from the registry, counted in obs.trace.sampled_out. Tail sampling keeps
+// the interesting traces (slow, erroring) at fleet scale without paying
+// for every commit; nil disables sampling (keep everything, subject to the
+// trace cap).
+func (r *Registry) SetTailSampler(keep func(*Trace) bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tailSampler = keep
+	r.mu.Unlock()
+}
+
+// evictTracesLocked drops least-recently-used traces until the cap holds.
+// Caller holds r.mu. Key/alias/path indexes are cleaned by scanning the
+// maps for the evicted pointer — never by locking the trace, so the
+// Alias ordering (tr.mu released before r.mu) cannot deadlock.
+func (r *Registry) evictTracesLocked() {
+	for len(r.traces) > r.traceCap {
+		victim := 0
+		for i, t := range r.traces {
+			if r.lastUse[t] < r.lastUse[r.traces[victim]] {
+				victim = i
+			}
+		}
+		r.removeTraceLocked(r.traces[victim])
+		r.counters.Add("obs.trace.evicted", 1)
+	}
+}
+
+// removeTraceLocked drops tr from the trace list and every index.
+func (r *Registry) removeTraceLocked(tr *Trace) {
+	for i, t := range r.traces {
+		if t == tr {
+			copy(r.traces[i:], r.traces[i+1:])
+			r.traces[len(r.traces)-1] = nil
+			r.traces = r.traces[:len(r.traces)-1]
+			break
+		}
+	}
+	for k, t := range r.byKey {
+		if t == tr {
+			delete(r.byKey, k)
+		}
+	}
+	for p, t := range r.byPath {
+		if t == tr {
+			delete(r.byPath, p)
+		}
+	}
+	delete(r.lastUse, tr)
+}
+
+// finishTrace applies the tail-sampling verdict to a just-ended trace.
+func (r *Registry) finishTrace(tr *Trace) {
+	if r == nil || tr == nil {
+		return
+	}
+	r.mu.Lock()
+	keep := r.tailSampler
+	r.mu.Unlock()
+	if keep == nil || keep(tr) {
+		return
+	}
+	r.mu.Lock()
+	r.removeTraceLocked(tr)
+	r.counters.Add("obs.trace.sampled_out", 1)
+	r.mu.Unlock()
+}
+
 // StartTrace opens a commit-scoped trace. An empty key is assigned
-// "change-N" (N increments per registry).
+// "change-N" (N increments per registry). Starting a trace past the trace
+// cap evicts the least-recently-used one.
 func (r *Registry) StartTrace(key string, start time.Time) *Trace {
 	if r == nil {
 		return nil
@@ -129,8 +239,11 @@ func (r *Registry) StartTrace(key string, start time.Time) *Trace {
 		key = fmt.Sprintf("change-%d", r.nextID)
 	}
 	tr := newTrace(key, start)
+	tr.reg = r
 	r.traces = append(r.traces, tr)
 	r.byKey[key] = tr
+	r.touchTraceLocked(tr)
+	r.evictTracesLocked()
 	return tr
 }
 
@@ -149,7 +262,9 @@ func (r *Registry) Alias(tr *Trace, key string) {
 }
 
 // TraceByKey resolves a trace by exact key/alias, or by unique prefix (so
-// short commit hashes work). Returns nil when absent or ambiguous.
+// short commit hashes work). Returns nil when absent or ambiguous. A hit
+// refreshes the trace's recency, so actively-inspected traces outlive the
+// LRU cap.
 func (r *Registry) TraceByKey(key string) *Trace {
 	if r == nil || key == "" {
 		return nil
@@ -157,6 +272,7 @@ func (r *Registry) TraceByKey(key string) *Trace {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if tr := r.byKey[key]; tr != nil {
+		r.touchTraceLocked(tr)
 		return tr
 	}
 	var match *Trace
@@ -168,7 +284,16 @@ func (r *Registry) TraceByKey(key string) *Trace {
 			match = tr
 		}
 	}
+	if match != nil {
+		r.touchTraceLocked(match)
+	}
 	return match
+}
+
+// touchTraceLocked refreshes tr's recency stamp. Caller holds r.mu.
+func (r *Registry) touchTraceLocked(tr *Trace) {
+	r.lruSeq++
+	r.lastUse[tr] = r.lruSeq
 }
 
 // Traces returns every trace in creation order.
@@ -190,6 +315,9 @@ func (r *Registry) BindPath(path string, tr *Trace) {
 	}
 	r.mu.Lock()
 	r.byPath[path] = tr
+	if tr != nil {
+		r.touchTraceLocked(tr)
+	}
 	r.mu.Unlock()
 }
 
@@ -204,6 +332,9 @@ func (r *Registry) PathEvent(path string, ev PropEvent) {
 	ev.Path = path
 	r.mu.Lock()
 	tr := r.byPath[path]
+	if tr != nil {
+		r.touchTraceLocked(tr)
+	}
 	r.mu.Unlock()
 	r.counters.Add("obs."+ev.Stage, 1)
 	if tr == nil {
@@ -237,6 +368,14 @@ func (r *Registry) Text() string {
 		t := stats.NewTable("histograms", "name", "summary")
 		for _, n := range names {
 			t.AddRawRow(n, r.Histogram(n).Summary())
+		}
+		b.WriteByte('\n')
+		b.WriteString(t.String())
+	}
+	if sNames := r.SeriesNames(); len(sNames) > 0 {
+		t := stats.NewTable("series", "name", "window")
+		for _, n := range sNames {
+			t.AddRawRow(n, r.Series(n).summary())
 		}
 		b.WriteByte('\n')
 		b.WriteString(t.String())
@@ -278,6 +417,14 @@ func (r *Registry) JSON() []byte {
 		fmt.Fprintf(&b, `%q:{"count":%d,"mean_ms":%.3f,"p50_ms":%.3f,"p90_ms":%.3f,"p99_ms":%.3f,"max_ms":%.3f}`,
 			n, h.Count(), ms(h.Mean()), ms(h.Quantile(0.50)), ms(h.Quantile(0.90)),
 			ms(h.Quantile(0.99)), ms(h.Max()))
+	}
+	b.WriteString(`},"series":{`)
+	for i, n := range r.SeriesNames() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q:", n)
+		r.Series(n).jsonInto(&b)
 	}
 	b.WriteString(`},"traces":[`)
 	for i, tr := range r.Traces() {

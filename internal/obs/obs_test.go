@@ -71,6 +71,36 @@ func TestNilSafety(t *testing.T) {
 	if h.Summary() != "(nil histogram)" {
 		t.Error("nil histogram Summary")
 	}
+	if tr.RootDuration() != 0 {
+		t.Error("nil trace RootDuration")
+	}
+
+	// Time-series, retention, and merge APIs are equally nil-safe.
+	if r.Series("s") != nil {
+		t.Error("nil registry Series should be nil")
+	}
+	r.RecordSeries("s", at(0), 1)
+	if r.SeriesNames() != nil {
+		t.Error("nil registry SeriesNames should be nil")
+	}
+	r.SetSeriesCap(4)
+	r.SetTraceCap(4)
+	r.SetTailSampler(func(*Trace) bool { return false })
+	r.Merge(New())
+	New().Merge(r) // merging FROM nil is a no-op too
+
+	var s *Series
+	s.Record(at(0), 1)
+	s.Merge(NewSeries(4))
+	if s.Len() != 0 || s.Total() != 0 {
+		t.Error("nil series accessors")
+	}
+	if _, ok := s.Last(); ok {
+		t.Error("nil series Last")
+	}
+	if s.Samples() != nil {
+		t.Error("nil series Samples")
+	}
 }
 
 func TestHistogramBuckets(t *testing.T) {

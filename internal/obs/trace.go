@@ -37,6 +37,11 @@ type Trace struct {
 	Aliases []string // commit hashes added when the change lands
 	Root    *Span
 
+	// reg is the owning registry (nil for free-standing traces): EndAt
+	// reports back so the tail sampler can decide whether the finished
+	// trace is retained.
+	reg *Registry
+
 	// distParent is where distribution hop spans attach ("propagate"
 	// stage when the pipeline marks one, else the root).
 	distParent *Span
@@ -142,14 +147,28 @@ func (t *Trace) SetDistParent(s *Span) {
 	t.mu.Unlock()
 }
 
-// EndAt closes the root span.
+// EndAt closes the root span and submits the finished trace to the
+// registry's tail sampler (if any), which may drop it. The registry lock
+// is taken only after t.mu is released, so samplers may inspect the trace
+// freely.
 func (t *Trace) EndAt(at time.Time) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
 	t.Root.EndTime = at
+	reg := t.reg
 	t.mu.Unlock()
+	reg.finishTrace(t)
+}
+
+// RootDuration reports the ended trace's total duration (0 while open) —
+// the usual tail-sampling signal.
+func (t *Trace) RootDuration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.Root.Duration()
 }
 
 // addEvent stitches one propagation event into the hop-span tree. It
@@ -258,6 +277,15 @@ func (t *Trace) Render() string {
 	for i, c := range t.Root.Children {
 		walk(c, "", i == len(t.Root.Children)-1)
 	}
+	return b.String()
+}
+
+// JSON renders the trace's deterministic JSON encoding (sorted aliases
+// and attrs, millisecond offsets from the root start) — "null" for a nil
+// trace.
+func (t *Trace) JSON() string {
+	var b strings.Builder
+	t.jsonInto(&b)
 	return b.String()
 }
 

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// buildGoldenTrace assembles one fully-featured trace by hand: nested
+// spans, an open span, attributes inserted out of key order, aliases
+// added out of lexical order, and a commit→observer→proxy distribution
+// hop — every encoder branch the CLI's `trace -json` output exercises.
+func buildGoldenTrace() *Trace {
+	r := New()
+	tr := r.StartTrace("change-1", at(0))
+	r.Alias(tr, "deadbeef")
+	r.Alias(tr, "cafe1234")
+	tr.Annotate("author", "demo")
+	tr.Annotate("adopted", true)
+
+	lint := tr.Span("lint", at(10*time.Millisecond))
+	lint.End(at(25 * time.Millisecond))
+
+	prop := tr.Span("propagate", at(30*time.Millisecond))
+	tr.SetDistParent(prop)
+	r.BindPath("/cfg/demo", tr)
+	r.PathEvent("/cfg/demo", PropEvent{
+		Stage: EvZeusCommit, Node: "leader", Zxid: 7, At: at(40 * time.Millisecond),
+	})
+	r.PathEvent("/cfg/demo", PropEvent{
+		Stage: EvObserverApply, Node: "obs-1", Zxid: 7, At: at(55 * time.Millisecond),
+	})
+	r.PathEvent("/cfg/demo", PropEvent{
+		Stage: EvProxyMaterialize, Node: "proxy-1", Via: "obs-1", Zxid: 7, At: at(62 * time.Millisecond),
+	})
+	prop.End(at(70 * time.Millisecond))
+
+	open := tr.Span("watchers", at(70*time.Millisecond))
+	_ = open // deliberately left open: encodes without end_ms
+	tr.EndAt(at(80 * time.Millisecond))
+	return tr
+}
+
+// TestTraceJSONGolden pins the exact byte-for-byte encoding that
+// `configerator trace -json` emits: stable key order, sorted aliases and
+// attrs, millisecond offsets. Run with -update to rewrite the golden.
+func TestTraceJSONGolden(t *testing.T) {
+	got := buildGoldenTrace().JSON()
+
+	goldenPath := filepath.Join("testdata", "trace_json.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got+"\n" != string(want) {
+		t.Errorf("trace JSON drifted from golden:\n got: %s\nwant: %s", got, want)
+	}
+
+	// The encoding must be valid JSON, not just stable bytes.
+	var decoded map[string]interface{}
+	if err := json.Unmarshal([]byte(got), &decoded); err != nil {
+		t.Fatalf("golden output is not valid JSON: %v", err)
+	}
+	if decoded["key"] != "change-1" {
+		t.Errorf("decoded key = %v", decoded["key"])
+	}
+}
+
+// TestTraceJSONDeterministic pins that the encoding is a pure function of
+// the trace contents: re-rendering and rebuilding both yield identical
+// bytes, and aliases/attrs come out sorted regardless of insert order.
+func TestTraceJSONDeterministic(t *testing.T) {
+	tr := buildGoldenTrace()
+	first := tr.JSON()
+	for i := 0; i < 3; i++ {
+		if again := tr.JSON(); again != first {
+			t.Fatalf("render %d differs:\n%s\nvs\n%s", i, again, first)
+		}
+	}
+	if rebuilt := buildGoldenTrace().JSON(); rebuilt != first {
+		t.Fatalf("rebuilt trace differs:\n%s\nvs\n%s", rebuilt, first)
+	}
+	var nilTr *Trace
+	if got := nilTr.JSON(); got != "null" {
+		t.Fatalf("nil trace JSON = %q", got)
+	}
+}

@@ -74,6 +74,10 @@ type Entry struct {
 	Data    []byte
 	Version int64
 	Zxid    int64
+	// Hash is the content hash of Data (vcs.HashBytes), computed once when
+	// the entry is materialized — off the read path — so convergence
+	// heartbeats can compare against Zeus watermarks without rehashing.
+	Hash uint64
 	// Fetched is when the proxy last confirmed this entry with an
 	// observer (virtual time).
 	Fetched time.Time
@@ -272,6 +276,11 @@ type Proxy struct {
 
 	pingOutstanding int
 
+	// Convergence-heartbeat config (EnableMonitor): the monitor node and
+	// cadence. "" = monitoring off.
+	monTarget simnet.NodeID
+	monEvery  time.Duration
+
 	// DeltaEncoding, when true (the default), advertises content hashes on
 	// fetches so observers may reply "not modified" or with a delta.
 	DeltaEncoding bool
@@ -398,6 +407,10 @@ func (p *Proxy) Restart() {
 // OnRestart implements simnet.Restarter.
 func (p *Proxy) OnRestart(ctx *simnet.Context) {
 	ctx.SetTimer(pingInterval, msgTickPing{})
+	if p.monTarget != "" {
+		// Timers die with the crashed node: re-arm the heartbeat tick.
+		ctx.SetTimer(p.monEvery, msgTickMonitor{})
+	}
 	// Re-fetch everything the applications subscribed to. The in-memory
 	// cache is cold, so hashes are advertised from the disk cache; a delta
 	// that no longer applies falls back to a full snapshot.
@@ -683,7 +696,8 @@ func (p *Proxy) notify(path string, e Entry) {
 // config changed.
 func (p *Proxy) SetOverride(path string, data []byte) {
 	path = intern.Path(path)
-	e := Entry{Path: path, Exists: true, Data: data, Version: -1, memo: &Memo{}}
+	e := Entry{Path: path, Exists: true, Data: data, Version: -1,
+		Hash: vcs.HashBytes(data), memo: &Memo{}}
 	p.mutateSnap(func(s *snapshot) { s.overrides[path] = &entryState{e: e} })
 	p.notify(path, e)
 }
@@ -894,6 +908,8 @@ func (p *Proxy) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg simne
 		if p.watched[m.Path] && len(p.byPath[m.Path]) == 0 {
 			p.doFetch(ctx, m.Path, true, m.Attempt)
 		}
+	case msgTickMonitor:
+		p.onTickMonitor(ctx)
 	case msgTickPing:
 		ctx.SetTimer(pingInterval, msgTickPing{})
 		if p.pingOutstanding >= maxPingMisses {
@@ -1047,6 +1063,9 @@ func (p *Proxy) apply(ctx *simnet.Context, e Entry, via simnet.NodeID) {
 	}
 	changed := !had || old.e.Zxid != e.Zxid
 	e.Path = intern.Path(e.Path)
+	if e.Exists {
+		e.Hash = vcs.HashBytes(e.Data)
+	}
 	st := &entryState{e: e}
 	if changed {
 		st.e.memo = &Memo{}

@@ -12,6 +12,8 @@ package simnet
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 )
 
@@ -169,6 +171,115 @@ func (p *FaultPlan) Apply(n *Network) {
 			}
 		})
 	}
+}
+
+// OutageWindow is one [Start, End) interval during which a scripted fault
+// held: opened by a breaking event, closed by its matching healing event.
+// An unclosed window has Closed == false and End equal to the opening
+// offset (the plan never healed it).
+type OutageWindow struct {
+	Kind   FaultKind // the opening event's kind
+	Key    string    // what broke: node, link, group, or call-label prefix
+	Start  time.Duration
+	End    time.Duration
+	Closed bool
+}
+
+// outageKey classifies one event as window-opening or window-closing and
+// derives the identity key its counterpart must share.
+func outageKey(ev FaultEvent) (opens bool, closes bool, key string) {
+	switch ev.Kind {
+	case FaultCrash:
+		return true, false, string(ev.Node)
+	case FaultRestart:
+		return false, true, string(ev.Node)
+	case FaultPartition, FaultHeal:
+		// Unordered link: normalize endpoint order.
+		a, b := string(ev.From), string(ev.To)
+		if a > b {
+			a, b = b, a
+		}
+		return ev.Kind == FaultPartition, ev.Kind == FaultHeal, a + "~" + b
+	case FaultPartitionOneWay, FaultHealOneWay:
+		return ev.Kind == FaultPartitionOneWay, ev.Kind == FaultHealOneWay,
+			string(ev.From) + ">" + string(ev.To)
+	case FaultPartitionGroup, FaultHealGroup:
+		return ev.Kind == FaultPartitionGroup, ev.Kind == FaultHealGroup,
+			groupKey(ev.NodesA, ev.NodesB)
+	case FaultLatencySpike, FaultLatencyClear:
+		return ev.Kind == FaultLatencySpike, ev.Kind == FaultLatencyClear,
+			string(ev.From) + ">" + string(ev.To)
+	case FaultLoss:
+		// rate > 0 breaks the link, rate == 0 restores it.
+		return ev.Rate > 0, ev.Rate == 0, string(ev.From) + ">" + string(ev.To)
+	case FaultCall:
+		// Convention: scripted calls pair by the label prefix before the
+		// last '-'; a suffix of "restart", "heal", "recover", or "clear"
+		// closes the window the prefix opened ("proxy0-crash" opens
+		// "proxy0", "proxy0-restart" closes it). Labels without '-' are
+		// instantaneous and produce no window.
+		i := strings.LastIndex(ev.Label, "-")
+		if i < 0 {
+			return false, false, ""
+		}
+		switch ev.Label[i+1:] {
+		case "restart", "heal", "recover", "clear":
+			return false, true, ev.Label[:i]
+		default:
+			return true, false, ev.Label[:i]
+		}
+	}
+	return false, false, ""
+}
+
+func groupKey(a, b []NodeID) string {
+	sa := make([]string, len(a))
+	for i, n := range a {
+		sa[i] = string(n)
+	}
+	sb := make([]string, len(b))
+	for i, n := range b {
+		sb[i] = string(n)
+	}
+	sort.Strings(sa)
+	sort.Strings(sb)
+	ka, kb := strings.Join(sa, ","), strings.Join(sb, ",")
+	if ka > kb {
+		ka, kb = kb, ka
+	}
+	return ka + "~" + kb
+}
+
+// OutageWindows derives the outage intervals the schedule implies, pairing
+// each breaking event with its matching healing event (crash↔restart by
+// node, partition↔heal by endpoints, group partitions by member sets,
+// scripted calls by label prefix). Repeated break/heal cycles on the same
+// key yield one window per cycle, in schedule order. This is the timeline
+// availability experiments assert monitoring alerts against.
+func (p *FaultPlan) OutageWindows() []OutageWindow {
+	evs := append([]FaultEvent(nil), p.events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+
+	var out []OutageWindow
+	open := make(map[string][]int) // key -> indices into out, FIFO
+	for _, ev := range evs {
+		opens, closes, key := outageKey(ev)
+		switch {
+		case opens:
+			open[key] = append(open[key], len(out))
+			out = append(out, OutageWindow{
+				Kind: ev.Kind, Key: key, Start: ev.At, End: ev.At,
+			})
+		case closes:
+			if q := open[key]; len(q) > 0 {
+				i := q[0]
+				open[key] = q[1:]
+				out[i].End = ev.At
+				out[i].Closed = true
+			}
+		}
+	}
+	return out
 }
 
 func (p *FaultPlan) execute(n *Network, ev FaultEvent) {

@@ -136,3 +136,48 @@ func TestDirectedPartitionAndLatency(t *testing.T) {
 	}
 	net.SetLossOneWay("a", "b", 0)
 }
+
+func TestOutageWindows(t *testing.T) {
+	p := NewFaultPlan(
+		// Crash-restart loop on one node: two windows.
+		WithCrash(10*time.Second, "px"),
+		WithRestart(12*time.Second, "px"),
+		WithCrash(15*time.Second, "px"),
+		WithRestart(17*time.Second, "px"),
+		// Link partition, endpoints given in opposite orders.
+		WithPartition(8*time.Second, "b", "a"),
+		WithHeal(30*time.Second, "a", "b"),
+		// Group partition healed as a group.
+		WithPartitionGroup(5*time.Second, []NodeID{"e1", "e2"}, []NodeID{"w1"}),
+		WithHealGroup(25*time.Second, []NodeID{"e2", "e1"}, []NodeID{"w1"}),
+		// Scripted calls pair by label prefix before the last '-'.
+		WithCall(6*time.Second, "obs0-crash", func() {}),
+		WithCall(35*time.Second, "obs0-restart", func() {}),
+		// Unpaired crash stays open; label without '-' makes no window.
+		WithCrash(40*time.Second, "lost"),
+		WithCall(41*time.Second, "checkpoint", func() {}),
+	)
+	ws := p.OutageWindows()
+	if len(ws) != 6 {
+		t.Fatalf("windows = %d: %+v", len(ws), ws)
+	}
+	type want struct {
+		key        string
+		start, end time.Duration
+		closed     bool
+	}
+	wants := []want{
+		{"e1,e2~w1", 5 * time.Second, 25 * time.Second, true},
+		{"obs0", 6 * time.Second, 35 * time.Second, true},
+		{"a~b", 8 * time.Second, 30 * time.Second, true},
+		{"px", 10 * time.Second, 12 * time.Second, true},
+		{"px", 15 * time.Second, 17 * time.Second, true},
+		{"lost", 40 * time.Second, 40 * time.Second, false},
+	}
+	for i, w := range wants {
+		g := ws[i]
+		if g.Key != w.key || g.Start != w.start || g.End != w.end || g.Closed != w.closed {
+			t.Errorf("window[%d] = %+v, want %+v", i, g, w)
+		}
+	}
+}

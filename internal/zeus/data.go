@@ -14,16 +14,24 @@ package zeus
 
 import (
 	"sort"
+	"time"
 
 	"configerator/internal/intern"
+	"configerator/internal/vcs"
 )
 
 // Record is one versioned path in the data tree.
 type Record struct {
 	Path    string
 	Data    []byte
-	Version int64 // per-path version, starts at 1
-	Zxid    int64 // global transaction id of the last write
+	Version int64  // per-path version, starts at 1
+	Zxid    int64  // global transaction id of the last write
+	Hash    uint64 // content hash of Data (vcs.HashBytes)
+	// At is when the leader accepted the write (virtual time). Followers
+	// and observers that rebuild ops from pushes may not carry it; the
+	// authoritative copy lives in the leader's tree, which is where
+	// convergence watermarks are read.
+	At time.Time
 }
 
 // WriteOp is one committed write in the global log. Replicas apply ops in
@@ -35,6 +43,9 @@ type WriteOp struct {
 	Data    []byte
 	Version int64
 	Delete  bool
+	// At is the leader-assigned accept time, stamped in onWrite so it is
+	// identical on every replica the proposal or sync reaches.
+	At time.Time
 }
 
 // DataTree is the replicated path→record store.
@@ -66,8 +77,34 @@ func (t *DataTree) Apply(op WriteOp) bool {
 	}
 	data := make([]byte, len(op.Data))
 	copy(data, op.Data)
-	t.records[op.Path] = &Record{Path: op.Path, Data: data, Version: op.Version, Zxid: op.Zxid}
+	t.records[op.Path] = &Record{Path: op.Path, Data: data, Version: op.Version,
+		Zxid: op.Zxid, Hash: vcs.HashBytes(data), At: op.At}
 	return true
+}
+
+// Watermark is the committed high-water mark of one path: the (zxid,
+// content-hash) pair a fully-converged replica must serve, plus the
+// leader accept time the convergence monitor measures time-to-head
+// against.
+type Watermark struct {
+	Path    string
+	Zxid    int64
+	Version int64
+	Hash    uint64
+	At      time.Time
+}
+
+// Watermarks exports the committed high-water mark of every live path,
+// sorted by path — the monitor's per-sweep view of "where the fleet
+// should be".
+func (t *DataTree) Watermarks() []Watermark {
+	out := make([]Watermark, 0, len(t.records))
+	for _, r := range t.records {
+		out = append(out, Watermark{Path: r.Path, Zxid: r.Zxid,
+			Version: r.Version, Hash: r.Hash, At: r.At})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
 }
 
 // Get returns the record at path (nil if absent).

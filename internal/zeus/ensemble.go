@@ -118,3 +118,15 @@ func (e *Ensemble) LeaderServer() *Server {
 	}
 	return nil
 }
+
+// Watermarks exports the committed (zxid, content-hash) high-water mark of
+// every path from the current leader's tree — the convergence monitor's
+// source of truth. Nil when no leader is elected (the monitor keeps its
+// last-known heads across leaderless windows).
+func (e *Ensemble) Watermarks() []Watermark {
+	s := e.LeaderServer()
+	if s == nil {
+		return nil
+	}
+	return s.Tree().Watermarks()
+}

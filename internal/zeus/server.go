@@ -413,7 +413,7 @@ func (s *Server) onWrite(ctx *simnet.Context, from simnet.NodeID, m MsgWrite) {
 		version = v
 	}
 	s.versionSeq[m.Path] = version
-	op := WriteOp{Zxid: zxid, Path: m.Path, Data: m.Data, Version: version, Delete: m.Delete}
+	op := WriteOp{Zxid: zxid, Path: m.Path, Data: m.Data, Version: version, Delete: m.Delete, At: ctx.Now()}
 	p := &proposal{op: op, acks: make(map[simnet.NodeID]bool), client: from, reqID: m.ReqID}
 	s.pending[zxid] = p
 	s.pendingZxid = append(s.pendingZxid, zxid)
@@ -577,8 +577,16 @@ func (s *Server) maybeCommit(ctx *simnet.Context) {
 	})
 	size := updatesWireSize(updates)
 	s.Obs.Add("zeus.push.bytes", int64(size))
+	// Fan out in sorted order: iteration order decides which observer draws
+	// each latency sample from the network RNG, and map order would make
+	// otherwise-identical runs diverge.
+	obsIDs := make([]string, 0, len(s.observers))
 	for ob := range s.observers {
-		ctx.SendSized(ob, msgObserverBatch{Epoch: s.epoch, Updates: updates}, size)
+		obsIDs = append(obsIDs, string(ob))
+	}
+	sort.Strings(obsIDs)
+	for _, ob := range obsIDs {
+		ctx.SendSized(simnet.NodeID(ob), msgObserverBatch{Epoch: s.epoch, Updates: updates}, size)
 	}
 	// Retire fully committed waves and let the next buffered wave propose.
 	last := committed[len(committed)-1]
