@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet lint race staticcheck govulncheck bench-obs bench-compile bench-distribution bench-availability bench-readpath bench-dataflow bench-monitor report
+.PHONY: build test check vet lint race staticcheck govulncheck bench-obs bench-compile bench-distribution bench-availability bench-readpath bench-dataflow bench-monitor bench-scale smoke-scale report
 
 build:
 	$(GO) build ./...
@@ -25,8 +25,11 @@ test: build
 # bounded to the provenance cone), and the fleet-monitoring smoke that
 # regenerates and asserts BENCH_monitor.json (monitoring overhead <= 5%
 # on the read path, 0 allocs per warm read with the health plane on,
-# SLO alerts fire during the scripted outage and clear after heal).
-check: vet staticcheck govulncheck lint race bench-obs bench-distribution bench-availability bench-readpath bench-dataflow bench-monitor
+# SLO alerts fire during the scripted outage and clear after heal), and
+# the fleet-scale smoke that asserts the BENCH_scale.json gates at quick
+# size (0 allocs per warm Send/SetTimer, same-seed determinism, events/sec
+# floor, allocs/event ceiling, full §6.3 convergence).
+check: vet staticcheck govulncheck lint race bench-obs bench-distribution bench-availability bench-readpath bench-dataflow bench-monitor smoke-scale
 
 vet:
 	$(GO) vet ./...
@@ -105,6 +108,23 @@ bench-dataflow:
 bench-monitor:
 	$(GO) run ./cmd/benchreport -quick -only monitor -o - > /dev/null
 	$(GO) test -run TestMonitorArtifact ./internal/experiments/
+
+# bench-scale: the full-size fleet-scale run — the §6.3 propagation wave at
+# 100k proxies and the §5 mobile hybrid at 1M devices, each run twice with
+# the same seed — leaves BENCH_scale.json in the repo root, then asserts
+# the artifact gates and the 0-alloc simnet micro-benchmarks. Minutes of
+# wall clock; `check` runs the quick smoke-scale variant instead.
+bench-scale:
+	$(GO) run ./cmd/benchreport -only scale -o - > /dev/null
+	$(GO) test -run TestScaleArtifact ./internal/experiments/
+	$(GO) test -run xxx -bench 'BenchmarkSimnet(Send|Timer)$$' -benchmem .
+
+# smoke-scale: the quick-size scale gate for `check` — regenerates the
+# artifact in-process at 4k proxies / 20k devices and asserts the same
+# schema, determinism, and alloc/throughput claims.
+smoke-scale:
+	$(GO) test -run TestScaleArtifact ./internal/experiments/
+	$(GO) test -run xxx -bench 'BenchmarkSimnet(Send|Timer)$$' -benchtime 100x .
 
 # bench-compile: the shared-.cinc fan-out benchmarks behind BENCH_compile.json.
 bench-compile:

@@ -565,3 +565,60 @@ func BenchmarkLandingStripThroughputSmallRepo(b *testing.B) {
 		now = res.Finish
 	}
 }
+
+// BenchmarkSimnetSend / BenchmarkSimnetTimer: the fleet-scale simulator's
+// hot loop (timer wheel + pooled events + dense node table, DESIGN.md §14).
+// The AllocsPerRun check is the hard regression gate: warm steady state —
+// events from the freelist, link/node state in pre-grown maps — must be
+// exactly 0 allocs/op, or a 10M-event fleet run starts thrashing the GC.
+func simnetBenchNet() *simnet.Network {
+	net := simnet.New(simnet.DefaultLatency(), 7)
+	place := simnet.Placement{Region: "us", Cluster: "web"}
+	h := simnet.HandlerFunc(func(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {})
+	net.AddNode("a", place, h)
+	net.AddNode("b", place, h)
+	msg := &struct{}{}
+	for i := 0; i < 1000; i++ { // warm: freelist populated, link maps grown
+		net.SendSized("a", "b", msg, 1024)
+		net.SetTimer("b", time.Millisecond, msg)
+		net.Step()
+		net.Step()
+	}
+	return net
+}
+
+func BenchmarkSimnetSend(b *testing.B) {
+	net := simnetBenchNet()
+	msg := &struct{}{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.SendSized("a", "b", msg, 1024)
+		net.Step()
+	}
+	b.StopTimer()
+	if a := testing.AllocsPerRun(100, func() {
+		net.SendSized("a", "b", msg, 1024)
+		net.Step()
+	}); a != 0 {
+		b.Fatalf("warm Send+Step allocates %.1f per op, want 0", a)
+	}
+}
+
+func BenchmarkSimnetTimer(b *testing.B) {
+	net := simnetBenchNet()
+	msg := &struct{}{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.SetTimer("a", time.Millisecond, msg)
+		net.Step()
+	}
+	b.StopTimer()
+	if a := testing.AllocsPerRun(100, func() {
+		net.SetTimer("a", time.Millisecond, msg)
+		net.Step()
+	}); a != 0 {
+		b.Fatalf("warm SetTimer+Step allocates %.1f per op, want 0", a)
+	}
+}

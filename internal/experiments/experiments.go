@@ -116,6 +116,7 @@ func Catalog() []Experiment {
 		{"readpath", ReadPath},
 		{"dataflow", Dataflow},
 		{"monitor", Monitor},
+		{"scale", Scale},
 	}
 }
 

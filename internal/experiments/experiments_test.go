@@ -193,7 +193,7 @@ func TestAllRuns(t *testing.T) {
 		t.Skip("runs every experiment")
 	}
 	results := All(opts)
-	if len(results) != 29 {
+	if len(results) != 30 {
 		t.Fatalf("All returned %d results", len(results))
 	}
 	// The catalog keys must match what each experiment actually reports,
@@ -573,5 +573,84 @@ func TestMonitorArtifact(t *testing.T) {
 	}
 	if rep.Alerts.ClearLatencyMs <= 0 || rep.Alerts.ClearLatencyMs > 15_000 {
 		t.Errorf("clear latency = %.0fms", rep.Alerts.ClearLatencyMs)
+	}
+}
+
+func TestScaleArtifact(t *testing.T) {
+	r := Scale(opts)
+	if r.ArtifactName != "BENCH_scale.json" {
+		t.Fatalf("artifact name = %q", r.ArtifactName)
+	}
+	var rep ScaleReport
+	if err := json.Unmarshal(r.Artifact, &rep); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	// ISSUE acceptance: the warm simnet hot paths allocate nothing.
+	if rep.AllocsPerSend != 0 {
+		t.Errorf("allocs per warm Send = %.2f, want 0", rep.AllocsPerSend)
+	}
+	if rep.AllocsPerTimer != 0 {
+		t.Errorf("allocs per warm SetTimer = %.2f, want 0", rep.AllocsPerTimer)
+	}
+	// ISSUE acceptance: same seed, same fleet → identical delivery totals.
+	if !rep.Push.Run.Deterministic {
+		t.Error("push scenario not deterministic across same-seed runs")
+	}
+	if !rep.Mobile.Run.Deterministic {
+		t.Error("mobile scenario not deterministic across same-seed runs")
+	}
+
+	// §6.3 push: the whole fleet converges, with the S-curve topping out in
+	// the paper's regime (~4.5 s; the calibrated spreads cap at ~4.3 s plus
+	// jitter, and the 25 ms sweep quantizes upward).
+	if rep.Push.ConvergedFrac != 1.0 {
+		t.Errorf("push converged frac = %.4f, want 1.0", rep.Push.ConvergedFrac)
+	}
+	if rep.Push.P99Seconds <= 1 || rep.Push.P99Seconds > 6 {
+		t.Errorf("push p99 = %.2fs, want in (1s, 6s]", rep.Push.P99Seconds)
+	}
+	if rep.Push.P50Seconds <= 0 || rep.Push.P50Seconds > rep.Push.P99Seconds {
+		t.Errorf("push p50 = %.2fs vs p99 = %.2fs", rep.Push.P50Seconds, rep.Push.P99Seconds)
+	}
+	if rep.Push.Run.Dropped != 0 {
+		t.Errorf("push dropped %d messages on a healthy fleet", rep.Push.Run.Dropped)
+	}
+
+	// §5 mobile hybrid: the push wave reaches ~90% within a minute and the
+	// regular poll heals every straggler within one interval.
+	if rep.Mobile.PushReachFrac < 0.85 || rep.Mobile.PushReachFrac > 0.95 {
+		t.Errorf("push reach frac = %.3f, want ~0.9", rep.Mobile.PushReachFrac)
+	}
+	if rep.Mobile.ReachedIn60sFrac < rep.Mobile.PushReachFrac-0.02 {
+		t.Errorf("reached in 60s = %.3f < push reach %.3f: pushed devices did not re-pull promptly",
+			rep.Mobile.ReachedIn60sFrac, rep.Mobile.PushReachFrac)
+	}
+	if !rep.Mobile.CaughtUpByPoll {
+		t.Error("stragglers did not catch up within a poll interval")
+	}
+	if rep.Mobile.CatchupP99Sec <= 0 || rep.Mobile.CatchupP99Sec > rep.Mobile.PollIntervalMin*60 {
+		t.Errorf("catch-up p99 = %.0fs, want within one %.0f-minute poll interval",
+			rep.Mobile.CatchupP99Sec, rep.Mobile.PollIntervalMin)
+	}
+	if rep.Mobile.NotModifiedFrac <= 0 {
+		t.Error("no poll ever hit the not-modified path")
+	}
+
+	// Throughput/alloc smoke gates (quick sizes; generous floors so slow CI
+	// machines pass while a core regression — heap scheduler, per-event
+	// allocation — still trips them).
+	for name, run := range map[string]ScaleRun{"push": rep.Push.Run, "mobile": rep.Mobile.Run} {
+		if run.Events == 0 {
+			t.Fatalf("%s scenario processed no events", name)
+		}
+		if run.EventsPerSec < 50_000 {
+			t.Errorf("%s events/sec = %.0f, want >= 50k", name, run.EventsPerSec)
+		}
+		if run.AllocsPerEvent > 32 {
+			t.Errorf("%s allocs/event = %.1f, want <= 32", name, run.AllocsPerEvent)
+		}
+		if run.BytesOnWire == 0 || run.Delivered == 0 {
+			t.Errorf("%s accounting empty: %+v", name, run)
+		}
 	}
 }

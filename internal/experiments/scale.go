@@ -1,0 +1,453 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"configerator/internal/gatekeeper"
+	"configerator/internal/mobileconfig"
+	"configerator/internal/proxy"
+	"configerator/internal/simnet"
+	"configerator/internal/stats"
+	"configerator/internal/zeus"
+)
+
+// ScaleReport is the BENCH_scale.json schema: the fleet-scale simnet core
+// (timer wheel, pooled events, dense node table — DESIGN.md §14) carrying
+// the paper's headline fleets. Two scenarios, each run twice with the same
+// seed to prove determinism at scale:
+//
+//   - push: the §6.3 propagation curve — one config commit reaching 100k
+//     proxies through the leader → observer → proxy tree (the paper:
+//     "hundreds of thousands of servers in ~4.5 s").
+//   - mobile: the §5 pull/push hybrid at 1M devices — staggered hourly-
+//     style polls, an emergency mapping change pushed as an unreliable
+//     "pull now" hint, stragglers healed by their next regular poll.
+type ScaleReport struct {
+	Quick bool   `json:"quick"`
+	Seed  uint64 `json:"seed"`
+
+	Push   ScalePush   `json:"push"`
+	Mobile ScaleMobile `json:"mobile"`
+
+	// Warm steady-state micro gates (testing.AllocsPerRun on a 2-node net).
+	AllocsPerSend  float64 `json:"allocs_per_send"`
+	AllocsPerTimer float64 `json:"allocs_per_timer"`
+}
+
+// ScaleRun is the common per-scenario accounting block.
+type ScaleRun struct {
+	WallSeconds    float64 `json:"wall_seconds"`
+	Events         uint64  `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesOnWire    uint64  `json:"bytes_on_wire"`
+	Delivered      uint64  `json:"delivered"`
+	Dropped        uint64  `json:"dropped"`
+	// Deterministic is true when a second run with the same seed produced
+	// identical Delivered/Dropped/BytesSent.
+	Deterministic bool `json:"deterministic"`
+}
+
+// ScalePush is the §6.3 propagation scenario.
+type ScalePush struct {
+	Proxies      int `json:"proxies"`
+	Observers    int `json:"observers"`
+	Regions      int `json:"regions"`
+	Clusters     int `json:"clusters"`
+	PayloadBytes int `json:"payload_bytes"`
+
+	ConvergedFrac float64 `json:"converged_frac"`
+	P50Seconds    float64 `json:"p50_seconds"`
+	P99Seconds    float64 `json:"p99_seconds"`
+	MaxSeconds    float64 `json:"max_seconds"`
+
+	Run ScaleRun `json:"run"`
+}
+
+// ScaleMobile is the §5 pull/push hybrid scenario.
+type ScaleMobile struct {
+	Devices          int     `json:"devices"`
+	Servers          int     `json:"servers"`
+	PollIntervalMin  float64 `json:"poll_interval_min"`
+	PushReachFrac    float64 `json:"push_reach_frac"`
+	ReachedIn60sFrac float64 `json:"reached_in_60s_frac"`
+	CatchupP99Sec    float64 `json:"catchup_p99_seconds"`
+	CaughtUpByPoll   bool    `json:"caught_up_by_poll"`
+	NotModifiedFrac  float64 `json:"not_modified_frac"`
+
+	Run ScaleRun `json:"run"`
+}
+
+// runMeter measures one scenario's event-processing phase: wall clock,
+// events processed, and heap allocations per event (handlers included —
+// the simnet core itself allocates zero per warm event).
+type runMeter struct {
+	start   time.Time
+	mallocs uint64
+	events  uint64
+	net     *simnet.Network
+}
+
+func startMeter(net *simnet.Network) *runMeter {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &runMeter{start: time.Now(), mallocs: ms.Mallocs, events: net.Events, net: net}
+}
+
+func (m *runMeter) stop() ScaleRun {
+	wall := time.Since(m.start).Seconds()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	events := m.net.Events - m.events
+	run := ScaleRun{
+		WallSeconds: wall,
+		Events:      events,
+		BytesOnWire: m.net.BytesSent,
+		Delivered:   m.net.Delivered,
+		Dropped:     m.net.Dropped,
+	}
+	if wall > 0 {
+		run.EventsPerSec = float64(events) / wall
+	}
+	if events > 0 {
+		run.AllocsPerEvent = float64(ms.Mallocs-m.mallocs) / float64(events)
+	}
+	return run
+}
+
+// scalePushOnce runs the §6.3 scenario once and returns the filled block.
+//
+// Topology: a 3-member ensemble in one cluster, regions × clustersPerRegion
+// clusters with 2 observers each, perCluster proxies per cluster. The
+// paper's 4.5 s is the scheduling spread of a fan-out to hundreds of
+// thousands of subscribers, which the simulator's raw hop latencies do not
+// model; it is calibrated here as per-link latency spreads — observers
+// receive the leader's batch 1–3 s after commit (global pacing) and each
+// proxy's watch event is staggered 0.2–1.0 s behind its observer (cluster
+// pacing) — yielding the S-curve that tops out near the paper's number.
+func scalePushOnce(seed uint64, regions, clustersPerRegion, perCluster, payload int) (ScalePush, ScaleRun) {
+	net := simnet.New(simnet.DefaultLatency(), seed)
+	zkPlace := simnet.Placement{Region: "r0", Cluster: "zk"}
+	ens := zeus.StartEnsemble(net, 3, []simnet.Placement{zkPlace})
+	net.RunFor(12 * time.Second)
+
+	nObs := 0
+	obsByCluster := make(map[string][]simnet.NodeID)
+	for r := 0; r < regions; r++ {
+		for c := 0; c < clustersPerRegion; c++ {
+			place := simnet.Placement{
+				Region:  fmt.Sprintf("r%d", r),
+				Cluster: fmt.Sprintf("c%d", c),
+			}
+			key := place.Region + "/" + place.Cluster
+			for k := 0; k < 2; k++ {
+				id := simnet.NodeID(fmt.Sprintf("obs-%d-%d-%d", r, c, k))
+				ens.AddObserver(id, place)
+				obsByCluster[key] = append(obsByCluster[key], id)
+				for _, m := range ens.Members {
+					extra := time.Second + time.Duration(nObs)*2*time.Second/time.Duration(2*regions*clustersPerRegion)
+					net.SetLinkLatency(m, id, extra)
+				}
+				nObs++
+			}
+		}
+	}
+	net.RunFor(10 * time.Second)
+
+	const path = "/scale/push/knob.json"
+	writer := zeus.NewClient("writer", ens.Members)
+	net.AddNode("writer", zkPlace, writer)
+	body := strings.Repeat("x", payload-16)
+	commit := func(rev int) {
+		net.After(0, func() {
+			ctx := simnet.MakeContext(net, "writer")
+			writer.Write(&ctx, path, []byte(fmt.Sprintf(`{"rev":%06d,"p":"%s"}`, rev, body)), nil)
+		})
+	}
+	commit(1)
+	net.RunFor(10 * time.Second)
+
+	proxies := make([]*proxy.Proxy, 0, regions*clustersPerRegion*perCluster)
+	for r := 0; r < regions; r++ {
+		for c := 0; c < clustersPerRegion; c++ {
+			place := simnet.Placement{
+				Region:  fmt.Sprintf("r%d", r),
+				Cluster: fmt.Sprintf("c%d", c),
+			}
+			obs := obsByCluster[place.Region+"/"+place.Cluster]
+			for k := 0; k < perCluster; k++ {
+				id := simnet.NodeID(fmt.Sprintf("px-%d-%d-%05d", r, c, k))
+				px := proxy.New(net, id, place, obs, nil)
+				spread := 200*time.Millisecond + time.Duration(k)*800*time.Millisecond/time.Duration(perCluster)
+				for _, o := range obs {
+					net.SetLinkLatency(o, id, spread)
+				}
+				px.Want(path)
+				proxies = append(proxies, px)
+			}
+		}
+	}
+	net.RunFor(15 * time.Second) // warm: every proxy fetches rev 1 with a watch
+
+	base := make([]uint64, len(proxies))
+	for i, px := range proxies {
+		base[i] = px.WatchEvents
+	}
+
+	meter := startMeter(net)
+	t0 := net.Now()
+	commit(2)
+	converged := make([]bool, len(proxies))
+	left := len(proxies)
+	cdf := stats.NewCDF()
+	for tick := 0; tick < 1200 && left > 0; tick++ {
+		net.RunFor(25 * time.Millisecond)
+		since := net.Now().Sub(t0).Seconds()
+		for i, px := range proxies {
+			if !converged[i] && px.WatchEvents > base[i] {
+				converged[i] = true
+				cdf.Add(since)
+				left--
+			}
+		}
+	}
+	run := meter.stop()
+
+	p := ScalePush{
+		Proxies:       len(proxies),
+		Observers:     nObs,
+		Regions:       regions,
+		Clusters:      regions * clustersPerRegion,
+		PayloadBytes:  payload,
+		ConvergedFrac: float64(len(proxies)-left) / float64(len(proxies)),
+		P50Seconds:    cdf.Quantile(0.50),
+		P99Seconds:    cdf.Quantile(0.99),
+		MaxSeconds:    cdf.Max(),
+	}
+	return p, run
+}
+
+// scaleMobileOnce runs the §5 hybrid once. Devices poll their translation
+// server every pollInterval with first polls staggered across the whole
+// interval; at changeAt the mapping is updated fleet-wide and each server
+// pushes a "pull now" hint to the ~90% of its devices the unreliable push
+// channel reaches. The rest catch up at their next regular poll.
+func scaleMobileOnce(seed uint64, devices, servers int) (ScaleMobile, ScaleRun) {
+	const pollInterval = 20 * time.Minute
+	net := simnet.New(simnet.DefaultLatency(), seed)
+	rng := stats.NewRNG(seed * 7919)
+
+	mapping := func(retries int) []byte {
+		m := mobileconfig.Mapping{Config: "main", Fields: map[string]mobileconfig.FieldBinding{
+			"FEATURE_X":   {Backend: mobileconfig.BackendConstant, Value: true},
+			"MAX_RETRIES": {Backend: mobileconfig.BackendConstant, Value: retries},
+			"UPLOAD_KBPS": {Backend: mobileconfig.BackendConstant, Value: 256},
+		}}
+		return m.Encode()
+	}
+	fields := []string{"FEATURE_X", "MAX_RETRIES", "UPLOAD_KBPS"}
+	user := &gatekeeper.User{}
+	users := func(id int64) *gatekeeper.User { user.ID = id; return user }
+
+	srvs := make([]*mobileconfig.Server, servers)
+	trs := make([]*mobileconfig.Translator, servers)
+	var schemaHash uint64
+	for s := 0; s < servers; s++ {
+		tr := mobileconfig.NewTranslator(nil, nil)
+		if err := tr.LoadMapping(mapping(3)); err != nil {
+			panic(err)
+		}
+		trs[s] = tr
+		schemaHash = tr.RegisterSchema(fields)
+		place := simnet.Placement{
+			Region:  fmt.Sprintf("mr%d", s%4),
+			Cluster: fmt.Sprintf("mc%d", s/4),
+		}
+		srvs[s] = mobileconfig.NewServer(net, simnet.NodeID(fmt.Sprintf("tserv-%02d", s)), place, tr, users)
+	}
+
+	devs := make([]*mobileconfig.Device, devices)
+	devIDs := make([][]simnet.NodeID, servers) // per server, in creation order
+	for i := 0; i < devices; i++ {
+		s := i % servers
+		id := simnet.NodeID(fmt.Sprintf("dev-%07d", i))
+		place := net.Placement(srvs[s].ID())
+		first := time.Duration(rng.Intn(int(pollInterval)))
+		d := mobileconfig.NewDeviceAt(net, id, place, srvs[s].ID(), "main", int64(i), schemaHash, first)
+		d.SetPollInterval(pollInterval)
+		devs[i] = d
+		devIDs[s] = append(devIDs[s], id)
+	}
+
+	meter := startMeter(net)
+	net.RunFor(pollInterval + time.Minute) // warm: every device pulls rev 1
+
+	// Emergency change: remap MAX_RETRIES fleet-wide and push the hint.
+	// (Mapping distribution itself rides configerator — §4's plane, modeled
+	// in the distribution experiment; here it lands on every server at once.)
+	for _, tr := range trs {
+		if err := tr.LoadMapping(mapping(5)); err != nil {
+			panic(err)
+		}
+	}
+	pushAt := net.Now()
+	pushed := 0
+	for s, srv := range srvs {
+		reach := make([]simnet.NodeID, 0, len(devIDs[s]))
+		for _, id := range devIDs[s] {
+			if rng.Float64() < 0.9 { // unreliable push channel
+				reach = append(reach, id)
+			}
+		}
+		ctx := simnet.MakeContext(net, srv.ID())
+		srv.Push(&ctx, "main", reach)
+		pushed += len(reach)
+	}
+
+	converged := make([]bool, devices)
+	left := devices
+	cdf := stats.NewCDF()
+	reached60 := 0
+	sample := func() {
+		since := net.Now().Sub(pushAt).Seconds()
+		for i, d := range devs {
+			if !converged[i] && d.Updates >= 2 {
+				converged[i] = true
+				cdf.Add(since)
+				left--
+				if since <= 60 {
+					reached60++
+				}
+			}
+		}
+	}
+	for tick := 0; tick < 30 && left > 0; tick++ { // fine grid over the push minute
+		net.RunFor(2 * time.Second)
+		sample()
+	}
+	for tick := 0; tick < 80 && left > 0; tick++ { // coarse grid over the poll catch-up
+		net.RunFor(20 * time.Second)
+		sample()
+	}
+	run := meter.stop()
+
+	var polls, notMod uint64
+	for _, s := range srvs {
+		polls += s.Polls
+		notMod += s.NotModified
+	}
+	m := ScaleMobile{
+		Devices:          devices,
+		Servers:          servers,
+		PollIntervalMin:  pollInterval.Minutes(),
+		PushReachFrac:    float64(pushed) / float64(devices),
+		ReachedIn60sFrac: float64(reached60) / float64(devices),
+		CatchupP99Sec:    cdf.Quantile(0.99),
+		CaughtUpByPoll:   left == 0,
+		NotModifiedFrac:  float64(notMod) / float64(polls),
+	}
+	return m, run
+}
+
+// Scale is the fleet-scale experiment behind BENCH_scale.json.
+func Scale(opts Options) Result {
+	r := Result{ID: "scale", Title: "Fleet-scale simnet: 100k-proxy §6.3 push and 1M-device §5 hybrid"}
+	regions, clustersPerRegion, perCluster := 5, 4, 5000 // 100k proxies
+	devices, servers := 1_000_000, 20
+	if opts.Quick {
+		perCluster = 200 // 4k proxies
+		devices = 20_000
+	}
+
+	report := ScaleReport{Quick: opts.Quick, Seed: opts.Seed}
+
+	push1, run1 := scalePushOnce(opts.Seed, regions, clustersPerRegion, perCluster, 2048)
+	_, run1b := scalePushOnce(opts.Seed, regions, clustersPerRegion, perCluster, 2048)
+	run1.Deterministic = run1.Delivered == run1b.Delivered &&
+		run1.Dropped == run1b.Dropped && run1.BytesOnWire == run1b.BytesOnWire
+	push1.Run = run1
+	report.Push = push1
+
+	mob1, mrun1 := scaleMobileOnce(opts.Seed, devices, servers)
+	_, mrun1b := scaleMobileOnce(opts.Seed, devices, servers)
+	mrun1.Deterministic = mrun1.Delivered == mrun1b.Delivered &&
+		mrun1.Dropped == mrun1b.Dropped && mrun1.BytesOnWire == mrun1b.BytesOnWire
+	mob1.Run = mrun1
+	report.Mobile = mob1
+
+	report.AllocsPerSend, report.AllocsPerTimer = scaleMicroAllocs()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "push: %d proxies, %d observers, %d clusters — converged %.1f%%, p50 %.2fs p99 %.2fs max %.2fs\n",
+		push1.Proxies, push1.Observers, push1.Clusters, 100*push1.ConvergedFrac,
+		push1.P50Seconds, push1.P99Seconds, push1.MaxSeconds)
+	fmt.Fprintf(&b, "      wall %.1fs, %.2fM events (%.2fM events/s), %.1f allocs/event, %.1f MB on wire, deterministic=%v\n",
+		run1.WallSeconds, float64(run1.Events)/1e6, run1.EventsPerSec/1e6,
+		run1.AllocsPerEvent, float64(run1.BytesOnWire)/1e6, run1.Deterministic)
+	fmt.Fprintf(&b, "mobile: %d devices / %d servers — push reached %.1f%%, %.1f%% updated in 60s, catch-up p99 %.0fs, all by next poll=%v, not-modified %.1f%%\n",
+		mob1.Devices, mob1.Servers, 100*mob1.PushReachFrac, 100*mob1.ReachedIn60sFrac,
+		mob1.CatchupP99Sec, mob1.CaughtUpByPoll, 100*mob1.NotModifiedFrac)
+	fmt.Fprintf(&b, "       wall %.1fs, %.2fM events (%.2fM events/s), %.1f allocs/event, %.1f MB on wire, deterministic=%v\n",
+		mrun1.WallSeconds, float64(mrun1.Events)/1e6, mrun1.EventsPerSec/1e6,
+		mrun1.AllocsPerEvent, float64(mrun1.BytesOnWire)/1e6, mrun1.Deterministic)
+	fmt.Fprintf(&b, "core:  %.0f allocs per warm Send, %.0f per warm SetTimer\n",
+		report.AllocsPerSend, report.AllocsPerTimer)
+	r.Text = b.String()
+
+	r.metric("push_proxies", float64(push1.Proxies), 0, false)
+	r.metric("push_p99_s", push1.P99Seconds, 4.5, true)
+	r.metric("push_converged_frac", push1.ConvergedFrac, 1.0, true)
+	r.metric("push_events_per_sec", run1.EventsPerSec, 0, false)
+	r.metric("mobile_devices", float64(mob1.Devices), 0, false)
+	r.metric("mobile_reached_60s_frac", mob1.ReachedIn60sFrac, 0, false)
+	r.metric("mobile_events_per_sec", mrun1.EventsPerSec, 0, false)
+	r.metric("allocs_per_send", report.AllocsPerSend, 0, true)
+	r.metric("allocs_per_timer", report.AllocsPerTimer, 0, true)
+
+	data, _ := json.MarshalIndent(report, "", "  ")
+	r.ArtifactName = "BENCH_scale.json"
+	r.Artifact = data
+	return r
+}
+
+// scaleMicroAllocs measures warm-path allocations on a minimal net: after
+// warmup, Send+Step and SetTimer+Step must not allocate at all (events come
+// from the freelist, link state from pre-grown maps).
+func scaleMicroAllocs() (send, timer float64) {
+	net := simnet.New(simnet.DefaultLatency(), 17)
+	place := simnet.Placement{Region: "r", Cluster: "c"}
+	h := simnet.HandlerFunc(func(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {})
+	net.AddNode("a", place, h)
+	net.AddNode("b", place, h)
+	msg := &struct{}{}
+	for i := 0; i < 1000; i++ {
+		net.SendSized("a", "b", msg, 1024)
+		net.Step()
+	}
+	send = allocsPerRun(1000, func() {
+		net.SendSized("a", "b", msg, 1024)
+		net.Step()
+	})
+	timer = allocsPerRun(1000, func() {
+		net.SetTimer("a", time.Millisecond, msg)
+		net.Step()
+	})
+	return send, timer
+}
+
+// allocsPerRun is testing.AllocsPerRun without the testing import.
+func allocsPerRun(runs int, f func()) float64 {
+	f() // warm
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
+}

@@ -85,11 +85,12 @@ func (s *Server) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg simn
 	ctx.SendSized(from, MsgValues{Config: m.Config, Values: values, Hash: h}, encodedSize(values))
 }
 
-// Push sends the emergency pull hint to a set of devices.
+// Push sends the emergency pull hint to a set of devices as one broadcast
+// wave: all recipients share the same immutable hint message. devices must
+// be deterministically ordered (each delivery draws jitter from the shared
+// RNG in slice order).
 func (s *Server) Push(ctx *simnet.Context, config string, devices []simnet.NodeID) {
-	for _, d := range devices {
-		ctx.Send(d, MsgEmergencyPush{Config: config})
-	}
+	ctx.Broadcast(devices, MsgEmergencyPush{Config: config}, 0)
 }
 
 func encodedSize(values map[string]interface{}) int {
@@ -129,9 +130,20 @@ type Device struct {
 // hour").
 const DefaultPollInterval = time.Hour
 
-// NewDevice creates a device node that polls the given server.
+// NewDevice creates a device node that polls the given server immediately
+// and then every poll interval.
 func NewDevice(net *simnet.Network, id simnet.NodeID, p simnet.Placement,
 	server simnet.NodeID, config string, userID int64, schemaHash uint64) *Device {
+	return NewDeviceAt(net, id, p, server, config, userID, schemaHash, 0)
+}
+
+// NewDeviceAt is NewDevice with the first poll deferred by firstPoll —
+// fleet-scale simulations spread a million devices' first polls across the
+// poll interval instead of synchronizing a thundering herd at t=0 (real
+// phones wake up whenever their users do).
+func NewDeviceAt(net *simnet.Network, id simnet.NodeID, p simnet.Placement,
+	server simnet.NodeID, config string, userID int64, schemaHash uint64,
+	firstPoll time.Duration) *Device {
 	d := &Device{
 		id: id, net: net, server: server, config: config, userID: userID,
 		schemaHash: schemaHash,
@@ -139,7 +151,7 @@ func NewDevice(net *simnet.Network, id simnet.NodeID, p simnet.Placement,
 		interval:   DefaultPollInterval,
 	}
 	net.AddNode(id, p, d)
-	net.SetTimer(id, 0, msgTickPoll{})
+	net.SetTimer(id, firstPoll, msgTickPoll{})
 	return d
 }
 

@@ -12,13 +12,20 @@
 // The simulation is single-threaded and fully deterministic: given the same
 // seed and the same sequence of API calls, every run delivers every message
 // at the same virtual instant.
+//
+// The core is sized for fleets, not testbeds (DESIGN.md §14): events come
+// from a freelist and are scheduled on a hierarchical timer wheel, node ids
+// are interned into dense int32 indexes so link state lives in compact-key
+// maps, and per-node bandwidth state materializes lazily — a million
+// mostly-idle devices cost nothing until first touched.
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
+	"sort"
 	"time"
 
+	"configerator/internal/intern"
 	"configerator/internal/obs"
 	"configerator/internal/stats"
 	"configerator/internal/vclock"
@@ -32,7 +39,7 @@ type Message interface{}
 
 // Handler is implemented by every simulated process. HandleMessage is
 // invoked for remote messages and for self-scheduled timers (from == the
-// node itself).
+// node itself). The Context is only valid for the duration of the call.
 type Handler interface {
 	HandleMessage(ctx *Context, from NodeID, msg Message)
 }
@@ -92,70 +99,63 @@ func (m LatencyModel) between(a, b Placement, rng *stats.RNG) time.Duration {
 	return base
 }
 
-// node is the internal per-node state.
+// node is the internal per-node state. The table is a dense slice indexed
+// by the int32 handed out at AddNode; only identity, handler, and liveness
+// live inline — everything a mostly-idle node never touches is behind the
+// lazily materialized ext pointer.
 type node struct {
 	id        NodeID
 	handler   Handler
 	placement Placement
 	down      bool
-
-	// Link bandwidth modeling: a transfer occupies the sender's uplink and
-	// the receiver's downlink for size/bandwidth seconds.
-	upBps      float64
-	downBps    float64
-	upFreeAt   time.Time
-	downFreeAt time.Time
-
-	// Per-node wire accounting (payload bytes).
-	bytesOut uint64
-	bytesIn  uint64
+	ext       *nodeExt
 }
 
-type eventKind int
+// nodeExt is the lazily materialized per-node link state: bandwidth
+// modeling (a transfer occupies the sender's uplink and the receiver's
+// downlink for size/bandwidth seconds) and wire accounting. A node that
+// never sends or receives a sized payload never allocates one.
+type nodeExt struct {
+	upBps      float64
+	downBps    float64
+	upFreeAt   int64 // ns since base
+	downFreeAt int64
+	bytesOut   uint64
+	bytesIn    uint64
+}
 
 const (
-	evDeliver eventKind = iota
+	evDeliver uint8 = iota
 	evTimer
 	evCall
 )
 
+// event is one scheduled delivery, timer, or callback. Events are pooled
+// in a freelist (Network.free) and linked through next while sitting in a
+// wheel slot; at is virtual nanoseconds since the network's base instant.
 type event struct {
-	at   time.Time
+	at   int64
 	seq  uint64
-	kind eventKind
-	from NodeID
-	to   NodeID
+	next *event
 	msg  Message
 	call func()
+	from int32
+	to   int32
+	kind uint8
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if !q[i].at.Equal(q[j].at) {
-		return q[i].at.Before(q[j].at)
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+// linkKey packs a directed link into one map key — link state becomes a
+// compact-key map op instead of hashing two strings.
+func linkKey(from, to int32) uint64 {
+	return uint64(uint32(from))<<32 | uint64(uint32(to))
 }
 
-type pair struct{ a, b NodeID }
-
-func orderedPair(a, b NodeID) pair {
+// orderedKey packs an undirected pair (smaller index first).
+func orderedKey(a, b int32) uint64 {
 	if a > b {
 		a, b = b, a
 	}
-	return pair{a, b}
+	return linkKey(a, b)
 }
 
 // Network is the simulator. It owns the virtual clock; components that need
@@ -164,26 +164,32 @@ type Network struct {
 	clock   *vclock.Virtual
 	rng     *stats.RNG
 	latency LatencyModel
-	nodes   map[NodeID]*node
-	queue   eventQueue
-	seq     uint64
+	base    time.Time // event times are int64 ns after this instant
 
-	partitioned map[pair]bool
+	index map[NodeID]int32
+	nodes []node
+
+	wheel eventWheel
+	free  *event // event freelist: steady state allocates zero events
+	seq   uint64
+	sctx  Context // scratch Context reused across deliveries
+
+	partitioned map[uint64]bool
 	// partitionedDir severs single directions only (asymmetric routing
 	// failures); the undirected map above cuts both at once.
-	partitionedDir map[pair]bool
-	lossRate       map[pair]float64
-	lossRateDir    map[pair]float64
+	partitionedDir map[uint64]bool
+	lossRate       map[uint64]float64
+	lossRateDir    map[uint64]float64
 	// extraLatency adds a per-directed-link latency penalty (congestion
 	// spikes injected by a FaultPlan) on top of the placement-derived base.
-	extraLatency map[pair]time.Duration
+	extraLatency map[uint64]time.Duration
 	// lastArrival enforces FIFO delivery per directed link (TCP
 	// semantics): latency jitter never reorders two messages between the
 	// same endpoints. Protocols like Zeus's commit stream rely on this.
-	lastArrival map[pair]time.Time
+	lastArrival map[uint64]int64
 
 	// linkBytes accumulates payload bytes per directed link (from, to).
-	linkBytes map[pair]uint64
+	linkBytes map[uint64]uint64
 
 	// obs, when set, receives per-message byte counters and a payload-size
 	// histogram (see SetObs).
@@ -193,6 +199,9 @@ type Network struct {
 	Delivered uint64
 	Dropped   uint64
 	BytesSent uint64
+	// Events counts processed events of every kind (deliveries, drops,
+	// callbacks) — the denominator for events/sec and allocs/event.
+	Events uint64
 }
 
 // DefaultBandwidth is the per-node NIC bandwidth assumed when none is set
@@ -201,36 +210,60 @@ const DefaultBandwidth = 1.25e9 // bytes/sec
 
 // New returns an empty network with the given latency model and seed.
 func New(latency LatencyModel, seed uint64) *Network {
-	return &Network{
-		clock:          vclock.NewVirtual(),
+	clock := vclock.NewVirtual()
+	n := &Network{
+		clock:          clock,
 		rng:            stats.NewRNG(seed),
 		latency:        latency,
-		nodes:          make(map[NodeID]*node),
-		partitioned:    make(map[pair]bool),
-		partitionedDir: make(map[pair]bool),
-		lossRate:       make(map[pair]float64),
-		lossRateDir:    make(map[pair]float64),
-		extraLatency:   make(map[pair]time.Duration),
-		lastArrival:    make(map[pair]time.Time),
-		linkBytes:      make(map[pair]uint64),
+		base:           clock.Now(),
+		index:          make(map[NodeID]int32),
+		partitioned:    make(map[uint64]bool),
+		partitionedDir: make(map[uint64]bool),
+		lossRate:       make(map[uint64]float64),
+		lossRateDir:    make(map[uint64]float64),
+		extraLatency:   make(map[uint64]time.Duration),
+		lastArrival:    make(map[uint64]int64),
+		linkBytes:      make(map[uint64]uint64),
 	}
+	n.sctx.net = n
+	return n
 }
+
+func (n *Network) nowNS() int64 { return int64(n.clock.Now().Sub(n.base)) }
 
 // SetObs attaches an observability registry: every sized send then feeds
 // the "net.bytes" counter, a per-distance-class counter
 // ("net.bytes.same_cluster" / "net.bytes.same_region" /
 // "net.bytes.cross_region"), and the "net.msg.bytes" payload-size
-// histogram (recorded on the 1 byte = 1 ns convention).
+// histogram (recorded on the 1 byte = 1 ns convention). Broadcast waves
+// batch the counter updates and record one histogram sample per wave.
 func (n *Network) SetObs(r *obs.Registry) { n.obs = r }
 
 // LinkBytes reports payload bytes sent on the directed link from→to.
-func (n *Network) LinkBytes(from, to NodeID) uint64 { return n.linkBytes[pair{from, to}] }
+func (n *Network) LinkBytes(from, to NodeID) uint64 {
+	fi, ok1 := n.index[from]
+	ti, ok2 := n.index[to]
+	if !ok1 || !ok2 {
+		return 0
+	}
+	return n.linkBytes[linkKey(fi, ti)]
+}
 
 // NodeBytesOut reports total payload bytes the node has sent.
-func (n *Network) NodeBytesOut(id NodeID) uint64 { return n.mustNode(id).bytesOut }
+func (n *Network) NodeBytesOut(id NodeID) uint64 {
+	if ext := n.nodes[n.mustIdx(id)].ext; ext != nil {
+		return ext.bytesOut
+	}
+	return 0
+}
 
 // NodeBytesIn reports total payload bytes the node has received.
-func (n *Network) NodeBytesIn(id NodeID) uint64 { return n.mustNode(id).bytesIn }
+func (n *Network) NodeBytesIn(id NodeID) uint64 {
+	if ext := n.nodes[n.mustIdx(id)].ext; ext != nil {
+		return ext.bytesIn
+	}
+	return 0
+}
 
 // Clock exposes the shared virtual clock.
 func (n *Network) Clock() *vclock.Virtual { return n.clock }
@@ -242,45 +275,60 @@ func (n *Network) Now() time.Time { return n.clock.Now() }
 func (n *Network) RNG() *stats.RNG { return n.rng }
 
 // AddNode registers a simulated process. It panics if the id is taken.
+// The id and placement strings are interned: every copy of a node id in
+// link maps and messages shares one backing string fleet-wide.
 func (n *Network) AddNode(id NodeID, p Placement, h Handler) {
-	if _, ok := n.nodes[id]; ok {
+	if _, ok := n.index[id]; ok {
 		panic(fmt.Sprintf("simnet: duplicate node %q", id))
 	}
-	n.nodes[id] = &node{
-		id: id, handler: h, placement: p,
-		upBps: DefaultBandwidth, downBps: DefaultBandwidth,
+	id = NodeID(intern.Path(string(id)))
+	p.Region = intern.Path(p.Region)
+	p.Cluster = intern.Path(p.Cluster)
+	n.index[id] = int32(len(n.nodes))
+	n.nodes = append(n.nodes, node{id: id, handler: h, placement: p})
+}
+
+// ext materializes a node's bandwidth/accounting state on first touch.
+func (n *Network) ext(i int32) *nodeExt {
+	nd := &n.nodes[i]
+	if nd.ext == nil {
+		nd.ext = &nodeExt{upBps: DefaultBandwidth, downBps: DefaultBandwidth}
 	}
+	return nd.ext
 }
 
 // SetBandwidth overrides a node's uplink/downlink bandwidth in bytes/sec.
 func (n *Network) SetBandwidth(id NodeID, upBps, downBps float64) {
-	nd := n.mustNode(id)
-	nd.upBps, nd.downBps = upBps, downBps
+	ext := n.ext(n.mustIdx(id))
+	ext.upBps, ext.downBps = upBps, downBps
 }
 
 // Placement reports where a node lives.
-func (n *Network) Placement(id NodeID) Placement { return n.mustNode(id).placement }
+func (n *Network) Placement(id NodeID) Placement { return n.nodes[n.mustIdx(id)].placement }
 
-// NodeIDs returns all registered node ids (order unspecified).
+// NodeIDs returns all registered node ids in sorted order, so fleet setup
+// code iterating the result is deterministic (map order once leaked into
+// trace identity — the PR 8 bug class).
 func (n *Network) NodeIDs() []NodeID {
-	ids := make([]NodeID, 0, len(n.nodes))
-	for id := range n.nodes {
-		ids = append(ids, id)
+	ids := make([]NodeID, len(n.nodes))
+	for i := range n.nodes {
+		ids[i] = n.nodes[i].id
 	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
-func (n *Network) mustNode(id NodeID) *node {
-	nd, ok := n.nodes[id]
+func (n *Network) mustIdx(id NodeID) int32 {
+	i, ok := n.index[id]
 	if !ok {
 		panic(fmt.Sprintf("simnet: unknown node %q", id))
 	}
-	return nd
+	return i
 }
 
 // Fail crashes a node: in-flight messages to it are dropped on arrival and
 // it stops receiving timers until Recover.
-func (n *Network) Fail(id NodeID) { n.mustNode(id).down = true }
+func (n *Network) Fail(id NodeID) { n.nodes[n.mustIdx(id)].down = true }
 
 // Restarter is implemented by handlers that need to re-arm timers after a
 // crash: while a node is down its queued timers are dropped, so a periodic
@@ -292,61 +340,82 @@ type Restarter interface {
 // Recover restarts a crashed node. If its handler implements Restarter,
 // OnRestart is invoked on the simulation loop at the current instant.
 func (n *Network) Recover(id NodeID) {
-	nd := n.mustNode(id)
+	i := n.mustIdx(id)
+	nd := &n.nodes[i]
 	nd.down = false
 	if r, ok := nd.handler.(Restarter); ok {
 		n.After(0, func() {
-			if !nd.down {
-				r.OnRestart(&Context{net: n, self: id})
+			if nd := &n.nodes[i]; !nd.down {
+				ctx := Context{net: n, self: nd.id, idx: i}
+				r.OnRestart(&ctx)
 			}
 		})
 	}
 }
 
 // IsDown reports whether the node is currently crashed.
-func (n *Network) IsDown(id NodeID) bool { return n.mustNode(id).down }
+func (n *Network) IsDown(id NodeID) bool { return n.nodes[n.mustIdx(id)].down }
 
 // Partition severs connectivity between a and b (both directions).
-func (n *Network) Partition(a, b NodeID) { n.partitioned[orderedPair(a, b)] = true }
+func (n *Network) Partition(a, b NodeID) {
+	n.partitioned[orderedKey(n.mustIdx(a), n.mustIdx(b))] = true
+}
 
 // Heal restores connectivity between a and b.
-func (n *Network) Heal(a, b NodeID) { delete(n.partitioned, orderedPair(a, b)) }
+func (n *Network) Heal(a, b NodeID) {
+	delete(n.partitioned, orderedKey(n.mustIdx(a), n.mustIdx(b)))
+}
 
 // PartitionOneWay severs only the from→to direction (asymmetric routing
 // failure); replies still flow. Heal it with HealOneWay.
-func (n *Network) PartitionOneWay(from, to NodeID) { n.partitionedDir[pair{from, to}] = true }
+func (n *Network) PartitionOneWay(from, to NodeID) {
+	n.partitionedDir[linkKey(n.mustIdx(from), n.mustIdx(to))] = true
+}
 
 // HealOneWay restores the from→to direction.
-func (n *Network) HealOneWay(from, to NodeID) { delete(n.partitionedDir, pair{from, to}) }
+func (n *Network) HealOneWay(from, to NodeID) {
+	delete(n.partitionedDir, linkKey(n.mustIdx(from), n.mustIdx(to)))
+}
 
 // Partitioned reports whether from→to traffic is currently severed (by
 // either the undirected or the directed map).
 func (n *Network) Partitioned(from, to NodeID) bool {
-	return n.partitioned[orderedPair(from, to)] || n.partitionedDir[pair{from, to}]
+	fi, ti := n.mustIdx(from), n.mustIdx(to)
+	return n.partitioned[orderedKey(fi, ti)] || n.partitionedDir[linkKey(fi, ti)]
 }
 
-// SetLoss sets the probability that a message between a and b is lost.
-// Used to model the unreliable mobile push-notification channel (§5).
-func (n *Network) SetLoss(a, b NodeID, p float64) { n.lossRate[orderedPair(a, b)] = p }
+// SetLoss sets the probability that a message between a and b is lost
+// (0 clears it). Used to model the unreliable mobile push-notification
+// channel (§5).
+func (n *Network) SetLoss(a, b NodeID, p float64) {
+	k := orderedKey(n.mustIdx(a), n.mustIdx(b))
+	if p <= 0 {
+		delete(n.lossRate, k)
+		return
+	}
+	n.lossRate[k] = p
+}
 
 // SetLossOneWay sets the drop probability for the from→to direction only
 // (0 clears it).
 func (n *Network) SetLossOneWay(from, to NodeID, p float64) {
+	k := linkKey(n.mustIdx(from), n.mustIdx(to))
 	if p <= 0 {
-		delete(n.lossRateDir, pair{from, to})
+		delete(n.lossRateDir, k)
 		return
 	}
-	n.lossRateDir[pair{from, to}] = p
+	n.lossRateDir[k] = p
 }
 
 // SetLinkLatency adds extra one-way latency on the from→to link — a
 // congestion spike. Zero clears the spike.
 func (n *Network) SetLinkLatency(from, to NodeID, extra time.Duration) {
+	k := linkKey(n.mustIdx(from), n.mustIdx(to))
 	if extra <= 0 {
-		delete(n.extraLatency, pair{from, to})
+		delete(n.extraLatency, k)
 		return
 	}
-	n.extraLatency[pair{from, to}] = extra
+	n.extraLatency[k] = extra
 }
 
 // Send schedules delivery of a zero-size control message.
@@ -357,113 +426,240 @@ func (n *Network) Send(from, to NodeID, msg Message) { n.SendSized(from, to, msg
 // is what makes centralized distribution of GB configs melt down and P2P
 // win (§3.5).
 func (n *Network) SendSized(from, to NodeID, msg Message, size int) {
-	src := n.mustNode(from)
-	dst := n.mustNode(to)
+	n.sendIdx(n.mustIdx(from), n.mustIdx(to), msg, size)
+}
+
+func (n *Network) sendIdx(fi, ti int32, msg Message, size int) {
+	src := &n.nodes[fi]
 	if src.down {
 		n.Dropped++
 		return
 	}
-	if n.partitioned[orderedPair(from, to)] || n.partitionedDir[pair{from, to}] {
+	if n.partitioned[orderedKey(fi, ti)] || n.partitionedDir[linkKey(fi, ti)] {
 		n.Dropped++
 		return
 	}
-	if p := n.lossRate[orderedPair(from, to)]; p > 0 && n.rng.Bool(p) {
+	if p := n.lossRate[orderedKey(fi, ti)]; p > 0 && n.rng.Bool(p) {
 		n.Dropped++
 		return
 	}
-	if p := n.lossRateDir[pair{from, to}]; p > 0 && n.rng.Bool(p) {
+	if p := n.lossRateDir[linkKey(fi, ti)]; p > 0 && n.rng.Bool(p) {
 		n.Dropped++
 		return
 	}
-	now := n.clock.Now()
-	lat := n.latency.between(src.placement, dst.placement, n.rng)
-	lat += n.extraLatency[pair{from, to}]
-	depart := now
-	arrive := now.Add(lat)
+	dst := &n.nodes[ti]
+	now := n.nowNS()
+	lat := int64(n.latency.between(src.placement, dst.placement, n.rng))
+	lat += int64(n.extraLatency[linkKey(fi, ti)])
+	arrive := now + lat
 	if size > 0 {
-		ser := time.Duration(float64(size) / src.upBps * float64(time.Second))
-		if src.upFreeAt.After(depart) {
-			depart = src.upFreeAt
+		se, de := n.ext(fi), n.ext(ti)
+		depart := now
+		if se.upFreeAt > depart {
+			depart = se.upFreeAt
 		}
-		depart = depart.Add(ser)
-		src.upFreeAt = depart
-		recv := time.Duration(float64(size) / dst.downBps * float64(time.Second))
-		arrive = depart.Add(lat)
-		if dst.downFreeAt.After(arrive) {
-			arrive = dst.downFreeAt
+		depart += int64(float64(size) / se.upBps * float64(time.Second))
+		se.upFreeAt = depart
+		arrive = depart + lat
+		if de.downFreeAt > arrive {
+			arrive = de.downFreeAt
 		}
-		arrive = arrive.Add(recv)
-		dst.downFreeAt = arrive
+		arrive += int64(float64(size) / de.downBps * float64(time.Second))
+		de.downFreeAt = arrive
 		// Encode + decode CPU cost: pure latency proportional to payload
 		// size (it delays this message but does not occupy the links).
 		if n.latency.SerializePerKB > 0 {
-			arrive = arrive.Add(time.Duration(float64(n.latency.SerializePerKB) * float64(size) / 1024))
+			arrive += int64(float64(n.latency.SerializePerKB) * float64(size) / 1024)
 		}
 		n.BytesSent += uint64(size)
-		n.linkBytes[pair{from, to}] += uint64(size)
-		src.bytesOut += uint64(size)
-		dst.bytesIn += uint64(size)
+		n.linkBytes[linkKey(fi, ti)] += uint64(size)
+		se.bytesOut += uint64(size)
+		de.bytesIn += uint64(size)
 		if n.obs != nil {
 			n.obs.Add("net.bytes", int64(size))
 			n.obs.Add("net.msgs.sized", 1)
-			switch {
-			case src.placement.Region == dst.placement.Region && src.placement.Cluster == dst.placement.Cluster:
-				n.obs.Add("net.bytes.same_cluster", int64(size))
-			case src.placement.Region == dst.placement.Region:
-				n.obs.Add("net.bytes.same_region", int64(size))
-			default:
-				n.obs.Add("net.bytes.cross_region", int64(size))
-			}
+			n.obs.Add(byteClassCounter(src.placement, dst.placement), int64(size))
 			// Payload-size histogram on the 1 byte = 1 ns convention.
 			n.obs.Observe("net.msg.bytes", time.Duration(size))
 		}
 	}
-	link := pair{from, to}
-	if last := n.lastArrival[link]; arrive.Before(last) {
+	key := linkKey(fi, ti)
+	if last := n.lastArrival[key]; arrive < last {
 		arrive = last
 	}
-	n.lastArrival[link] = arrive
-	n.push(&event{at: arrive, kind: evDeliver, from: from, to: to, msg: msg})
+	n.lastArrival[key] = arrive
+	n.pushEvent(arrive, evDeliver, fi, ti, msg, nil)
+}
+
+func byteClassCounter(a, b Placement) string {
+	switch {
+	case a.Region == b.Region && a.Cluster == b.Cluster:
+		return "net.bytes.same_cluster"
+	case a.Region == b.Region:
+		return "net.bytes.same_region"
+	default:
+		return "net.bytes.cross_region"
+	}
+}
+
+// Broadcast schedules delivery of one shared payload from one sender to
+// many recipients — a push wave. Unlike a loop of SendSized calls, the
+// serialization CPU cost (SerializePerKB) is charged once for the wave
+// rather than once per recipient, every recipient shares the same
+// immutable msg value, and the obs counters are updated once per wave
+// (with one payload-size histogram sample). Bandwidth is still modeled
+// per copy: each recipient's bytes occupy the sender's uplink in turn,
+// so a wave to 100k nodes still serializes on the sender's NIC.
+// Per-recipient partition, loss, and FIFO rules match SendSized; jitter
+// draws happen in tos order, so callers must pass a deterministically
+// ordered slice.
+func (n *Network) Broadcast(from NodeID, tos []NodeID, msg Message, size int) {
+	n.broadcastIdx(n.mustIdx(from), tos, msg, size)
+}
+
+func (n *Network) broadcastIdx(fi int32, tos []NodeID, msg Message, size int) {
+	src := &n.nodes[fi]
+	if src.down {
+		n.Dropped += uint64(len(tos))
+		return
+	}
+	now := n.nowNS()
+	encodeReady := now
+	if size > 0 && n.latency.SerializePerKB > 0 {
+		encodeReady += int64(float64(n.latency.SerializePerKB) * float64(size) / 1024)
+	}
+	var se *nodeExt
+	if size > 0 {
+		se = n.ext(fi)
+	}
+	var classBytes [3]uint64 // same_cluster, same_region, cross_region
+	sent := 0
+	for _, to := range tos {
+		ti := n.mustIdx(to)
+		if n.partitioned[orderedKey(fi, ti)] || n.partitionedDir[linkKey(fi, ti)] {
+			n.Dropped++
+			continue
+		}
+		if p := n.lossRate[orderedKey(fi, ti)]; p > 0 && n.rng.Bool(p) {
+			n.Dropped++
+			continue
+		}
+		if p := n.lossRateDir[linkKey(fi, ti)]; p > 0 && n.rng.Bool(p) {
+			n.Dropped++
+			continue
+		}
+		dst := &n.nodes[ti]
+		lat := int64(n.latency.between(src.placement, dst.placement, n.rng))
+		lat += int64(n.extraLatency[linkKey(fi, ti)])
+		arrive := encodeReady + lat
+		if size > 0 {
+			de := n.ext(ti)
+			depart := encodeReady
+			if se.upFreeAt > depart {
+				depart = se.upFreeAt
+			}
+			depart += int64(float64(size) / se.upBps * float64(time.Second))
+			se.upFreeAt = depart
+			arrive = depart + lat
+			if de.downFreeAt > arrive {
+				arrive = de.downFreeAt
+			}
+			arrive += int64(float64(size) / de.downBps * float64(time.Second))
+			de.downFreeAt = arrive
+			n.BytesSent += uint64(size)
+			n.linkBytes[linkKey(fi, ti)] += uint64(size)
+			se.bytesOut += uint64(size)
+			de.bytesIn += uint64(size)
+			switch {
+			case src.placement.Region == dst.placement.Region && src.placement.Cluster == dst.placement.Cluster:
+				classBytes[0] += uint64(size)
+			case src.placement.Region == dst.placement.Region:
+				classBytes[1] += uint64(size)
+			default:
+				classBytes[2] += uint64(size)
+			}
+		}
+		key := linkKey(fi, ti)
+		if last := n.lastArrival[key]; arrive < last {
+			arrive = last
+		}
+		n.lastArrival[key] = arrive
+		n.pushEvent(arrive, evDeliver, fi, ti, msg, nil)
+		sent++
+	}
+	if n.obs != nil && size > 0 && sent > 0 {
+		n.obs.Add("net.bytes", int64(size)*int64(sent))
+		n.obs.Add("net.msgs.sized", int64(sent))
+		if classBytes[0] > 0 {
+			n.obs.Add("net.bytes.same_cluster", int64(classBytes[0]))
+		}
+		if classBytes[1] > 0 {
+			n.obs.Add("net.bytes.same_region", int64(classBytes[1]))
+		}
+		if classBytes[2] > 0 {
+			n.obs.Add("net.bytes.cross_region", int64(classBytes[2]))
+		}
+		n.obs.Observe("net.msg.bytes", time.Duration(size))
+	}
 }
 
 // SetTimer schedules msg to be delivered to id after delay, with from == id.
 func (n *Network) SetTimer(id NodeID, delay time.Duration, msg Message) {
-	n.mustNode(id)
-	n.push(&event{at: n.clock.Now().Add(delay), kind: evTimer, from: id, to: id, msg: msg})
+	i := n.mustIdx(id)
+	n.pushEvent(n.nowNS()+int64(delay), evTimer, i, i, msg, nil)
 }
 
 // After schedules an arbitrary callback on the simulation loop. It is the
 // hook used by the driver layers (tailer, canary, workload generators) that
 // are not themselves nodes.
 func (n *Network) After(delay time.Duration, fn func()) {
-	n.push(&event{at: n.clock.Now().Add(delay), kind: evCall, call: fn})
+	n.pushEvent(n.nowNS()+int64(delay), evCall, -1, -1, nil, fn)
 }
 
-func (n *Network) push(e *event) {
-	e.seq = n.seq
+// pushEvent takes an event from the freelist, fills it, and schedules it.
+func (n *Network) pushEvent(at int64, kind uint8, from, to int32, msg Message, call func()) {
+	e := n.free
+	if e == nil {
+		e = &event{}
+	} else {
+		n.free = e.next
+		e.next = nil
+	}
+	e.at, e.seq, e.kind, e.from, e.to, e.msg, e.call = at, n.seq, kind, from, to, msg, call
 	n.seq++
-	heap.Push(&n.queue, e)
+	n.wheel.push(e)
+}
+
+func (n *Network) releaseEvent(e *event) {
+	*e = event{next: n.free}
+	n.free = e
 }
 
 // Step processes the next event. It reports false when the queue is empty.
 func (n *Network) Step() bool {
-	if len(n.queue) == 0 {
+	e := n.wheel.pop()
+	if e == nil {
 		return false
 	}
-	e := heap.Pop(&n.queue).(*event)
-	n.clock.AdvanceTo(e.at)
-	switch e.kind {
-	case evCall:
-		e.call()
-	default:
-		dst := n.nodes[e.to]
-		if dst == nil || dst.down {
-			n.Dropped++
-			return true
-		}
-		n.Delivered++
-		dst.handler.HandleMessage(&Context{net: n, self: e.to}, e.from, e.msg)
+	n.clock.AdvanceTo(n.base.Add(time.Duration(e.at)))
+	// Copy out and recycle before invoking the handler: anything the
+	// handler schedules reuses this event without aliasing it.
+	kind, from, to, msg, call := e.kind, e.from, e.to, e.msg, e.call
+	n.releaseEvent(e)
+	n.Events++
+	if kind == evCall {
+		call()
+		return true
 	}
+	dst := &n.nodes[to]
+	if dst.down {
+		n.Dropped++
+		return true
+	}
+	n.Delivered++
+	n.sctx.self = dst.id
+	n.sctx.idx = to
+	dst.handler.HandleMessage(&n.sctx, n.nodes[from].id, msg)
 	return true
 }
 
@@ -481,28 +677,36 @@ func (n *Network) RunFor(d time.Duration) {
 
 // RunUntil processes events up to and including virtual time t.
 func (n *Network) RunUntil(t time.Time) {
-	for len(n.queue) > 0 && !n.queue[0].at.After(t) {
+	limit := int64(t.Sub(n.base))
+	for {
+		e := n.wheel.peek()
+		if e == nil || e.at > limit {
+			break
+		}
 		n.Step()
 	}
 	n.clock.AdvanceTo(t)
 }
 
 // QueueLen reports the number of pending events (for tests).
-func (n *Network) QueueLen() int { return len(n.queue) }
+func (n *Network) QueueLen() int { return n.wheel.pending }
 
 // Context is handed to handlers; it carries the node's own identity and the
-// network handle for sending messages and arming timers.
+// network handle for sending messages and arming timers. The Context passed
+// to HandleMessage is only valid for the duration of the call — handlers
+// must not retain it (the simulator reuses one Context across deliveries).
 type Context struct {
 	net  *Network
 	self NodeID
+	idx  int32
 }
 
 // MakeContext builds a Context for driver code (tailers, tests, workload
 // generators) that acts on behalf of a registered node from outside a
 // handler.
 func MakeContext(n *Network, self NodeID) Context {
-	n.mustNode(self)
-	return Context{net: n, self: self}
+	i := n.mustIdx(self)
+	return Context{net: n, self: n.nodes[i].id, idx: i}
 }
 
 // Self reports the handling node's id.
@@ -512,16 +716,24 @@ func (c *Context) Self() NodeID { return c.self }
 func (c *Context) Now() time.Time { return c.net.Now() }
 
 // Send sends a zero-size control message from this node.
-func (c *Context) Send(to NodeID, msg Message) { c.net.Send(c.self, to, msg) }
+func (c *Context) Send(to NodeID, msg Message) {
+	c.net.sendIdx(c.idx, c.net.mustIdx(to), msg, 0)
+}
 
 // SendSized sends a message with a payload size from this node.
 func (c *Context) SendSized(to NodeID, msg Message, size int) {
-	c.net.SendSized(c.self, to, msg, size)
+	c.net.sendIdx(c.idx, c.net.mustIdx(to), msg, size)
+}
+
+// Broadcast sends one shared payload to many recipients (see
+// Network.Broadcast); tos must be deterministically ordered.
+func (c *Context) Broadcast(tos []NodeID, msg Message, size int) {
+	c.net.broadcastIdx(c.idx, tos, msg, size)
 }
 
 // SetTimer arms a self-timer.
 func (c *Context) SetTimer(delay time.Duration, msg Message) {
-	c.net.SetTimer(c.self, delay, msg)
+	c.net.pushEvent(c.net.nowNS()+int64(delay), evTimer, c.idx, c.idx, msg, nil)
 }
 
 // RNG exposes the deterministic random stream.

@@ -54,6 +54,50 @@ var syncUpdatesPool = sync.Pool{New: func() any {
 // forever and keep receiving (dropped) events.
 const watchSessionTTL = 8 * time.Second
 
+// watchSet tracks the proxies watching one path in registration order.
+// Notification order must be deterministic — each recipient's latency
+// sample comes from the shared RNG, so map iteration order would make
+// otherwise-identical runs diverge (the PR 8 bug class) — and sorting
+// 100k watchers on every event is too dear, so registration order it is.
+// Removals (failover unwatch, session prune) just drop the member and
+// leave a hole in the order slice; holes are compacted lazily once they
+// outnumber the live entries.
+type watchSet struct {
+	order   []simnet.NodeID
+	members map[simnet.NodeID]bool
+}
+
+func newWatchSet() *watchSet {
+	return &watchSet{members: make(map[simnet.NodeID]bool)}
+}
+
+func (w *watchSet) add(id simnet.NodeID) {
+	if w.members[id] {
+		return
+	}
+	w.members[id] = true
+	w.order = append(w.order, id)
+}
+
+func (w *watchSet) remove(id simnet.NodeID) {
+	delete(w.members, id)
+}
+
+// live appends the current members in registration order to buf and
+// compacts the order slice when removals have left it mostly holes.
+func (w *watchSet) live(buf []simnet.NodeID) []simnet.NodeID {
+	buf = buf[:0]
+	for _, id := range w.order {
+		if w.members[id] {
+			buf = append(buf, id)
+		}
+	}
+	if len(w.order) > 2*len(buf)+8 {
+		w.order = append(w.order[:0], buf...)
+	}
+	return buf
+}
+
 // Observer keeps a fully replicated read-only copy of the leader's data
 // (§3.4). Each cluster runs several observers; the leader pushes committed
 // writes to them asynchronously, and proxies in the cluster fetch configs
@@ -63,8 +107,10 @@ type Observer struct {
 	id      simnet.NodeID
 	members []simnet.NodeID
 	tree    *DataTree
-	// watches maps path -> the set of proxies to notify on change.
-	watches map[string]map[simnet.NodeID]bool
+	// watches maps path -> the ordered set of proxies to notify on change.
+	watches map[string]*watchSet
+	// notifyScratch is the reusable live-watcher list handed to Broadcast.
+	notifyScratch []simnet.NodeID
 	// prev holds each path's content as of the version before the current
 	// one: the base a proxy that is exactly one version behind advertises,
 	// and therefore the base worth delta-encoding fetch replies against.
@@ -90,7 +136,7 @@ func NewObserver(id simnet.NodeID, members []simnet.NodeID) *Observer {
 		id:            id,
 		members:       members,
 		tree:          NewDataTree(),
-		watches:       make(map[string]map[simnet.NodeID]bool),
+		watches:       make(map[string]*watchSet),
 		prev:          make(map[string][]byte),
 		lastContact:   make(map[simnet.NodeID]time.Time),
 		deltaEncoding: true,
@@ -101,7 +147,12 @@ func NewObserver(id simnet.NodeID, members []simnet.NodeID) *Observer {
 func (o *Observer) Tree() *DataTree { return o.tree }
 
 // WatchCount reports how many proxies watch the given path.
-func (o *Observer) WatchCount(path string) int { return len(o.watches[path]) }
+func (o *Observer) WatchCount(path string) int {
+	if set := o.watches[path]; set != nil {
+		return len(set.members)
+	}
+	return 0
+}
 
 // SetDeltaEncoding toggles delta-encoded watch events and fetch replies.
 func (o *Observer) SetDeltaEncoding(on bool) { o.deltaEncoding = on }
@@ -157,7 +208,10 @@ func (o *Observer) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg si
 		o.onFetch(ctx, from, m)
 	case MsgUnwatch:
 		if set := o.watches[m.Path]; set != nil {
-			delete(set, from)
+			set.remove(from)
+			if len(set.members) == 0 {
+				delete(o.watches, m.Path)
+			}
 		}
 	case MsgPing:
 		o.lastContact[from] = ctx.Now()
@@ -180,11 +234,11 @@ func (o *Observer) pruneWatchSessions(ctx *simnet.Context) {
 	for _, proxy := range dead {
 		delete(o.lastContact, proxy)
 		for path, set := range o.watches {
-			if set[proxy] {
-				delete(set, proxy)
+			if set.members[proxy] {
+				set.remove(proxy)
 				o.Obs.Add("zeus.observer.watch_pruned", 1)
 			}
-			if len(set) == 0 {
+			if len(set.members) == 0 {
 				delete(o.watches, path)
 			}
 		}
@@ -242,8 +296,8 @@ func (o *Observer) applyBatch(ctx *simnet.Context, updates []Update) {
 		final[u.Path] = u
 	}
 	for _, path := range order {
-		watchers := o.watches[path]
-		if len(watchers) == 0 {
+		set := o.watches[path]
+		if set == nil || len(set.members) == 0 {
 			continue
 		}
 		u := final[path]
@@ -252,11 +306,11 @@ func (o *Observer) applyBatch(ctx *simnet.Context, updates []Update) {
 			rec := o.tree.Get(path)
 			ev.Payload = MakePayload(base[path], rec.Data, o.deltaEncoding && base[path] != nil)
 		}
-		size := ev.Update.WireSize()
-		for proxy := range watchers {
-			ctx.SendSized(proxy, ev, size)
-			o.Notified++
-		}
+		// One shared payload, serialization charged once for the wave,
+		// recipients in registration order (deterministic — see watchSet).
+		o.notifyScratch = set.live(o.notifyScratch)
+		ctx.Broadcast(o.notifyScratch, ev, ev.Update.WireSize())
+		o.Notified += uint64(len(o.notifyScratch))
 	}
 }
 
@@ -268,10 +322,10 @@ func (o *Observer) onFetch(ctx *simnet.Context, from simnet.NodeID, m MsgFetch) 
 	if m.Watch {
 		set, ok := o.watches[m.Path]
 		if !ok {
-			set = make(map[simnet.NodeID]bool)
+			set = newWatchSet()
 			o.watches[intern.Path(m.Path)] = set
 		}
-		set[from] = true
+		set.add(from)
 	}
 	reply := MsgFetchReply{ReqID: m.ReqID, Path: m.Path}
 	if rec := o.tree.Get(m.Path); rec != nil {

@@ -577,17 +577,17 @@ func (s *Server) maybeCommit(ctx *simnet.Context) {
 	})
 	size := updatesWireSize(updates)
 	s.Obs.Add("zeus.push.bytes", int64(size))
-	// Fan out in sorted order: iteration order decides which observer draws
-	// each latency sample from the network RNG, and map order would make
-	// otherwise-identical runs diverge.
-	obsIDs := make([]string, 0, len(s.observers))
+	// Fan out as one broadcast wave in sorted order: iteration order
+	// decides which observer draws each latency sample from the network
+	// RNG, and map order would make otherwise-identical runs diverge. The
+	// batch payload (the updates slice) is shared by every recipient and
+	// its serialization is charged once for the wave.
+	obsIDs := make([]simnet.NodeID, 0, len(s.observers))
 	for ob := range s.observers {
-		obsIDs = append(obsIDs, string(ob))
+		obsIDs = append(obsIDs, ob)
 	}
-	sort.Strings(obsIDs)
-	for _, ob := range obsIDs {
-		ctx.SendSized(simnet.NodeID(ob), msgObserverBatch{Epoch: s.epoch, Updates: updates}, size)
-	}
+	sort.Slice(obsIDs, func(i, j int) bool { return obsIDs[i] < obsIDs[j] })
+	ctx.Broadcast(obsIDs, msgObserverBatch{Epoch: s.epoch, Updates: updates}, size)
 	// Retire fully committed waves and let the next buffered wave propose.
 	last := committed[len(committed)-1]
 	for len(s.waveEnds) > 0 && s.waveEnds[0] <= last {
