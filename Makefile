@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check vet lint race staticcheck govulncheck bench-obs bench-compile bench-distribution bench-availability bench-readpath bench-dataflow bench-monitor bench-scale smoke-scale report
+.PHONY: build test check vet lint race staticcheck govulncheck bench-obs bench-compile bench-distribution bench-availability bench-readpath bench-dataflow bench-monitor bench-scale smoke-scale bench-vessel smoke-vessel report
 
 build:
 	$(GO) build ./...
@@ -28,8 +28,12 @@ test: build
 # SLO alerts fire during the scripted outage and clear after heal), and
 # the fleet-scale smoke that asserts the BENCH_scale.json gates at quick
 # size (0 allocs per warm Send/SetTimer, same-seed determinism, events/sec
-# floor, allocs/event ceiling, full §6.3 convergence).
-check: vet staticcheck govulncheck lint race bench-obs bench-distribution bench-availability bench-readpath bench-dataflow bench-monitor smoke-scale
+# floor, allocs/event ceiling, full §6.3 convergence), and the vessel
+# smoke that asserts the content-addressed PackageVessel gates at quick
+# size (fleet delivery under four minutes, delta publish under 25% of
+# full-package bytes, crash-resume with no re-fetch of verified chunks,
+# same-seed determinism).
+check: vet staticcheck govulncheck lint race bench-obs bench-distribution bench-availability bench-readpath bench-dataflow bench-monitor smoke-scale smoke-vessel
 
 vet:
 	$(GO) vet ./...
@@ -57,7 +61,7 @@ lint:
 	$(GO) run ./cmd/configlint -C examples/configs -severity info
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/cdl/... ./internal/core/... ./internal/proxy/... ./internal/zeus/... ./internal/landingstrip/... ./internal/canary/... ./internal/simnet/... ./internal/confclient/... ./internal/cluster/... ./internal/monitor/...
+	$(GO) test -race ./internal/obs/... ./internal/cdl/... ./internal/core/... ./internal/proxy/... ./internal/zeus/... ./internal/landingstrip/... ./internal/canary/... ./internal/simnet/... ./internal/confclient/... ./internal/cluster/... ./internal/monitor/... ./internal/packagevessel/...
 
 # bench-obs: smoke-run the observability experiment and leave its raw
 # registry dump (BENCH_obs.json) in the repo root.
@@ -125,6 +129,22 @@ bench-scale:
 smoke-scale:
 	$(GO) test -run TestScaleArtifact ./internal/experiments/
 	$(GO) test -run xxx -bench 'BenchmarkSimnet(Send|Timer)$$' -benchtime 100x .
+
+# bench-vessel: the full-size content-addressed PackageVessel run — a
+# 2 GB package to a 10k-agent swarm against the §5 four-minute claim, the
+# v1→v2 delta publish, and the crash-resume scenario, each fingerprinted
+# for same-seed determinism — leaves BENCH_vessel.json in the repo root,
+# then asserts the artifact gates at quick size. Minutes of wall clock;
+# `check` runs the quick smoke-vessel variant instead.
+bench-vessel:
+	$(GO) run ./cmd/benchreport -only vessel -o - > /dev/null
+	$(GO) test -run TestVesselArtifact ./internal/experiments/
+
+# smoke-vessel: the quick-size vessel gate for `check` — regenerates the
+# artifact in-process at 800 agents and asserts the same schema, delivery,
+# dedup, resume, and determinism claims.
+smoke-vessel:
+	$(GO) test -run TestVesselArtifact ./internal/experiments/
 
 # bench-compile: the shared-.cinc fan-out benchmarks behind BENCH_compile.json.
 bench-compile:

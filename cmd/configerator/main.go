@@ -11,6 +11,7 @@
 //	configerator eval    EXPR                     # evaluate a sitevar expression
 //	configerator trace   [-json] [COMMIT]         # commit-scoped span tree from a demo fleet
 //	configerator status  [-json]                  # fleet convergence, stragglers, SLO alerts
+//	configerator vessel  [-json] publish|promote|status   # content-addressed package registry demo
 package main
 
 import (
@@ -111,6 +112,8 @@ func main() {
 			fatal("status takes no arguments")
 		}
 		runStatus(*asJSON)
+	case "vessel":
+		runVessel(args, *asJSON)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -141,5 +144,8 @@ configerator — config-as-code toolchain
   configerator eval    EXPR                     evaluate a sitevar expression
   configerator trace   [-json] [COMMIT]         span tree of a change through a demo fleet
   configerator status  [-json]                  fleet convergence, stragglers, and SLO alerts
+  configerator vessel  [-json] publish [NAME [SIZE_MB]]   publish + swarm a package (demo fleet)
+  configerator vessel  [-json] promote [NAME TAG VERSION] move a tag through the strip gate
+  configerator vessel  [-json] status                     registry packages, versions, and tags
 `))
 }

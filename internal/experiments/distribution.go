@@ -10,6 +10,7 @@ import (
 	"configerator/internal/confclient"
 	"configerator/internal/core"
 	"configerator/internal/packagevessel"
+	"configerator/internal/packagevessel/blob"
 	"configerator/internal/simnet"
 	"configerator/internal/stats"
 	"configerator/internal/vcs"
@@ -162,13 +163,13 @@ func AblationP2PvsCentral(opts Options) Result {
 }
 
 // runSwarm builds a fresh swarm and returns the slowest completion plus
-// locality and storage-load statistics.
+// locality and registry-load statistics.
 func runSwarm(seed uint64, agents, sizeMB int, p2p bool) (worst time.Duration, sameClusterFrac, storageShare float64) {
 	net := simnet.New(simnet.DefaultLatency(), seed)
 	const bps = 1.25e8 // 1 Gbit/s
-	storage := packagevessel.NewStorage(net, "storage", simnet.Placement{Region: "us", Cluster: "store"})
-	net.SetBandwidth("storage", bps, bps)
-	tracker := packagevessel.NewTracker(net, "tracker", simnet.Placement{Region: "us", Cluster: "store"})
+	registry := packagevessel.NewRegistry(net, "registry", simnet.Placement{Region: "us", Cluster: "store"}, "tracker")
+	net.SetBandwidth("registry", bps, bps)
+	packagevessel.NewTracker(net, "tracker", simnet.Placement{Region: "us", Cluster: "store"})
 	var list []*packagevessel.Agent
 	for i := 0; i < agents; i++ {
 		cluster := fmt.Sprintf("c%d", i%4)
@@ -177,36 +178,40 @@ func runSwarm(seed uint64, agents, sizeMB int, p2p bool) (worst time.Duration, s
 			region = "eu"
 		}
 		id := simnet.NodeID(fmt.Sprintf("srv-%d", i))
-		a := packagevessel.NewAgent(net, id, simnet.Placement{Region: region, Cluster: cluster})
+		a := packagevessel.NewAgent(net, id, simnet.Placement{Region: region, Cluster: cluster}, packagevessel.Options{})
 		net.SetBandwidth(id, bps, bps)
 		list = append(list, a)
 	}
-	meta := storage.Upload(tracker, "model", 1, sizeMB<<20, packagevessel.DefaultChunkSize, "tracker")
+	m, err := registry.Publish(packagevessel.SyntheticPackage("model", 1, sizeMB<<20, packagevessel.DefaultChunkSize, seed))
+	if err != nil {
+		panic(err)
+	}
+	meta := packagevessel.MetadataFor(m, registry.ID(), registry.Tracker())
 	completed := 0
 	for _, a := range list {
-		a.OnComplete(func(_ packagevessel.Metadata, d time.Duration) {
+		a.OnComplete(func(_ blob.Manifest, d time.Duration, _ packagevessel.TransferStats) {
 			completed++
 			if d > worst {
 				worst = d
 			}
 		})
 		if p2p {
-			a.OnMetadata(meta.Encode())
+			a.OnAnnounce(meta)
 		} else {
-			a.FetchCentralOnly(meta.Encode())
+			a.FetchDirect(m, registry.ID())
 		}
 	}
 	net.RunFor(4 * time.Hour)
 	if completed != agents {
 		panic(fmt.Sprintf("experiments: swarm incomplete: %d of %d", completed, agents))
 	}
-	var same, total, fromStorage uint64
+	var same, total, fromOrigin uint64
 	for _, a := range list {
 		same += a.ChunksSameCluster
 		total += a.ChunksSameCluster + a.ChunksSameRegion + a.ChunksCrossRegion
-		fromStorage += a.ChunksFromStorage
+		fromOrigin += a.ChunksFromOrigin
 	}
-	return worst, float64(same) / float64(total), float64(fromStorage) / float64(total)
+	return worst, float64(same) / float64(total), float64(fromOrigin) / float64(total)
 }
 
 // AblationPushVsPull quantifies §3.4's push-vs-pull argument with the

@@ -101,6 +101,7 @@ func Catalog() []Experiment {
 		{"fig15", Fig15GatekeeperChecks},
 		{"sec6.4", Sec64ConfigErrors},
 		{"packagevessel", PackageVesselDelivery},
+		{"vessel", Vessel},
 		{"ablation-push-pull", AblationPushVsPull},
 		{"ablation-landing-strip", AblationLandingStrip},
 		{"ablation-multirepo", AblationMultiRepo},

@@ -193,7 +193,7 @@ func TestAllRuns(t *testing.T) {
 		t.Skip("runs every experiment")
 	}
 	results := All(opts)
-	if len(results) != 30 {
+	if len(results) != 31 {
 		t.Fatalf("All returned %d results", len(results))
 	}
 	// The catalog keys must match what each experiment actually reports,
@@ -259,6 +259,45 @@ func TestDistributionArtifact(t *testing.T) {
 	}
 	if rep.Propagation.DeltaP50Ms <= 0 || rep.Propagation.FullP50Ms <= 0 {
 		t.Errorf("propagation histogram empty: %+v", rep.Propagation)
+	}
+}
+
+func TestVesselArtifact(t *testing.T) {
+	r := Vessel(opts)
+	if r.ArtifactName != "BENCH_vessel.json" {
+		t.Fatalf("artifact name = %q", r.ArtifactName)
+	}
+	var rep VesselReport
+	if err := json.Unmarshal(r.Artifact, &rep); err != nil {
+		t.Fatalf("artifact does not parse: %v", err)
+	}
+	// ISSUE acceptance (a): fleet delivery within the §5 four-minute claim.
+	if !rep.Fleet.Under4Min || rep.Fleet.MaxSeconds <= 0 || rep.Fleet.MaxSeconds >= 240 {
+		t.Errorf("fleet delivery max = %.1fs, want (0, 240)", rep.Fleet.MaxSeconds)
+	}
+	if rep.Fleet.SameCluster < 0.5 {
+		t.Errorf("same-cluster chunk fraction = %.2f, want >= 0.5", rep.Fleet.SameCluster)
+	}
+	// ISSUE acceptance (b): the v2 delta moves <25% of full-package bytes.
+	if !rep.Delta.Under25Pct || rep.Delta.WireFrac <= 0 || rep.Delta.WireFrac >= 0.25 {
+		t.Errorf("delta wire fraction = %.3f, want (0, 0.25)", rep.Delta.WireFrac)
+	}
+	if rep.Delta.PublishedNew >= rep.Delta.PublishedDedup {
+		t.Errorf("publish stats new=%d dedup=%d: most chunks must dedup",
+			rep.Delta.PublishedNew, rep.Delta.PublishedDedup)
+	}
+	// ISSUE acceptance (c): the restarted agent re-fetches only what the
+	// journal could not verify.
+	if !rep.Resume.Completed || !rep.Resume.NoRefetch {
+		t.Errorf("resume: completed=%v noRefetch=%v", rep.Resume.Completed, rep.Resume.NoRefetch)
+	}
+	if rep.Resume.VerifiedOnDisk <= 0 ||
+		rep.Resume.RefetchedAfter != rep.Resume.ChunksTotal-rep.Resume.VerifiedOnDisk {
+		t.Errorf("resume accounting: %+v", rep.Resume)
+	}
+	// Same seed, same bits.
+	if !rep.Determinism.Identical {
+		t.Errorf("determinism fingerprints diverge: %v", rep.Determinism.Fingerprints)
 	}
 }
 

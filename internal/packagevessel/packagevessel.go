@@ -1,534 +1,576 @@
 // Package packagevessel implements PackageVessel (§3.5): distribution of
 // large configs (e.g. GBs of machine-learning models) by separating a
-// config's small metadata from its bulk content.
+// config's small metadata from its bulk content — rebuilt around a
+// content-addressed chunk store (see the blob subpackage).
 //
-// When a large config changes, its bulk content is uploaded to a storage
-// system and only the metadata — name, version, size, chunk count, where
-// to fetch — is stored in Configerator and pushed through Zeus's
-// distribution tree with the usual consistency guarantee. On receiving the
-// metadata update, each subscribed server fetches the bulk content with a
-// BitTorrent-style protocol: peers that need the same config exchange
-// chunks among themselves instead of hammering the central storage, and
-// peer selection is locality aware, preferring peers in the same cluster.
-// The metadata's consistency drives the bulk content's consistency: a
-// server only accepts and serves chunks for the exact version named by its
-// current metadata.
+// Publishing is Publish(Package): the registry chunks the content,
+// registers only the digests absent from its store (cross-version dedup),
+// and returns a blob.Manifest. The small Metadata record stored in
+// Configerator names that manifest by digest; when it lands, Zeus pushes
+// it through the distribution tree with the usual consistency guarantee,
+// and every subscribed server's Agent fetches the manifest, journals the
+// transfer, and swarms the missing chunks from peers — rarest-digest-
+// first, locality aware, several in parallel with a per-peer in-flight
+// cap. Integrity is verification of a digest rather than trust in a
+// sender: a chunk whose bytes do not hash to the manifest entry
+// quarantines the peer that served it, and the chunk is re-fetched from
+// another holder.
+//
+// Because chunks are identified by content, most of a new version already
+// exists on every peer that holds the old one — an Agent starting v2
+// fetches only the changed digests, and seeds advertise digests, not
+// (name, version, index) triples, so a v1 holder is automatically a
+// useful seed for v2. An interrupted transfer resumes from the journal:
+// a restarted Agent re-verifies what is on disk and fetches only what is
+// missing.
+//
+// Versions are immutable once published; mutable names live in the tag
+// namespace (latest, canary, prod). Promote is an explicit metadata
+// write — a TagRecord landed through the landing strip like any other
+// change, with a promotion gate (internal/landingstrip) refusing tags
+// that name unpublished versions or skip the canary stage on the way to
+// prod.
 package packagevessel
 
 import (
 	"encoding/json"
 	"fmt"
-	"time"
+	"sort"
+	"strings"
 
+	"configerator/internal/obs"
+	"configerator/internal/packagevessel/blob"
 	"configerator/internal/simnet"
+	"configerator/internal/stats"
 )
 
-// Metadata is the small record stored in Configerator for a large config.
+// DefaultChunkSize is 1 MiB, a typical piece size.
+const DefaultChunkSize = 1 << 20
+
+// ---- Metadata: the small record stored in Configerator ----
+
+// Metadata is the small artifact stored in Configerator for a large
+// config: it names the package's manifest by content digest; the bulk
+// content is wholly derivable from that. Registry and Tracker locate the
+// authoritative copy and the swarm coordinator.
 type Metadata struct {
-	Name      string `json:"name"`
-	Version   int64  `json:"version"`
-	Size      int    `json:"size"`
-	ChunkSize int    `json:"chunk_size"`
-	// Storage is the node holding the authoritative copy.
-	Storage simnet.NodeID `json:"storage"`
-	// Tracker coordinates the swarm.
-	Tracker simnet.NodeID `json:"tracker"`
+	Name     string        `json:"name"`
+	Version  int64         `json:"version"`
+	Size     int64         `json:"size"`
+	Manifest string        `json:"manifest"` // hex digest of the manifest encoding
+	Registry simnet.NodeID `json:"registry"`
+	Tracker  simnet.NodeID `json:"tracker"`
 }
 
-// NumChunks derives the chunk count.
-func (m Metadata) NumChunks() int {
-	if m.ChunkSize <= 0 {
-		return 0
+// MetadataFor builds the record announcing a published manifest.
+func MetadataFor(m blob.Manifest, registry, tracker simnet.NodeID) Metadata {
+	return Metadata{
+		Name: m.Name, Version: m.Version, Size: m.Size(),
+		Manifest: m.Digest().String(), Registry: registry, Tracker: tracker,
 	}
-	return (m.Size + m.ChunkSize - 1) / m.ChunkSize
+}
+
+// ManifestDigest decodes the manifest's content address.
+func (m Metadata) ManifestDigest() (blob.Digest, error) {
+	return blob.ParseDigest(m.Manifest)
 }
 
 // Encode renders the metadata artifact (what Configerator stores).
-func (m Metadata) Encode() []byte {
+func (m Metadata) Encode() ([]byte, error) {
 	b, err := json.Marshal(m)
 	if err != nil {
-		panic("packagevessel: encoding metadata: " + err.Error())
+		return nil, fmt.Errorf("packagevessel: encoding metadata %s@%d: %w", m.Name, m.Version, err)
 	}
-	return b
+	return b, nil
 }
 
-// ParseMetadata decodes a metadata artifact.
+// ParseMetadata decodes and validates a metadata artifact. Negative
+// versions are rejected — version numbers only move forward.
 func ParseMetadata(data []byte) (Metadata, error) {
 	var m Metadata
 	if err := json.Unmarshal(data, &m); err != nil {
 		return Metadata{}, fmt.Errorf("packagevessel: parsing metadata: %w", err)
 	}
-	if m.Name == "" || m.Size <= 0 || m.ChunkSize <= 0 {
-		return Metadata{}, fmt.Errorf("packagevessel: invalid metadata %+v", m)
+	switch {
+	case m.Name == "":
+		return Metadata{}, fmt.Errorf("packagevessel: metadata without a name")
+	case m.Version < 0:
+		return Metadata{}, fmt.Errorf("packagevessel: metadata %s: negative version %d", m.Name, m.Version)
+	case m.Size <= 0:
+		return Metadata{}, fmt.Errorf("packagevessel: metadata %s@%d: size %d", m.Name, m.Version, m.Size)
+	}
+	if _, err := m.ManifestDigest(); err != nil {
+		return Metadata{}, fmt.Errorf("packagevessel: metadata %s@%d: %w", m.Name, m.Version, err)
 	}
 	return m, nil
 }
 
-// DefaultChunkSize is 1 MiB, a typical BitTorrent piece size.
-const DefaultChunkSize = 1 << 20
+// ---- Package: what a publisher hands to the registry ----
 
-// swarmKey identifies one (package, version) swarm.
-type swarmKey struct {
-	name    string
-	version int64
-}
-
-// ---- Messages ----
-
-type msgHave struct {
+// Package is the publisher-side content of one version.
+type Package struct {
 	Name    string
 	Version int64
-	Index   int
-	// Complete marks the announcer as a full seed.
-	Complete bool
+	Chunks  []*blob.Chunk
 }
 
-type msgNext struct {
-	Name    string
-	Version int64
-	Missing []int
+// Size is the total logical size.
+func (p Package) Size() int64 {
+	var n int64
+	for _, c := range p.Chunks {
+		n += int64(c.Size())
+	}
+	return n
 }
 
-type msgAssign struct {
-	Name    string
-	Version int64
-	Index   int
-	Peer    simnet.NodeID
-	// None reports that no chunk could be assigned (all missing chunks
-	// momentarily unavailable); the agent retries after a backoff.
-	None bool
-}
-
-type msgGetChunk struct {
-	Name    string
-	Version int64
-	Index   int
-}
-
-type msgChunk struct {
-	Name    string
-	Version int64
-	Index   int
-	OK      bool
-}
-
-type msgFetchRetry struct {
-	Name    string
-	Version int64
-}
-
-type msgChunkTimeout struct {
-	Name    string
-	Version int64
-	Index   int
-}
-
-// chunkTimeout bounds one chunk fetch before the slot is reclaimed (the
-// assigned peer may have crashed mid-transfer).
-const chunkTimeout = 30 * time.Second
-
-// ---- Tracker ----
-
-// Tracker coordinates swarms: it knows which agents hold which chunks and
-// assigns each request the rarest missing chunk from the closest holder.
-type Tracker struct {
-	id  simnet.NodeID
-	net *simnet.Network
-	// holders[swarm][chunk] -> nodes that have it.
-	holders map[swarmKey][]map[simnet.NodeID]bool
-
-	// Assignments counts chunk assignments handed out.
-	Assignments uint64
-}
-
-// NewTracker creates a tracker node.
-func NewTracker(net *simnet.Network, id simnet.NodeID, p simnet.Placement) *Tracker {
-	t := &Tracker{id: id, net: net, holders: make(map[swarmKey][]map[simnet.NodeID]bool)}
-	net.AddNode(id, p, t)
-	return t
-}
-
-func (t *Tracker) swarm(name string, version int64, chunks int) []map[simnet.NodeID]bool {
-	key := swarmKey{name, version}
-	s, ok := t.holders[key]
-	if !ok {
-		s = make([]map[simnet.NodeID]bool, chunks)
-		for i := range s {
-			s[i] = make(map[simnet.NodeID]bool)
+// SyntheticPackage builds a deterministic package of the given logical
+// size: chunk i's content depends on (name, seed, i) but NOT on the
+// version, so a mutated successor built with NextVersion shares every
+// unchanged chunk's digest with its predecessor — exactly how a real
+// model delta behaves after content-defined chunking.
+func SyntheticPackage(name string, version int64, size, chunkSize int, seed uint64) Package {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	p := Package{Name: name, Version: version}
+	for off, i := 0, 0; off < size; off, i = off+chunkSize, i+1 {
+		logical := chunkSize
+		if size-off < chunkSize {
+			logical = size - off
 		}
-		t.holders[key] = s
+		data := []byte(fmt.Sprintf("%s|%x|%d", name, seed, i))
+		p.Chunks = append(p.Chunks, blob.NewChunk(data, logical))
 	}
-	return s
+	return p
 }
 
-// RegisterSeed marks a node as holding every chunk (the storage system
-// after an upload).
-func (t *Tracker) RegisterSeed(name string, version int64, chunks int, seed simnet.NodeID) {
-	s := t.swarm(name, version, chunks)
-	for i := range s {
-		s[i][seed] = true
+// NextVersion derives a successor version that rewrites a deterministic
+// changedFrac fraction of the chunks (at least one) and keeps the rest
+// byte-identical — the delta-publish scenario content addressing exists
+// for.
+func NextVersion(p Package, version int64, changedFrac float64, seed uint64) Package {
+	n := len(p.Chunks)
+	changed := int(changedFrac * float64(n))
+	if changed < 1 {
+		changed = 1
 	}
+	if changed > n {
+		changed = n
+	}
+	next := Package{Name: p.Name, Version: version, Chunks: make([]*blob.Chunk, n)}
+	copy(next.Chunks, p.Chunks)
+	rng := stats.NewRNG(seed ^ uint64(version))
+	for _, i := range rng.Perm(n)[:changed] {
+		data := []byte(fmt.Sprintf("%s|%x|%d|v%d", p.Name, seed, i, version))
+		next.Chunks[i] = blob.NewChunk(data, p.Chunks[i].Size())
+	}
+	return next
 }
 
-// HandleMessage implements simnet.Handler.
-func (t *Tracker) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
-	switch m := msg.(type) {
-	case msgHave:
-		key := swarmKey{m.Name, m.Version}
-		s, ok := t.holders[key]
-		if !ok || m.Index >= len(s) {
-			return
-		}
-		s[m.Index][from] = true
-	case msgNext:
-		t.assign(ctx, from, m)
+// Manifest lists the package's chunk references in order.
+func (p Package) Manifest() blob.Manifest {
+	m := blob.Manifest{Name: p.Name, Version: p.Version}
+	for _, c := range p.Chunks {
+		m.Chunks = append(m.Chunks, blob.Ref{Digest: c.Digest(), Size: c.Size()})
 	}
+	return m
 }
 
-// assign picks the rarest available missing chunk and its closest holder.
-func (t *Tracker) assign(ctx *simnet.Context, agent simnet.NodeID, m msgNext) {
-	key := swarmKey{m.Name, m.Version}
-	s, ok := t.holders[key]
-	if !ok {
-		ctx.Send(agent, msgAssign{Name: m.Name, Version: m.Version, None: true})
-		return
+// ---- Tags: the mutable namespace over immutable versions ----
+
+// KnownTags is the tag namespace: latest moves on publish, canary and
+// prod move only through explicit promotion.
+var KnownTags = []string{"latest", "canary", "prod"}
+
+// TagRecord is the small config artifact a promotion writes: it binds a
+// tag to an immutable (version, manifest digest) pair. Landing one
+// through the landing strip is the promotion.
+type TagRecord struct {
+	Name     string `json:"name"`
+	Tag      string `json:"tag"`
+	Version  int64  `json:"version"`
+	Manifest string `json:"manifest"`
+}
+
+// Encode renders the tag artifact.
+func (t TagRecord) Encode() ([]byte, error) {
+	b, err := json.Marshal(t)
+	if err != nil {
+		return nil, fmt.Errorf("packagevessel: encoding tag %s/%s: %w", t.Name, t.Tag, err)
 	}
-	agentPlace := t.net.Placement(agent)
-	// Rarest-first with random tie-breaking: a deterministic tie-break
-	// would put every agent in lockstep on the same chunk, so nobody ever
-	// holds anything a peer is missing and the storage node serves
-	// everything. Randomizing among the rarest chunks decorrelates the
-	// swarm, exactly why BitTorrent randomizes piece selection.
-	minRarity := int(^uint(0) >> 1)
-	for _, idx := range m.Missing {
-		if idx < 0 || idx >= len(s) || len(s[idx]) == 0 {
-			continue
-		}
-		if r := len(s[idx]); r < minRarity {
-			minRarity = r
+	return b, nil
+}
+
+// ParseTagRecord decodes and validates a tag artifact.
+func ParseTagRecord(data []byte) (TagRecord, error) {
+	var t TagRecord
+	if err := json.Unmarshal(data, &t); err != nil {
+		return TagRecord{}, fmt.Errorf("packagevessel: parsing tag record: %w", err)
+	}
+	if t.Name == "" || t.Tag == "" {
+		return TagRecord{}, fmt.Errorf("packagevessel: tag record missing name or tag")
+	}
+	if t.Version <= 0 {
+		return TagRecord{}, fmt.Errorf("packagevessel: tag %s/%s: version %d", t.Name, t.Tag, t.Version)
+	}
+	if !validTag(t.Tag) {
+		return TagRecord{}, fmt.Errorf("packagevessel: tag %s/%s: unknown tag (namespace: %s)",
+			t.Name, t.Tag, strings.Join(KnownTags, ", "))
+	}
+	return t, nil
+}
+
+func validTag(tag string) bool {
+	for _, t := range KnownTags {
+		if t == tag {
+			return true
 		}
 	}
-	var candidates []int
-	for _, idx := range m.Missing {
-		if idx < 0 || idx >= len(s) || len(s[idx]) == 0 {
-			continue
-		}
-		// Anything within 2x of the rarest is a candidate; the band keeps
-		// selection spread wide in the early all-tied phase.
-		if len(s[idx]) <= 2*minRarity {
-			candidates = append(candidates, idx)
-		}
-	}
-	t.net.RNG().Shuffle(len(candidates), func(i, j int) {
-		candidates[i], candidates[j] = candidates[j], candidates[i]
-	})
-	for _, idx := range candidates {
-		peer := t.closestHolder(s[idx], agent, agentPlace)
-		if peer == "" {
-			continue
-		}
-		t.Assignments++
-		ctx.Send(agent, msgAssign{Name: m.Name, Version: m.Version, Index: idx, Peer: peer})
-		return
-	}
-	ctx.Send(agent, msgAssign{Name: m.Name, Version: m.Version, None: true})
+	return false
 }
 
-// closestHolder prefers same-cluster, then same-region, then anything —
-// the locality awareness of §3.5.
-func (t *Tracker) closestHolder(holders map[simnet.NodeID]bool, agent simnet.NodeID, ap simnet.Placement) simnet.NodeID {
-	var cluster, region, far []simnet.NodeID
-	for h := range holders {
-		if h == agent || t.net.IsDown(h) {
-			continue
-		}
-		hp := t.net.Placement(h)
-		switch {
-		case hp.Region == ap.Region && hp.Cluster == ap.Cluster:
-			cluster = append(cluster, h)
-		case hp.Region == ap.Region:
-			region = append(region, h)
-		default:
-			far = append(far, h)
-		}
-	}
-	pick := func(list []simnet.NodeID) simnet.NodeID {
-		return list[t.net.RNG().Intn(len(list))]
-	}
-	switch {
-	case len(cluster) > 0:
-		return pick(cluster)
-	case len(region) > 0:
-		return pick(region)
-	case len(far) > 0:
-		return pick(far)
-	}
-	return ""
+// TagPath is where a package's tag record lives in the config tree.
+func TagPath(name, tag string) string {
+	return "packages/" + name + "/" + tag + ".vessel.json"
 }
 
-// ---- Storage ----
+// ParseTagPath inverts TagPath.
+func ParseTagPath(path string) (name, tag string, ok bool) {
+	rest, found := strings.CutPrefix(path, "packages/")
+	if !found {
+		return "", "", false
+	}
+	i := strings.LastIndexByte(rest, '/')
+	if i <= 0 {
+		return "", "", false
+	}
+	tag, found = strings.CutSuffix(rest[i+1:], ".vessel.json")
+	if !found || tag == "" {
+		return "", "", false
+	}
+	return rest[:i], tag, true
+}
 
-// Storage is the central storage system holding uploaded bulk content.
-type Storage struct {
-	id       simnet.NodeID
-	packages map[swarmKey]Metadata
+// ---- Registry: the authoritative store + tag authority ----
+
+// PublishStats accounts one Publish call.
+type PublishStats struct {
+	NewChunks   int
+	DedupChunks int
+	NewBytes    int64
+	DedupBytes  int64
+}
+
+// Registry is the storage system holding the authoritative copy of every
+// published package, keyed by content digest, plus the tag namespace. It
+// is a simnet node serving manifest and chunk fetches, and the first seed
+// of every swarm.
+type Registry struct {
+	id      simnet.NodeID
+	net     *simnet.Network
+	tracker simnet.NodeID
+	store   *blob.Store
+	tags    map[string]map[string]int64 // name -> tag -> version
+	obs     *obs.Registry
+	last    PublishStats
 
 	// ChunksServed counts chunks served (the load P2P is meant to shed).
 	ChunksServed uint64
 }
 
-// NewStorage creates a storage node.
-func NewStorage(net *simnet.Network, id simnet.NodeID, p simnet.Placement) *Storage {
-	s := &Storage{id: id, packages: make(map[swarmKey]Metadata)}
-	net.AddNode(id, p, s)
-	return s
+// NewRegistry creates the registry node. tracker is the swarm coordinator
+// Publish seeds.
+func NewRegistry(net *simnet.Network, id simnet.NodeID, p simnet.Placement, tracker simnet.NodeID) *Registry {
+	r := &Registry{
+		id: id, net: net, tracker: tracker,
+		store: blob.NewStore(),
+		tags:  make(map[string]map[string]int64),
+	}
+	net.AddNode(id, p, r)
+	return r
 }
 
-// Upload stores a package version and seeds the tracker. It returns the
-// metadata to publish through Configerator.
-func (s *Storage) Upload(tracker *Tracker, name string, version int64, size, chunkSize int, trackerID simnet.NodeID) Metadata {
-	m := Metadata{Name: name, Version: version, Size: size, ChunkSize: chunkSize,
-		Storage: s.id, Tracker: trackerID}
-	s.packages[swarmKey{name, version}] = m
-	tracker.RegisterSeed(name, version, m.NumChunks(), s.id)
-	return m
+// SetObs attaches the metrics registry (nil-safe).
+func (r *Registry) SetObs(reg *obs.Registry) { r.obs = reg }
+
+// ID is the registry's node id.
+func (r *Registry) ID() simnet.NodeID { return r.id }
+
+// Tracker is the swarm coordinator this registry seeds.
+func (r *Registry) Tracker() simnet.NodeID { return r.tracker }
+
+// Store exposes the registry's blob store (read-mostly; used by status
+// views and the promotion gate).
+func (r *Registry) Store() *blob.Store { return r.store }
+
+// Publish registers one package version: chunks absent from the store are
+// added, already-known digests are deduped (counted, not re-stored), the
+// manifest is recorded, the swarm coordinator is seeded with the
+// registry's digests, and the "latest" tag advances. Returns the manifest
+// whose digest the Configerator metadata should carry.
+func (r *Registry) Publish(p Package) (blob.Manifest, error) {
+	if p.Name == "" {
+		return blob.Manifest{}, fmt.Errorf("packagevessel: publish without a name")
+	}
+	if p.Version <= 0 {
+		return blob.Manifest{}, fmt.Errorf("packagevessel: publish %s: version %d (must be > 0)", p.Name, p.Version)
+	}
+	if len(p.Chunks) == 0 {
+		return blob.Manifest{}, fmt.Errorf("packagevessel: publish %s@%d: empty package", p.Name, p.Version)
+	}
+	m := p.Manifest()
+	if prev, ok := r.store.Manifest(p.Name, p.Version); ok {
+		if prev.Digest() != m.Digest() {
+			return blob.Manifest{}, fmt.Errorf("packagevessel: publish %s@%d: version already published with different content", p.Name, p.Version)
+		}
+		return prev, nil // idempotent republish
+	}
+	var st PublishStats
+	for _, c := range p.Chunks {
+		if r.store.Put(c) {
+			st.NewChunks++
+			st.NewBytes += int64(c.Size())
+		} else {
+			st.DedupChunks++
+			st.DedupBytes += int64(c.Size())
+		}
+	}
+	r.obs.Add("vessel.chunks.dedup", int64(st.DedupChunks))
+	r.obs.Add("vessel.bytes.saved", st.DedupBytes)
+	r.store.Begin(m, string(r.id), string(r.tracker))
+	if err := r.store.Commit(m); err != nil {
+		return blob.Manifest{}, err
+	}
+	r.last = st
+	r.setTag(p.Name, "latest", p.Version)
+
+	// Seed the swarm: advertise digests, not (name, version, index)
+	// triples — a digest shared with an older version is already
+	// advertised, which is what makes cross-version dedup visible to
+	// rarest-first scheduling.
+	digests := make([]blob.Digest, 0, len(m.Chunks))
+	for d := range m.Distinct() {
+		digests = append(digests, d)
+	}
+	sort.Slice(digests, func(i, j int) bool { return digests[i] < digests[j] })
+	r.net.Send(r.id, r.tracker, msgAnnounce{Digests: digests})
+	return m, nil
 }
 
-// HandleMessage implements simnet.Handler.
-func (s *Storage) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
-	if m, ok := msg.(msgGetChunk); ok {
-		meta, have := s.packages[swarmKey{m.Name, m.Version}]
-		reply := msgChunk{Name: m.Name, Version: m.Version, Index: m.Index}
+// LastPublish returns the dedup accounting of the most recent Publish.
+func (r *Registry) LastPublish() PublishStats { return r.last }
+
+// HasVersion reports whether (name, version) has been published.
+func (r *Registry) HasVersion(name string, version int64) bool {
+	return r.store.Complete(name, version)
+}
+
+// CurrentTag returns the version a tag currently points at.
+func (r *Registry) CurrentTag(name, tag string) (int64, bool) {
+	v, ok := r.tags[name][tag]
+	return v, ok
+}
+
+// Tags returns a copy of the package's tag map.
+func (r *Registry) Tags(name string) map[string]int64 {
+	out := make(map[string]int64, len(r.tags[name]))
+	for t, v := range r.tags[name] {
+		out[t] = v
+	}
+	return out
+}
+
+// Resolve returns the manifest a tag points at.
+func (r *Registry) Resolve(name, tag string) (blob.Manifest, bool) {
+	v, ok := r.tags[name][tag]
+	if !ok {
+		return blob.Manifest{}, false
+	}
+	return r.store.Manifest(name, v)
+}
+
+// Promote validates a tag move and returns the TagRecord to land through
+// the landing strip — the promotion IS that metadata write; the registry
+// applies it only when ApplyTag is called after the change lands. Rules:
+// the version must be published, the tag must be in the namespace, and
+// prod promotions must name the version currently tagged canary (staged
+// rollout: nothing reaches prod without passing through canary).
+func (r *Registry) Promote(name, tag string, version int64) (TagRecord, error) {
+	if !validTag(tag) {
+		return TagRecord{}, fmt.Errorf("packagevessel: promote %s: unknown tag %q (namespace: %s)",
+			name, tag, strings.Join(KnownTags, ", "))
+	}
+	m, ok := r.store.Manifest(name, version)
+	if !ok {
+		return TagRecord{}, fmt.Errorf("packagevessel: promote %s/%s: version %d not published", name, tag, version)
+	}
+	if tag == "prod" {
+		canary, ok := r.CurrentTag(name, "canary")
+		if !ok || canary != version {
+			return TagRecord{}, fmt.Errorf("packagevessel: promote %s/prod: version %d is not the current canary (staged rollout requires canary first)", name, version)
+		}
+	}
+	return TagRecord{Name: name, Tag: tag, Version: version, Manifest: m.Digest().String()}, nil
+}
+
+// ApplyTag applies a landed promotion. It re-validates against the
+// current registry state (the strip gate already checked; state may have
+// moved between validation and land).
+func (r *Registry) ApplyTag(rec TagRecord) error {
+	m, ok := r.store.Manifest(rec.Name, rec.Version)
+	if !ok {
+		return fmt.Errorf("packagevessel: apply tag %s/%s: version %d not published", rec.Name, rec.Tag, rec.Version)
+	}
+	if got := m.Digest().String(); rec.Manifest != "" && rec.Manifest != got {
+		return fmt.Errorf("packagevessel: apply tag %s/%s: manifest digest %s does not match published %s",
+			rec.Name, rec.Tag, rec.Manifest, got)
+	}
+	r.setTag(rec.Name, rec.Tag, rec.Version)
+	return nil
+}
+
+func (r *Registry) setTag(name, tag string, version int64) {
+	if r.tags[name] == nil {
+		r.tags[name] = make(map[string]int64)
+	}
+	r.tags[name][tag] = version
+}
+
+// PackageNames lists published package names, sorted.
+func (r *Registry) PackageNames() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, m := range r.store.Manifests() {
+		if !seen[m.Name] {
+			seen[m.Name] = true
+			out = append(out, m.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HandleMessage implements simnet.Handler: the registry serves manifest
+// and chunk fetches.
+func (r *Registry) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
+	switch m := msg.(type) {
+	case msgGetManifest:
+		reply := msgManifest{Name: m.Name, Version: m.Version}
+		if man, ok := r.store.Manifest(m.Name, m.Version); ok {
+			if data, err := man.Encode(); err == nil {
+				reply.OK = true
+				reply.Data = data
+			}
+		}
+		ctx.SendSized(from, reply, len(reply.Data))
+	case msgGetChunk:
+		reply := msgChunk{Digest: m.Digest}
 		size := 0
-		if have && m.Index >= 0 && m.Index < meta.NumChunks() {
+		if c, ok := r.store.Get(m.Digest); ok {
 			reply.OK = true
-			size = meta.ChunkSize
-			s.ChunksServed++
+			reply.Data = c.Data()
+			reply.Size = c.Size()
+			size = c.Size()
+			r.ChunksServed++
 		}
 		ctx.SendSized(from, reply, size)
 	}
 }
 
-// ---- Agent ----
-
-// download tracks one in-progress package fetch.
-type download struct {
-	meta      Metadata
-	have      []bool
-	remaining int
-	inflight  map[int]bool
-	started   time.Time
-}
-
-// Agent runs on every subscribed server: it receives metadata updates (via
-// the Configerator proxy subscription) and swarms the bulk content.
-type Agent struct {
-	id  simnet.NodeID
-	net *simnet.Network
-	// window is the number of concurrent chunk fetches.
-	window int
-
-	downloads map[string]*download // by package name (current version only)
-	complete  map[string]Metadata  // finished packages
-
-	// onComplete fires when a package finishes.
-	onComplete func(meta Metadata, took time.Duration)
-
-	// Stats.
-	ChunksFromPeers   uint64
-	ChunksFromStorage uint64
-	ChunksSameCluster uint64
-	ChunksSameRegion  uint64
-	ChunksCrossRegion uint64
-}
-
-// NewAgent creates an agent node.
-func NewAgent(net *simnet.Network, id simnet.NodeID, p simnet.Placement) *Agent {
-	a := &Agent{
-		id: id, net: net, window: 4,
-		downloads: make(map[string]*download),
-		complete:  make(map[string]Metadata),
-	}
-	net.AddNode(id, p, a)
-	return a
-}
-
-// OnComplete registers the completion callback.
-func (a *Agent) OnComplete(fn func(meta Metadata, took time.Duration)) { a.onComplete = fn }
-
-// Has reports whether the agent holds the complete package version.
-func (a *Agent) Has(name string, version int64) bool {
-	m, ok := a.complete[name]
-	return ok && m.Version == version
-}
-
-// OnMetadata starts (or restarts) a download when the subscribed metadata
-// changes. Stale downloads for older versions are abandoned: consistency
-// of the metadata drives consistency of the bulk content.
-func (a *Agent) OnMetadata(data []byte) {
-	meta, err := ParseMetadata(data)
+// Upload is the v1 positional API: build a synthetic package of the given
+// size, publish it, and return the encoded-metadata record.
+//
+// Deprecated: use Publish with an explicit Package; Upload remains for
+// one release so external callers can migrate. Synthetic content is
+// seeded from the package name, so repeated Uploads of the same name
+// dedup across versions just like real content.
+func (r *Registry) Upload(name string, version int64, size, chunkSize int) (Metadata, error) {
+	p := SyntheticPackage(name, version, size, chunkSize, stats.Hash64(name))
+	m, err := r.Publish(p)
 	if err != nil {
-		return
+		return Metadata{}, err
 	}
-	if cur, ok := a.complete[meta.Name]; ok && cur.Version >= meta.Version {
-		return
-	}
-	if d, ok := a.downloads[meta.Name]; ok && d.meta.Version >= meta.Version {
-		return
-	}
-	d := &download{
-		meta:      meta,
-		have:      make([]bool, meta.NumChunks()),
-		remaining: meta.NumChunks(),
-		inflight:  make(map[int]bool),
-		started:   a.net.Now(),
-	}
-	a.downloads[meta.Name] = d
-	ctx := simnet.MakeContext(a.net, a.id)
-	for i := 0; i < a.window; i++ {
-		a.requestNext(&ctx, d)
-	}
+	return MetadataFor(m, r.id, r.tracker), nil
 }
 
-func (a *Agent) requestNext(ctx *simnet.Context, d *download) {
-	if d.remaining == 0 {
-		return
-	}
-	missing := make([]int, 0, d.remaining)
-	for i, have := range d.have {
-		if !have && !d.inflight[i] {
-			missing = append(missing, i)
-		}
-	}
-	if len(missing) == 0 {
-		return
-	}
-	ctx.Send(d.meta.Tracker, msgNext{Name: d.meta.Name, Version: d.meta.Version, Missing: missing})
+// ---- Wire messages ----
+
+// msgAnnounce advertises digests a node now holds (seeds on publish;
+// agents piggyback announces on msgWant instead).
+type msgAnnounce struct {
+	Digests []blob.Digest
+	// Complete marks the announcer as holding every advertised digest
+	// durably (informational; rarity counting treats all holders alike).
+	Complete bool
 }
 
-// HandleMessage implements simnet.Handler.
-func (a *Agent) HandleMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
-	switch m := msg.(type) {
-	case msgAssign:
-		d := a.currentDownload(m.Name, m.Version)
-		if d == nil {
-			return
-		}
-		if m.None {
-			ctx.SetTimer(2*time.Second, msgFetchRetry{Name: m.Name, Version: m.Version})
-			return
-		}
-		if d.have[m.Index] || d.inflight[m.Index] {
-			a.requestNext(ctx, d) // race with another slot; move on
-			return
-		}
-		d.inflight[m.Index] = true
-		ctx.Send(m.Peer, msgGetChunk{Name: m.Name, Version: m.Version, Index: m.Index})
-		ctx.SetTimer(chunkTimeout, msgChunkTimeout{Name: m.Name, Version: m.Version, Index: m.Index})
-	case msgChunkTimeout:
-		if d := a.currentDownload(m.Name, m.Version); d != nil && d.inflight[m.Index] {
-			delete(d.inflight, m.Index)
-			a.requestNext(ctx, d)
-		}
-	case msgFetchRetry:
-		if d := a.currentDownload(m.Name, m.Version); d != nil {
-			a.requestNext(ctx, d)
-		}
-	case msgGetChunk:
-		a.serveChunk(ctx, from, m)
-	case msgChunk:
-		a.onChunk(ctx, from, m)
-	}
+// msgWant is the agent -> tracker round: announce newly verified digests
+// (Have), ask for up to Max grants covering Need, excluding Avoid peers
+// (quarantined by the requester after digest mismatches).
+type msgWant struct {
+	Have  []blob.Digest
+	Need  []blob.Digest
+	Max   int
+	Avoid []simnet.NodeID
 }
 
-func (a *Agent) currentDownload(name string, version int64) *download {
-	d, ok := a.downloads[name]
-	if !ok || d.meta.Version != version {
-		return nil
-	}
-	return d
+// grant assigns one digest fetch to one holder.
+type grant struct {
+	Digest blob.Digest
+	Peer   simnet.NodeID
 }
 
-// serveChunk uploads a chunk to a peer — but only for the exact version we
-// hold, complete or in progress.
-func (a *Agent) serveChunk(ctx *simnet.Context, from simnet.NodeID, m msgGetChunk) {
-	reply := msgChunk{Name: m.Name, Version: m.Version, Index: m.Index}
-	size := 0
-	if meta, ok := a.complete[m.Name]; ok && meta.Version == m.Version &&
-		m.Index >= 0 && m.Index < meta.NumChunks() {
-		reply.OK = true
-		size = meta.ChunkSize
-	} else if d := a.currentDownload(m.Name, m.Version); d != nil &&
-		m.Index >= 0 && m.Index < len(d.have) && d.have[m.Index] {
-		reply.OK = true
-		size = d.meta.ChunkSize
-	}
-	ctx.SendSized(from, reply, size)
+// msgAssign is the tracker's reply: zero or more grants; Retry asks the
+// agent to back off and re-request (all holders busy or unknown).
+type msgAssign struct {
+	Grants []grant
+	Retry  bool
 }
 
-func (a *Agent) onChunk(ctx *simnet.Context, from simnet.NodeID, m msgChunk) {
-	d := a.currentDownload(m.Name, m.Version)
-	if d == nil {
-		return
-	}
-	delete(d.inflight, m.Index)
-	if !m.OK {
-		a.requestNext(ctx, d)
-		return
-	}
-	if !d.have[m.Index] {
-		d.have[m.Index] = true
-		d.remaining--
-		// Account locality.
-		if from == d.meta.Storage {
-			a.ChunksFromStorage++
-		} else {
-			a.ChunksFromPeers++
-		}
-		ap := a.net.Placement(a.id)
-		fp := a.net.Placement(from)
-		switch {
-		case ap.Region == fp.Region && ap.Cluster == fp.Cluster:
-			a.ChunksSameCluster++
-		case ap.Region == fp.Region:
-			a.ChunksSameRegion++
-		default:
-			a.ChunksCrossRegion++
-		}
-		ctx.Send(d.meta.Tracker, msgHave{Name: m.Name, Version: m.Version, Index: m.Index})
-	}
-	if d.remaining == 0 {
-		a.complete[m.Name] = d.meta
-		delete(a.downloads, m.Name)
-		ctx.Send(d.meta.Tracker, msgHave{Name: m.Name, Version: m.Version, Index: len(d.have) - 1, Complete: true})
-		if a.onComplete != nil {
-			a.onComplete(d.meta, ctx.Now().Sub(d.started))
-		}
-		return
-	}
-	a.requestNext(ctx, d)
+// msgGetManifest fetches a manifest by (name, version).
+type msgGetManifest struct {
+	Name    string
+	Version int64
 }
 
-// FetchCentralOnly is the ablation baseline: fetch every chunk directly
-// from storage, no peer exchange. Used by BenchmarkAblation_P2PvsCentral.
-func (a *Agent) FetchCentralOnly(data []byte) {
-	meta, err := ParseMetadata(data)
-	if err != nil {
-		return
-	}
-	d := &download{
-		meta:      meta,
-		have:      make([]bool, meta.NumChunks()),
-		remaining: meta.NumChunks(),
-		inflight:  make(map[int]bool),
-		started:   a.net.Now(),
-	}
-	// Mark the tracker as unused by pointing assignments straight at
-	// storage: we simply issue all chunk requests to storage directly.
-	a.downloads[meta.Name] = d
-	ctx := simnet.MakeContext(a.net, a.id)
-	for i := 0; i < meta.NumChunks(); i++ {
-		d.inflight[i] = true
-		ctx.Send(meta.Storage, msgGetChunk{Name: meta.Name, Version: meta.Version, Index: i})
-	}
+// msgManifest is the manifest reply; receivers verify the payload's
+// digest against the metadata's ManifestDigest before trusting it.
+type msgManifest struct {
+	Name    string
+	Version int64
+	Data    []byte
+	OK      bool
 }
+
+// msgGetChunk fetches one chunk by digest.
+type msgGetChunk struct {
+	Digest blob.Digest
+}
+
+// msgChunk carries chunk bytes; Size is the logical size charged on the
+// wire.
+type msgChunk struct {
+	Digest blob.Digest
+	Data   []byte
+	Size   int
+	OK     bool
+}
+
+// msgChunkTimeout reclaims a fetch slot whose peer went silent.
+type msgChunkTimeout struct {
+	Digest blob.Digest
+}
+
+// msgWantRetry re-requests grants after a Retry backoff.
+type msgWantRetry struct {
+	Name string
+}
+
+// msgManifestRetry re-requests a manifest fetch that went unanswered.
+type msgManifestRetry struct {
+	Name    string
+	Version int64
+}
+
+// msgTrackerTick refills the tracker's per-holder grant budgets.
+type msgTrackerTick struct{}

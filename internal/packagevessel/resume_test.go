@@ -1,0 +1,133 @@
+package packagevessel
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"configerator/internal/packagevessel/blob"
+	"configerator/internal/simnet"
+)
+
+// TestResumeAfterCrash is the journal's reason to exist: an agent killed
+// mid-download restarts, re-verifies what the journal says is on disk,
+// and fetches ONLY the digests that are still missing — no re-download of
+// verified chunks.
+func TestResumeAfterCrash(t *testing.T) {
+	const (
+		agents    = 12
+		sizeBytes = 64 << 20 // 64 chunks
+		chunks    = 64
+		slowBps   = 1.25e7 // 100 Mbit/s: the transfer takes several seconds
+	)
+	net := simnet.New(simnet.DefaultLatency(), 11)
+	registry := NewRegistry(net, "registry", simnet.Placement{Region: "us", Cluster: "store"}, "tracker")
+	net.SetBandwidth("registry", slowBps, slowBps)
+	NewTracker(net, "tracker", simnet.Placement{Region: "us", Cluster: "store"})
+
+	var fleet []*Agent
+	for i := 0; i < agents; i++ {
+		id := simnet.NodeID(fmt.Sprintf("srv-%d", i))
+		a := NewAgent(net, id, simnet.Placement{Region: "us", Cluster: "c0"}, Options{})
+		net.SetBandwidth(id, slowBps, slowBps)
+		fleet = append(fleet, a)
+	}
+	victim := fleet[0]
+
+	m, err := registry.Publish(SyntheticPackage("model", 1, sizeBytes, DefaultChunkSize, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var final TransferStats
+	victim.OnComplete(func(_ blob.Manifest, _ time.Duration, st TransferStats) { final = st })
+	for _, a := range fleet {
+		a.OnAnnounce(MetadataFor(m, "registry", "tracker"))
+	}
+
+	// Kill the victim mid-download, restart it later. The crash wipes all
+	// in-memory swarm state; the store (its disk) survives.
+	plan := simnet.NewFaultPlan(
+		simnet.WithCrash(2*time.Second, victim.id),
+		simnet.WithRestart(20*time.Second, victim.id),
+	)
+	plan.Apply(net)
+	net.RunFor(10 * time.Minute)
+
+	if plan.Fired() != 2 {
+		t.Fatalf("fault plan fired %d of 2 events", plan.Fired())
+	}
+	if !victim.Complete("model", 1) {
+		t.Fatal("victim never completed after restart")
+	}
+	if !final.Resumed {
+		t.Fatal("final transfer does not report resuming from the journal")
+	}
+	// The crash must land mid-transfer for the test to mean anything.
+	if final.ResumeVerified <= 0 || final.ResumeVerified >= chunks {
+		t.Fatalf("ResumeVerified = %d, want mid-transfer (0 < n < %d)", final.ResumeVerified, chunks)
+	}
+	// Only the missing digests crossed the wire after restart.
+	if final.ChunksFetched != chunks-final.ResumeVerified {
+		t.Errorf("post-restart fetched %d, want %d (= %d missing)",
+			final.ChunksFetched, chunks-final.ResumeVerified, chunks-final.ResumeVerified)
+	}
+	// Across both lives the victim fetched each chunk exactly once.
+	if victim.ChunksFetched != chunks {
+		t.Errorf("lifetime ChunksFetched = %d, want %d (verified chunks re-downloaded?)",
+			victim.ChunksFetched, chunks)
+	}
+	if victim.ResumeVerified != uint64(final.ResumeVerified) {
+		t.Errorf("agent ResumeVerified counter = %d, stats say %d", victim.ResumeVerified, final.ResumeVerified)
+	}
+
+	// The rest of the fleet was undisturbed.
+	for i, a := range fleet[1:] {
+		if !a.Complete("model", 1) {
+			t.Fatalf("bystander %d never completed", i+1)
+		}
+	}
+}
+
+// TestResumeAfterDiskLoss: chunks lost from disk while the node was down
+// fail the restart verification pass and are fetched again — the journal
+// trusts the disk only as far as re-verification confirms it.
+func TestResumeAfterDiskLoss(t *testing.T) {
+	const slowBps = 1.25e7
+	net := simnet.New(simnet.DefaultLatency(), 12)
+	registry := NewRegistry(net, "registry", simnet.Placement{Region: "us", Cluster: "store"}, "tracker")
+	net.SetBandwidth("registry", slowBps, slowBps)
+	NewTracker(net, "tracker", simnet.Placement{Region: "us", Cluster: "store"})
+	a := NewAgent(net, "srv-0", simnet.Placement{Region: "us", Cluster: "c0"}, Options{})
+	net.SetBandwidth("srv-0", slowBps, slowBps)
+
+	m, err := registry.Publish(SyntheticPackage("model", 1, 64<<20, DefaultChunkSize, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.OnAnnounce(MetadataFor(m, "registry", "tracker"))
+
+	plan := simnet.NewFaultPlan(
+		simnet.WithCrash(2*time.Second, "srv-0"),
+		// While down, the disk loses everything fetched so far.
+		simnet.WithCall(3*time.Second, "wipe-disk", func() {
+			for _, r := range m.Chunks {
+				a.Store().Drop(r.Digest)
+			}
+		}),
+		simnet.WithRestart(5*time.Second, "srv-0"),
+	)
+	plan.Apply(net)
+	net.RunFor(10 * time.Minute)
+
+	if plan.Fired() != 3 {
+		t.Fatalf("fault plan fired %d of 3 events", plan.Fired())
+	}
+	if !a.Complete("model", 1) {
+		t.Fatal("agent never completed after disk loss")
+	}
+	// Everything fetched before the crash was lost, so those chunks went
+	// over the wire twice.
+	if a.ChunksFetched <= 64 {
+		t.Errorf("lifetime ChunksFetched = %d, want > 64 (lost chunks must be re-fetched)", a.ChunksFetched)
+	}
+}

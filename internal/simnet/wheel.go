@@ -34,12 +34,12 @@ import "math/bits"
 // Per-slot event lists are intrusive (event.next), unordered; order is
 // imposed by the due heap when the slot is staged.
 const (
-	tickShift  = 18                     // ~262 µs per L0 slot
-	wheelBits  = 12                     // 4096 slots per level
-	wheelSize  = 1 << wheelBits         // slots per level
-	wheelMask  = wheelSize - 1          //
-	l1Shift    = tickShift + wheelBits  // ~1.07 s per L1 slot
-	wheelWords = wheelSize / 64         // occupancy bitmap words
+	tickShift  = 18                    // ~262 µs per L0 slot
+	wheelBits  = 12                    // 4096 slots per level
+	wheelSize  = 1 << wheelBits        // slots per level
+	wheelMask  = wheelSize - 1         //
+	l1Shift    = tickShift + wheelBits // ~1.07 s per L1 slot
+	wheelWords = wheelSize / 64        // occupancy bitmap words
 )
 
 type eventWheel struct {
